@@ -1,0 +1,186 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printing ours-vs-paper values), then times each generator
+   with Bechamel.
+
+   One Bechamel test per paper artifact:
+     table1, figure2, table2, table3, table4, table5, figure3,
+     lfk1_example, diagnosis, ablations
+   plus per-stage micro-benchmarks (compile / bound / simulate) that show
+   where the library spends its time.
+
+   Flags: --bench-only skips artifact regeneration; --print-only skips the
+   Bechamel timing pass. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Artifact regeneration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate () =
+  let ds = Macs_report.Dataset.compute () in
+  let sections =
+    [
+      Macs_report.Tables.table1 ();
+      Macs_report.Figures.figure2 ();
+      Macs_report.Tables.table2 ds;
+      Macs_report.Tables.table3 ds;
+      Macs_report.Tables.table4 ds;
+      Macs_report.Tables.table5 ds;
+      Macs_report.Figures.figure3 ds;
+      Macs_report.Tables.lfk1_example ();
+      "Gap diagnosis (paper section 4.4)\n"
+      ^ Macs_report.Tables.diagnosis ds;
+      Macs_report.Tables.ablation_compiler ();
+      Macs_report.Tables.ablation_machine ();
+      Macs_report.Tables.scalar_mode ();
+      Macs_report.Tables.parallel_mode ();
+      Macs_report.Tables.stride_sweep ();
+      Macs_report.Tables.utilization ds;
+      Macs_report.Tables.roofline ();
+      Macs_report.Tables.gallery ();
+      Macs_report.Figures.pipeline_trace ();
+      Macs_report.Tables.hockney ();
+      Macs_report.Tables.design_space ();
+      Macs.Application.render
+        (Macs.Application.analyze
+           [
+             (Lfk.Kernels.find 7, 40.0);
+             (Lfk.Kernels.find 1, 30.0);
+             (Lfk.Kernels.find 10, 20.0);
+             (Lfk.Kernels.find 2, 10.0);
+           ]);
+      Macs_report.Suite.render (Macs_report.Suite.run ());
+      "Goal-directed optimization advice (paper conclusion)\n\n"
+      ^ Macs_report.Tables.advice ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      print_endline s;
+      print_newline ();
+      print_endline (String.make 78 '=');
+      print_newline ())
+    sections
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel benchmarks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_tests () =
+  (* a dataset computed once, shared by the renderers that take one *)
+  let ds = Macs_report.Dataset.compute () in
+  [
+    Test.make ~name:"table1" (Staged.stage Macs_report.Tables.table1);
+    Test.make ~name:"figure2" (Staged.stage Macs_report.Figures.figure2);
+    Test.make ~name:"table2"
+      (Staged.stage (fun () -> Macs_report.Tables.table2 ds));
+    Test.make ~name:"table3"
+      (Staged.stage (fun () -> Macs_report.Tables.table3 ds));
+    Test.make ~name:"table4"
+      (Staged.stage (fun () -> Macs_report.Tables.table4 ds));
+    Test.make ~name:"table5"
+      (Staged.stage (fun () -> Macs_report.Tables.table5 ds));
+    Test.make ~name:"figure3"
+      (Staged.stage (fun () -> Macs_report.Figures.figure3 ds));
+    Test.make ~name:"lfk1_example"
+      (Staged.stage Macs_report.Tables.lfk1_example);
+    Test.make ~name:"diagnosis"
+      (Staged.stage (fun () -> Macs_report.Tables.diagnosis ds));
+    Test.make ~name:"ablations"
+      (Staged.stage Macs_report.Tables.ablation_compiler);
+    Test.make ~name:"dataset_full"
+      (Staged.stage (fun () -> Macs_report.Dataset.compute ()));
+    Test.make ~name:"scalar_mode"
+      (Staged.stage Macs_report.Tables.scalar_mode);
+    Test.make ~name:"parallel_mode"
+      (Staged.stage Macs_report.Tables.parallel_mode);
+    Test.make ~name:"stride_sweep"
+      (Staged.stage Macs_report.Tables.stride_sweep);
+    Test.make ~name:"utilization"
+      (Staged.stage (fun () -> Macs_report.Tables.utilization ds));
+    Test.make ~name:"suite"
+      (Staged.stage (fun () -> Macs_report.Suite.run ()));
+    Test.make ~name:"advice" (Staged.stage Macs_report.Tables.advice);
+    Test.make ~name:"roofline" (Staged.stage Macs_report.Tables.roofline);
+    Test.make ~name:"gallery" (Staged.stage Macs_report.Tables.gallery);
+    Test.make ~name:"pipeline_trace"
+      (Staged.stage (fun () -> Macs_report.Figures.pipeline_trace ()));
+    Test.make ~name:"hockney" (Staged.stage Macs_report.Tables.hockney);
+    Test.make ~name:"design_space"
+      (Staged.stage Macs_report.Tables.design_space);
+    Test.make ~name:"application"
+      (Staged.stage (fun () ->
+           Macs.Application.analyze
+             [ (Lfk.Kernels.find 7, 40.0); (Lfk.Kernels.find 1, 30.0) ]));
+  ]
+
+let stage_tests () =
+  let k1 = Lfk.Kernels.find 1 and k8 = Lfk.Kernels.find 8 in
+  let c1 = Fcc.Compiler.compile k1 and c8 = Fcc.Compiler.compile k8 in
+  let machine = Convex_machine.Machine.c240 in
+  let body1 = Convex_isa.Program.body c1.program in
+  let body8 = Convex_isa.Program.body c8.program in
+  [
+    Test.make ~name:"compile_lfk1"
+      (Staged.stage (fun () -> Fcc.Compiler.compile k1));
+    Test.make ~name:"compile_lfk8"
+      (Staged.stage (fun () -> Fcc.Compiler.compile k8));
+    Test.make ~name:"macs_bound_lfk1"
+      (Staged.stage (fun () -> Macs.Macs_bound.compute ~machine body1));
+    Test.make ~name:"macs_bound_lfk8"
+      (Staged.stage (fun () -> Macs.Macs_bound.compute ~machine body8));
+    Test.make ~name:"simulate_lfk1"
+      (Staged.stage (fun () -> Convex_vpsim.Sim.run ~machine c1.job));
+    Test.make ~name:"simulate_lfk8"
+      (Staged.stage (fun () -> Convex_vpsim.Sim.run ~machine c8.job));
+    Test.make ~name:"hierarchy_lfk1"
+      (Staged.stage (fun () -> Macs.Hierarchy.of_compiled c1));
+  ]
+
+let run_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"macs" ~fmt:"%s/%s"
+      [
+        Test.make_grouped ~name:"artifacts" ~fmt:"%s/%s" (artifact_tests ());
+        Test.make_grouped ~name:"stages" ~fmt:"%s/%s" (stage_tests ());
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> e
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  print_endline "Bechamel timings (per run):";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Printf.printf "  %-40s %s\n" name pretty)
+    rows
+
+let () =
+  let bench_only = Array.exists (fun a -> a = "--bench-only") Sys.argv in
+  let print_only = Array.exists (fun a -> a = "--print-only") Sys.argv in
+  if not bench_only then regenerate ();
+  if not print_only then run_benchmarks ()

@@ -1,0 +1,446 @@
+(* Command-line front end for the MACS performance-modeling library:
+   reproduce the paper's tables and figures, analyze individual kernels,
+   dump compiled listings, and run calibration sweeps. *)
+
+open Cmdliner
+
+let machine_of_name = function
+  | "c240" -> Ok Convex_machine.Machine.c240
+  | "ideal" -> Ok Convex_machine.Machine.ideal
+  | "no-bubbles" ->
+      Ok Convex_machine.Machine.(no_bubbles c240)
+  | "no-refresh" ->
+      Ok Convex_machine.Machine.(no_refresh c240)
+  | "dual-lsu" ->
+      Ok Convex_machine.Machine.(dual_load_store c240)
+  | s -> Error (Printf.sprintf "unknown machine %S" s)
+
+let opt_of_name = function
+  | "v61" -> Ok Fcc.Opt_level.v61
+  | "ideal" -> Ok Fcc.Opt_level.ideal
+  | "loads-first" -> Ok Fcc.Opt_level.loads_first
+  | "packed" -> Ok Fcc.Opt_level.packed
+  | s -> Error (Printf.sprintf "unknown optimization level %S" s)
+
+let machine_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (machine_of_name s) in
+  let print fmt (m : Convex_machine.Machine.t) =
+    Format.fprintf fmt "%s" m.name
+  in
+  Arg.conv (parse, print)
+
+let opt_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (opt_of_name s) in
+  let print fmt o = Format.fprintf fmt "%s" (Fcc.Opt_level.name o) in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Convex_machine.Machine.c240
+    & info [ "machine" ] ~docv:"MACHINE"
+        ~doc:
+          "Machine variant: c240 (default), ideal, no-bubbles, no-refresh, \
+           dual-lsu.")
+
+let opt_arg =
+  Arg.(
+    value
+    & opt opt_conv Fcc.Opt_level.v61
+    & info [ "opt" ] ~docv:"LEVEL"
+        ~doc:"Compiler level: v61 (default), ideal, loads-first, packed.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "k"; "kernel" ] ~docv:"N"
+        ~doc:"LFK kernel number (1,2,3,4,6,7,8,9,10,12); all when omitted.")
+
+let kernels_of = function
+  | None -> Lfk.Kernels.all
+  | Some id -> (
+      try [ Lfk.Kernels.find id ]
+      with Not_found ->
+        prerr_endline "no such kernel (valid: 1..12 except 13+)";
+        exit 1)
+
+let analyze_cmd =
+  let run machine opt kernel =
+    List.iter
+      (fun k ->
+        if Fcc.Vectorizer.vectorizable k then begin
+          let h = Macs.Hierarchy.analyze ~machine ~opt k in
+          Format.printf "%a@.@." Macs.Hierarchy.pp_summary h;
+          print_string (Macs.Diagnose.report h);
+          print_newline ()
+        end
+        else begin
+          (* loop-carried: scalar mode, scalar bounds *)
+          let c = Fcc.Compiler.compile ~opt k in
+          let b = Macs.Scalar_bound.of_compiled c in
+          let m =
+            Convex_vpsim.Measure.run ~machine
+              ~flops_per_iteration:c.flops_per_iteration c.job
+          in
+          Format.printf "%s (scalar mode: %a)@.%a@.measured %a@.@."
+            k.Lfk.Kernel.name Fcc.Vectorizer.pp_verdict c.verdict
+            Macs.Scalar_bound.pp b Convex_vpsim.Measure.pp m;
+          print_string (Macs.Advisor.report ~machine k);
+          print_newline ()
+        end)
+      (kernels_of kernel)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Full MACS hierarchy and gap diagnosis")
+    Term.(const run $ machine_arg $ opt_arg $ kernel_arg)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TABLE" ~doc:"1, 2, 3, 4, 5, ablations, or all.")
+  in
+  let run machine opt which =
+    let ds () = Macs_report.Dataset.compute ~machine ~opt () in
+    let print = function
+      | "1" -> print_endline (Macs_report.Tables.table1 ())
+      | "2" -> print_endline (Macs_report.Tables.table2 (ds ()))
+      | "3" -> print_endline (Macs_report.Tables.table3 (ds ()))
+      | "4" -> print_endline (Macs_report.Tables.table4 (ds ()))
+      | "5" -> print_endline (Macs_report.Tables.table5 (ds ()))
+      | "ablations" ->
+          print_endline (Macs_report.Tables.ablation_compiler ());
+          print_newline ();
+          print_endline (Macs_report.Tables.ablation_machine ())
+      | "all" ->
+          let d = ds () in
+          print_endline (Macs_report.Tables.table1 ());
+          print_newline ();
+          print_endline (Macs_report.Tables.table2 d);
+          print_newline ();
+          print_endline (Macs_report.Tables.table3 d);
+          print_newline ();
+          print_endline (Macs_report.Tables.table4 d);
+          print_newline ();
+          print_endline (Macs_report.Tables.table5 d)
+      | other ->
+          prerr_endline (Printf.sprintf "unknown table %S" other);
+          exit 1
+    in
+    print which
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's tables")
+    Term.(const run $ machine_arg $ opt_arg $ which)
+
+let figures_cmd =
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"FIG" ~doc:"2, 3, trace, or all.")
+  in
+  let load =
+    Arg.(
+      value & opt float 5.1
+      & info [ "load" ] ~docv:"L"
+          ~doc:"Load average for the multi-process series of figure 3.")
+  in
+  let run machine opt load which =
+    let ds () = Macs_report.Dataset.compute ~machine ~opt () in
+    (match which with
+    | "2" -> print_endline (Macs_report.Figures.figure2 ())
+    | "3" ->
+        print_endline
+          (Macs_report.Figures.figure3 ~load_average:load (ds ()))
+    | "trace" -> print_string (Macs_report.Figures.pipeline_trace ())
+    | "all" ->
+        print_endline (Macs_report.Figures.figure2 ());
+        print_newline ();
+        print_endline
+          (Macs_report.Figures.figure3 ~load_average:load (ds ()));
+        print_newline ();
+        print_string (Macs_report.Figures.pipeline_trace ())
+    | other ->
+        prerr_endline (Printf.sprintf "unknown figure %S" other);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figures")
+    Term.(const run $ machine_arg $ opt_arg $ load $ which)
+
+let listing_cmd =
+  let run opt kernel =
+    List.iter
+      (fun k ->
+        let c = Fcc.Compiler.compile ~opt k in
+        print_string (Fcc.Compiler.listing c);
+        if c.spilled_scalars <> [] then
+          Printf.printf "; spilled scalars: %s\n"
+            (String.concat ", " c.spilled_scalars);
+        print_newline ())
+      (kernels_of kernel)
+  in
+  Cmd.v
+    (Cmd.info "listing" ~doc:"Compiled assembly of a kernel's inner loop")
+    Term.(const run $ opt_arg $ kernel_arg)
+
+let simulate_cmd =
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.")
+  in
+  let run machine kernel trace =
+    List.iter
+      (fun k ->
+        let c = Fcc.Compiler.compile k in
+        let r = Convex_vpsim.Sim.run ~machine ~trace c.job in
+        let s = r.stats in
+        Printf.printf
+          "%s: %.0f cycles, %.3f CPL, %.3f CPF (%d strips, %d memory \
+           accesses, %d bank-conflict stalls, %d refresh stalls, %d port \
+           stalls)\n"
+          k.name s.cycles
+          (Convex_vpsim.Sim.cpl r)
+          (Convex_vpsim.Sim.cpf r
+             ~flops_per_iteration:c.flops_per_iteration)
+          s.strips s.mem_accesses s.bank_conflict_stalls s.refresh_stalls
+          s.port_stalls;
+        if trace then
+          List.iter
+            (fun e -> Format.printf "  %a@." Convex_vpsim.Sim.pp_event e)
+            r.events)
+      (kernels_of kernel)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a kernel on the cycle-level simulator")
+    Term.(const run $ machine_arg $ kernel_arg $ trace)
+
+let calibrate_cmd =
+  let run () = print_endline (Macs_report.Tables.table1 ()) in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Fit X/Y/Z/B from calibration loops (Table 1)")
+    Term.(const run $ const ())
+
+let example_cmd =
+  let run () = print_endline (Macs_report.Tables.lfk1_example ()) in
+  Cmd.v
+    (Cmd.info "example" ~doc:"The LFK1 worked example of paper section 3.5")
+    Term.(const run $ const ())
+
+let extensions_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"EXT" ~doc:"scalar, parallel, strides, roofline, hockney, gallery, design-space, application, or all.")
+  in
+  let run which =
+    (match which with
+    | "scalar" -> print_endline (Macs_report.Tables.scalar_mode ())
+    | "parallel" -> print_endline (Macs_report.Tables.parallel_mode ())
+    | "strides" -> print_endline (Macs_report.Tables.stride_sweep ())
+    | "roofline" -> print_endline (Macs_report.Tables.roofline ())
+    | "hockney" -> print_endline (Macs_report.Tables.hockney ())
+    | "design-space" -> print_endline (Macs_report.Tables.design_space ())
+    | "application" ->
+        print_string
+          (Macs.Application.render
+             (Macs.Application.analyze
+                [
+                  (Lfk.Kernels.find 7, 40.0);
+                  (Lfk.Kernels.find 1, 30.0);
+                  (Lfk.Kernels.find 10, 20.0);
+                  (Lfk.Kernels.find 2, 10.0);
+                ]))
+    | "gallery" -> print_endline (Macs_report.Tables.gallery ())
+    | "all" ->
+        List.iter
+          (fun section ->
+            print_endline (section ());
+            print_newline ())
+          [
+            Macs_report.Tables.scalar_mode;
+            Macs_report.Tables.parallel_mode;
+            Macs_report.Tables.stride_sweep;
+            Macs_report.Tables.roofline;
+            Macs_report.Tables.hockney;
+            Macs_report.Tables.gallery;
+            Macs_report.Tables.design_space;
+          ]
+    | other ->
+        prerr_endline (Printf.sprintf "unknown extension %S" other);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "extensions"
+       ~doc:
+         "Beyond the paper: scalar mode, parallel vector mode, the D           (stride) bound")
+    Term.(const run $ which)
+
+let export_cmd =
+  let out =
+    Arg.(
+      value & opt string "macs_results.csv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let run machine opt out =
+    let ds = Macs_report.Dataset.compute ~machine ~opt () in
+    let rows =
+      List.map
+        (fun (h : Macs.Hierarchy.t) ->
+          [
+            string_of_int h.kernel.id;
+            string_of_int h.flops;
+            Printf.sprintf "%.6f" (Macs.Hierarchy.t_ma_cpf h);
+            Printf.sprintf "%.6f" (Macs.Hierarchy.t_mac_cpf h);
+            Printf.sprintf "%.6f" (Macs.Hierarchy.t_macs_cpf h);
+            Printf.sprintf "%.6f" (Macs.Hierarchy.t_p_cpf h);
+            Printf.sprintf "%.6f" h.t_a.Convex_vpsim.Measure.cpl;
+            Printf.sprintf "%.6f" h.t_x.Convex_vpsim.Measure.cpl;
+            Printf.sprintf "%.6f" h.t_macs_f.Macs.Macs_bound.cpl;
+            Printf.sprintf "%.6f" h.t_macs_m.Macs.Macs_bound.cpl;
+          ])
+        ds.rows
+    in
+    Macs_util.Csv.write_file out
+      ~header:
+        [
+          "lfk"; "flops"; "t_ma_cpf"; "t_mac_cpf"; "t_macs_cpf"; "t_p_cpf";
+          "t_a_cpl"; "t_x_cpl"; "t_macs_f_cpl"; "t_macs_m_cpl";
+        ]
+      rows;
+    Printf.printf "wrote %s (%d kernels)\n" out (List.length rows)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the full dataset as CSV")
+    Term.(const run $ machine_arg $ opt_arg $ out)
+
+let bound_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE.s" ~doc:"Assembly listing to analyze.")
+  in
+  let run machine file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Convex_isa.Asm.parse_program text with
+    | Error e ->
+        prerr_endline ("parse error: " ^ e);
+        exit 1
+    | Ok program ->
+        let body = Convex_isa.Program.body program in
+        let chimes = Macs.Chime.partition ~machine body in
+        List.iteri
+          (fun i c -> Format.printf "%d. %a@." (i + 1) Macs.Chime.pp c)
+          chimes;
+        let bound = Macs.Macs_bound.compute ~machine body in
+        Format.printf "@.%a@." Macs.Macs_bound.pp bound;
+        let d = Macs.Dbound.compute ~machine body in
+        Format.printf "%a@." Macs.Dbound.pp d;
+        let mac = Macs.Counts.mac_of_instrs body in
+        Printf.printf "MAC bound: %d CPL (t_f %d, t_m %d)\n"
+          (Macs.Counts.t_bound mac) (Macs.Counts.t_f mac)
+          (Macs.Counts.t_m mac)
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:
+         "Chime partition and MACS/MACD bounds for an arbitrary assembly           listing")
+    Term.(const run $ machine_arg $ file)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "macs_trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON output path.")
+  in
+  let elements =
+    Arg.(
+      value & opt int 256
+      & info [ "n" ] ~docv:"N" ~doc:"Elements to trace (default 256).")
+  in
+  let run machine kernel out elements =
+    let k =
+      match kernel with
+      | Some id -> (
+          try Lfk.Kernels.find id
+          with Not_found ->
+            prerr_endline "no such kernel";
+            exit 1)
+      | None -> Lfk.Kernels.find 1
+    in
+    let c = Fcc.Compiler.compile k in
+    let seg = List.hd c.job.Convex_vpsim.Job.segments in
+    let job =
+      {
+        c.job with
+        Convex_vpsim.Job.segments =
+          [ { seg with Convex_vpsim.Job.vl = elements } ];
+      }
+    in
+    let r = Convex_vpsim.Sim.run ~machine ~trace:true job in
+    Convex_vpsim.Trace_export.write_file out r;
+    Printf.printf "wrote %s (%d events; open in chrome://tracing)\n" out
+      (List.length r.Convex_vpsim.Sim.events)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Export a simulated run as Chrome trace-event JSON")
+    Term.(const run $ machine_arg $ kernel_arg $ out $ elements)
+
+let advise_cmd =
+  let run machine kernel =
+    List.iter
+      (fun k -> print_string (Macs.Advisor.report ~machine k))
+      (kernels_of kernel)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Ranked, quantified optimization advice (paper conclusion)")
+    Term.(const run $ machine_arg $ kernel_arg)
+
+let suite_cmd =
+  let run machine opt =
+    print_string (Macs_report.Suite.render (Macs_report.Suite.run ~machine ~opt ()))
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification")
+    Term.(const run $ machine_arg $ opt_arg)
+
+let report_cmd =
+  let out =
+    Arg.(
+      value & opt string "RESULTS.md"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Markdown output path.")
+  in
+  let run out =
+    Macs_report.Report_doc.write_file out;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Write every reproduced table and figure to one Markdown file")
+    Term.(const run $ out)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "macs_cli" ~version:"1.0.0"
+      ~doc:
+        "Hierarchical performance modeling with MACS: a reproduction of \
+         Boyd & Davidson (ISCA 1993) on a simulated Convex C-240"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
+            calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
+            advise_cmd; suite_cmd; bound_cmd; trace_cmd; report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/calibration.ml: Calibrate Convex_isa Convex_vpsim Instr List Macs_report Printf Reg

@@ -1,0 +1,1 @@
+examples/compiler_ablation.ml: Convex_machine Convex_vpsim Fcc Float Lfk List Macs Macs_report Printf

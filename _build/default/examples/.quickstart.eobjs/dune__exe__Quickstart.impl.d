@@ -1,0 +1,1 @@
+examples/quickstart.ml: Convex_isa Convex_machine Fcc Format Lfk List Macs Printf

@@ -1,0 +1,1 @@
+examples/suite_and_advice.ml: Convex_vpsim Fcc Float Format List Macs Macs_report Option

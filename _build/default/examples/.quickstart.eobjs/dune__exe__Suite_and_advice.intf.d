@@ -1,0 +1,1 @@
+examples/suite_and_advice.mli:

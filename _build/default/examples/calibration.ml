@@ -1,0 +1,59 @@
+(* Calibration loops (paper section 3.2): recover a machine's timing
+   parameters by measurement, without trusting the data book.
+
+   The paper ran specially constructed loops on the real C-240 to confirm
+   the specified X/Y/Z values and to discover the undocumented tailgate
+   bubble B.  Here we run the same loops against the simulator and fit
+   eq. 5 (X + Y + Z*VL) and the steady-state repetition cost (Z*VL + B).
+
+   Run with: dune exec examples/calibration.exe *)
+
+open Convex_isa
+open Convex_vpsim
+
+let () =
+  print_endline (Macs_report.Tables.table1 ());
+  print_newline ();
+
+  (* the raw sweep behind one fit: vector load cycles vs VL *)
+  let sweep = [ 8; 16; 32; 64; 96; 128 ] in
+  print_endline "vector load: isolated-instruction cycles vs VL";
+  List.iter
+    (fun vl ->
+      let cycles = Calibrate.single_run_cycles Instr.Cld ~vl in
+      Printf.printf "  VL=%3d  %6.1f cycles  (eq. 5 predicts %d)\n" vl cycles
+        (2 + 10 + vl))
+    sweep;
+
+  (* eq. 13: a chime preceded by at least one chime costs Z*VL + sum B *)
+  print_newline ();
+  print_endline "steady-state chime calibration (eq. 13):";
+  let v = Reg.v and s = Reg.s in
+  let mem array offset : Instr.mem = { array; offset; stride = 1 } in
+  let chime_ld_mul =
+    [
+      Instr.Vld { dst = v 0; src = mem "ZX" 10 };
+      Instr.Vbin { op = Mul; dst = v 1; src1 = Vr (v 0); src2 = Sr (s 1) };
+    ]
+  in
+  let chime_ld_mul_add =
+    chime_ld_mul
+    @ [ Instr.Vbin { op = Add; dst = v 2; src1 = Vr (v 1); src2 = Vr (v 3) } ]
+  in
+  List.iter
+    (fun (label, instrs, expect) ->
+      Printf.printf "  %-22s %7.2f cycles (VL + sum B = %d, plus refresh)\n"
+        label
+        (Calibrate.chime_cycles instrs)
+        expect)
+    [
+      ("load+multiply", chime_ld_mul, 128 + 2 + 1);
+      ("load+multiply+add", chime_ld_mul_add, 128 + 2 + 1 + 1);
+    ];
+
+  (* divides are long but maskable: back-to-back divide chimes run at
+     Z*VL + B = 4*128 + 21 *)
+  Printf.printf "  %-22s %7.2f cycles (Z*VL + B = %d)\n" "divide (Z=4)"
+    (Calibrate.chime_cycles
+       [ Instr.Vbin { op = Div; dst = v 2; src1 = Vr (v 0); src2 = Vr (v 1) } ])
+    ((4 * 128) + 21)

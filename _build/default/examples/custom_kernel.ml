@@ -1,0 +1,80 @@
+(* Applying the library to code the paper never saw: define new kernels in
+   the loop IR, compile them, and read their bounds hierarchy.
+
+   Two examples:
+   - a STREAM-style triad  a(i) = b(i) + q*c(i)     (memory-bound)
+   - a 5-point stencil     a(i) = w*(b(i-2)+b(i-1)+b(i)+b(i+1)+b(i+2))
+     whose shifted reuse stream is exactly the pattern the V6.1 compiler
+     reloads, so the MA->MAC gap the paper describes for LFK7 reappears.
+
+   Run with: dune exec examples/custom_kernel.exe *)
+
+open Lfk.Ir
+
+let ref_ ?(scale = 1) array offset = { array; scale; offset }
+let ld array offset = Load (ref_ array offset)
+
+let triad : Lfk.Kernel.t =
+  {
+    id = 101;
+    name = "triad";
+    description = "STREAM triad a(i) = b(i) + q*c(i)";
+    fortran = "DO 1 i= 1,n\n1 A(i)= B(i) + Q*C(i)";
+    body =
+      [ Store (ref_ "A" 0, Add (ld "B" 0, Mul (Scalar "q", ld "C" 0))) ];
+    acc = None;
+    scalars = [ ("q", 3.0) ];
+    arrays = [ ("A", 2048); ("B", 2048); ("C", 2048) ];
+    aliases = [];
+    segments = [ { base = 0; length = 2000; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let stencil : Lfk.Kernel.t =
+  let b k = ld "B" k in
+  {
+    id = 102;
+    name = "stencil5";
+    description = "5-point stencil with shifted reuse";
+    fortran =
+      "DO 1 i= 3,n-2\n1 A(i)= W*(B(i-2)+B(i-1)+B(i)+B(i+1)+B(i+2))";
+    body =
+      [
+        Store
+          ( ref_ "A" 2,
+            Mul
+              ( Scalar "w",
+                Add (Add (Add (Add (b 0, b 1), b 2), b 3), b 4) ) );
+      ];
+    acc = None;
+    scalars = [ ("w", 0.2) ];
+    arrays = [ ("A", 2048); ("B", 2048) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1996; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let show kernel =
+  Printf.printf "=== %s: %s ===\n\n" kernel.Lfk.Kernel.name
+    kernel.Lfk.Kernel.description;
+  (match Lfk.Kernel.validate kernel with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let compiled = Fcc.Compiler.compile kernel in
+  print_string (Fcc.Compiler.listing compiled);
+  let h = Macs.Hierarchy.of_compiled compiled in
+  Format.printf "@.%a@.@." Macs.Hierarchy.pp_summary h;
+  print_string (Macs.Diagnose.report h);
+  (* what would a reuse-capable compiler deliver? *)
+  let ideal =
+    Macs.Hierarchy.of_compiled
+      (Fcc.Compiler.compile ~opt:Fcc.Opt_level.ideal kernel)
+  in
+  Printf.printf
+    "with ideal stream reuse the MACS bound falls from %.3f to %.3f CPF\n\n"
+    (Macs.Hierarchy.t_macs_cpf h)
+    (Macs.Hierarchy.t_macs_cpf ideal)
+
+let () =
+  show triad;
+  show stencil

@@ -1,0 +1,49 @@
+(* The two "daily driver" entry points of the library:
+
+   1. run the whole Livermore suite (ten vectorized kernels plus the two
+      scalar-mode recurrences), with every kernel's output checksummed
+      against its reference implementation;
+   2. ask the goal-directed advisor (the paper's concluding vision) where
+      the time would best be spent, per kernel.
+
+   Run with: dune exec examples/suite_and_advice.exe *)
+
+let () =
+  let suite = Macs_report.Suite.run () in
+  print_string (Macs_report.Suite.render suite);
+  print_newline ();
+
+  (* advice for the kernels furthest from peak *)
+  let worst =
+    suite.rows
+    |> List.sort (fun (a : Macs_report.Suite.row) b ->
+           Float.compare b.cpf a.cpf)
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  print_endline "advice for the three slowest kernels:";
+  print_newline ();
+  List.iter
+    (fun (r : Macs_report.Suite.row) ->
+      print_string (Macs.Advisor.report r.kernel))
+    worst;
+
+  (* and the parallel-throughput picture for the fastest one *)
+  print_newline ();
+  let best =
+    List.fold_left
+      (fun acc (r : Macs_report.Suite.row) ->
+        match acc with
+        | Some (b : Macs_report.Suite.row) when b.cpf <= r.cpf -> acc
+        | _ -> Some r)
+      None suite.rows
+    |> Option.get
+  in
+  let c = Fcc.Compiler.compile best.kernel in
+  let par =
+    Convex_vpsim.Parallel.run
+      (Convex_vpsim.Parallel.replicate
+         (c.Fcc.Compiler.job, c.Fcc.Compiler.flops_per_iteration)
+         4)
+  in
+  Format.printf "four copies of the fastest kernel (%s):@.%a@."
+    best.kernel.name Convex_vpsim.Parallel.pp par

@@ -1,0 +1,1 @@
+lib/core/advisor.pp.ml: Buffer Convex_isa Convex_machine Convex_vpsim Fcc Float Hierarchy Lfk List Machine Macs_bound Printf Scalar_bound

@@ -1,0 +1,1 @@
+lib/core/advisor.pp.mli: Convex_machine Lfk Machine

@@ -1,0 +1,1 @@
+lib/core/application.pp.ml: Advisor Buffer Convex_machine Convex_vpsim Float Hierarchy Lfk List Machine Macs_util Printf Table

@@ -1,0 +1,1 @@
+lib/core/application.pp.mli: Advisor Convex_machine Hierarchy Lfk Machine

@@ -1,0 +1,1 @@
+lib/core/ax.pp.ml: Convex_isa Convex_vpsim Instr Job List Program Reg

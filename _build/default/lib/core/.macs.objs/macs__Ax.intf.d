@@ -1,0 +1,1 @@
+lib/core/ax.pp.mli: Convex_isa Convex_vpsim Instr Job

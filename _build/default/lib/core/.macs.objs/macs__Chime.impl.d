@@ -1,0 +1,1 @@
+lib/core/chime.pp.ml: Asm Convex_isa Convex_machine Float Format Fun Instr List Machine Option Pipe Reg Timing

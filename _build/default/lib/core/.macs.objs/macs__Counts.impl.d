@@ -1,0 +1,1 @@
+lib/core/counts.pp.ml: Convex_isa Instr Lfk List Ppx_deriving_runtime Program

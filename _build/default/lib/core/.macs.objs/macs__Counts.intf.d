@@ -1,0 +1,1 @@
+lib/core/counts.pp.mli: Convex_isa Format Instr Lfk Program

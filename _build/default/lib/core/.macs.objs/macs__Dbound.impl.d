@@ -1,0 +1,1 @@
+lib/core/dbound.pp.ml: Convex_isa Convex_machine Counts Float Format Instr List Machine Mem_params

@@ -1,0 +1,1 @@
+lib/core/dbound.pp.mli: Convex_isa Convex_machine Format Instr Machine

@@ -1,0 +1,1 @@
+lib/core/diagnose.pp.ml: Buffer Chime Convex_isa Convex_machine Convex_vpsim Counts Fcc Float Hierarchy Lfk List Macs_bound Measure Printf

@@ -1,0 +1,1 @@
+lib/core/hierarchy.pp.ml: Array Ax Convex_isa Convex_machine Convex_memsys Convex_vpsim Counts Fcc Float Format Layout Lfk List Machine Macs_bound Measure Store Units

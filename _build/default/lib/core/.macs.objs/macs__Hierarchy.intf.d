@@ -1,0 +1,1 @@
+lib/core/hierarchy.pp.mli: Contention Convex_machine Convex_memsys Convex_vpsim Counts Fcc Format Layout Lfk Machine Macs_bound Measure

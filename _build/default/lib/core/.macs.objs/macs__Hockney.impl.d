@@ -1,0 +1,1 @@
+lib/core/hockney.pp.ml: Convex_isa Convex_machine Convex_vpsim Fcc Job Lfk List Machine Macs_bound Macs_util Scalar_bound Sim Table

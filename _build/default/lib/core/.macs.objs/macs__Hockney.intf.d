@@ -1,0 +1,1 @@
+lib/core/hockney.pp.mli: Convex_machine Lfk Machine

@@ -1,0 +1,1 @@
+lib/core/macs_bound.pp.ml: Array Chime Convex_isa Convex_machine Format Fun Instr List Machine Mem_params Option Pipe Timing

@@ -1,0 +1,1 @@
+lib/core/macs_bound.pp.mli: Chime Convex_isa Convex_machine Format Instr Machine

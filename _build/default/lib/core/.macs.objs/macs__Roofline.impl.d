@@ -1,0 +1,1 @@
+lib/core/roofline.pp.ml: Convex_machine Counts Float Lfk List Machine Macs_util Mem_params Printf Table

@@ -1,0 +1,1 @@
+lib/core/roofline.pp.mli: Convex_machine Counts Lfk Machine

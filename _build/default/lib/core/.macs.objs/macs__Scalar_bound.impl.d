@@ -1,0 +1,1 @@
+lib/core/scalar_bound.pp.ml: Array Convex_isa Convex_machine Convex_vpsim Fcc Float Format Instr List Machine Reg

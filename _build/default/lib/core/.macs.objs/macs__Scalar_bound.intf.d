@@ -1,0 +1,1 @@
+lib/core/scalar_bound.pp.mli: Convex_isa Convex_machine Fcc Format Instr Machine

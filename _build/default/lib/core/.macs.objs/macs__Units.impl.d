@@ -1,0 +1,1 @@
+lib/core/units.pp.ml: Macs_util

@@ -1,0 +1,26 @@
+open Convex_isa
+open Convex_vpsim
+
+let strip_fp = List.filter (fun i -> not (Instr.is_vector_fp i))
+let strip_memory = List.filter (fun i -> not (Instr.is_vector_memory i))
+
+let a_process job =
+  let j = Job.map_body strip_fp job in
+  { j with Job.name = job.Job.name ^ ".a-process" }
+
+let x_process job =
+  let j = Job.map_body strip_memory job in
+  { j with Job.name = job.Job.name ^ ".x-process" }
+
+(* large, pairwise relatively prime magnitudes, scaled into float range *)
+let prime_pool = [ 1009.0; 1013.0; 1019.0; 1021.0; 1031.0; 1033.0; 1039.0;
+                   1049.0 ]
+
+let prime_registers job =
+  let live =
+    Program.live_in_s (Program.make ~name:"probe" (job.Job.body))
+  in
+  List.mapi
+    (fun i r ->
+      (Reg.s_index r, List.nth prime_pool (i mod List.length prime_pool)))
+    live

@@ -1,0 +1,41 @@
+open Convex_isa
+
+type t = { f_a : int; f_m : int; loads : int; stores : int }
+[@@deriving show, eq]
+
+let ma_of_kernel (k : Lfk.Kernel.t) =
+  let f_a, f_m = Lfk.Ir.op_counts k.body in
+  (* selects are not flops but occupy the pipes: the comparison runs on
+     the add pipe, the merge (vector edit) on the multiply pipe *)
+  let selects = Lfk.Ir.select_count k.body in
+  {
+    f_a = f_a + selects;
+    f_m = f_m + selects;
+    loads = Lfk.Ir.ma_load_count k.body;
+    stores = Lfk.Ir.ma_store_count k.body;
+  }
+
+let mac_of_instrs instrs =
+  let count pred = List.length (List.filter pred instrs) in
+  {
+    f_a =
+      count (fun i ->
+          match Instr.vclass_of i with
+          | Some (Cadd | Csub | Csum | Ccmp) -> true
+          | _ -> false);
+    f_m =
+      count (fun i ->
+          match Instr.vclass_of i with
+          | Some (Cmul | Cdiv | Csqrt | Cmerge) -> true
+          | _ -> false);
+    loads =
+      count (fun i -> Instr.vclass_of i = Some Instr.Cld);
+    stores =
+      count (fun i -> Instr.vclass_of i = Some Instr.Cst);
+  }
+
+let mac_of_program p = mac_of_instrs (Program.body p)
+
+let t_f c = max c.f_a c.f_m
+let t_m c = c.loads + c.stores
+let t_bound c = max (t_f c) (t_m c)

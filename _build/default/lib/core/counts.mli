@@ -1,0 +1,33 @@
+open Convex_isa
+
+(** Workload counts: the parameters of the MA and MAC models (paper §3.1).
+
+    [f_a] counts floating-point additions (adds, subtracts, reductions),
+    [f_m] multiplications (multiplies, divides); [loads] and [stores] count
+    memory operations per inner-loop iteration.  The MA counts come from
+    the high-level code with perfect index analysis; the MAC counts from
+    the compiler-generated assembly. *)
+
+type t = { f_a : int; f_m : int; loads : int; stores : int }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val ma_of_kernel : Lfk.Kernel.t -> t
+(** Count the high-level application workload (perfect reuse analysis). *)
+
+val mac_of_instrs : Instr.t list -> t
+(** Count the compiled workload: vector instructions only. *)
+
+val mac_of_program : Program.t -> t
+
+val t_f : t -> int
+(** FP-pipe bound in CPL: [max f_a f_m] — the add and multiply pipes run
+    concurrently at one element per clock each. *)
+
+val t_m : t -> int
+(** Memory bound in CPL: [loads + stores] through the single port. *)
+
+val t_bound : t -> int
+(** [max (t_f c) (t_m c)]: the MA/MAC cycles-per-iteration bound. *)

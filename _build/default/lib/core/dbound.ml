@@ -1,0 +1,75 @@
+open Convex_isa
+open Convex_machine
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* A rejected indexed access retries the same (busy) bank, so with
+   throughput T a uniformly random access finds its bank busy with
+   probability T*busy/banks and then waits (busy+1)/2 cycles on average:
+
+     T * (1 + (T * busy / banks) * (busy + 1) / 2) = 1
+
+   i.e. a*T^2 + T - 1 = 0 with a = busy*(busy+1) / (2*banks); the C-240's
+   32 banks and 8-cycle busy time give T = 0.598, which the bank
+   simulator reproduces within 1%. *)
+let gather_rate ~machine =
+  let mp = machine.Machine.memory in
+  let busy = float_of_int mp.Mem_params.bank_busy_cycles in
+  let banks = float_of_int mp.Mem_params.banks in
+  let a = busy *. (busy +. 1.0) /. (2.0 *. banks) in
+  (-1.0 +. Float.sqrt (1.0 +. (4.0 *. a))) /. (2.0 *. a)
+
+let stream_rate ~machine ~stride =
+  let mp = machine.Machine.memory in
+  let s = abs stride in
+  if s = 0 then 1.0
+  else
+    let distinct = mp.Mem_params.banks / gcd s mp.Mem_params.banks in
+    Float.min 1.0
+      (float_of_int distinct /. float_of_int mp.Mem_params.bank_busy_cycles)
+
+let rate_of_instr ~machine i =
+  match i with
+  | Instr.Vgather _ | Instr.Vscatter _ -> gather_rate ~machine
+  | _ -> (
+      match Instr.mem_ref i with
+      | Some m -> stream_rate ~machine ~stride:m.stride
+      | None -> 1.0)
+
+let memory_cycles_per_iteration ~machine instrs =
+  List.fold_left
+    (fun acc i ->
+      if Instr.is_vector_memory i then
+        acc +. (1.0 /. rate_of_instr ~machine i)
+      else acc)
+    0.0 instrs
+
+type t = { t_m_d : float; t_f : int; t_macd : float; worst_stride : int }
+
+let compute ~machine instrs =
+  let counts = Counts.mac_of_instrs instrs in
+  let t_m_d = memory_cycles_per_iteration ~machine instrs in
+  let t_f = Counts.t_f counts in
+  let worst_stride =
+    List.fold_left
+      (fun (best_stride, best_rate) i ->
+        if Instr.is_vector_memory i then begin
+          let r = rate_of_instr ~machine i in
+          let stride =
+            match (i, Instr.mem_ref i) with
+            | (Instr.Vgather _ | Instr.Vscatter _), _ -> 0
+            | _, Some m -> m.stride
+            | _, None -> 1
+          in
+          if r < best_rate then (stride, r) else (best_stride, best_rate)
+        end
+        else (best_stride, best_rate))
+      (1, 1.0) instrs
+    |> fst
+  in
+  { t_m_d; t_f; t_macd = Float.max t_m_d (float_of_int t_f); worst_stride }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "MACD: t_m^D = %.2f CPL (worst stride %d), t_f = %d, bound %.2f CPL"
+    t.t_m_d t.worst_stride t.t_f t.t_macd

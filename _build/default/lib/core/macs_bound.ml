@@ -1,0 +1,139 @@
+open Convex_isa
+open Convex_machine
+
+type chime_cost = {
+  chime : Chime.t;
+  cycles : float;
+  masked : bool;
+  refresh : bool;
+}
+
+type result = {
+  cycles : float;
+  cpl : float;
+  vl : int;
+  chimes : chime_cost list;
+}
+
+let long_z ~machine i =
+  match Instr.vclass_of i with
+  | Some cls -> (Timing.get machine.Machine.timing cls).z > 1.0
+  | None -> false
+
+(* Does any other instruction in the loop use the same pipe as [i]?  The
+   Table 1 footnote: a long operation's extra cycles are masked by other
+   instructions only if no resource conflict exists. *)
+let pipe_conflict ~machine:_ instrs i =
+  let pipe = Pipe.of_instr i in
+  match pipe with
+  | None -> false
+  | Some p ->
+      List.exists (fun j -> j != i && Pipe.of_instr j = Some p) instrs
+
+let chime_cost ~machine ~vl ~all_vector (c : Chime.t) =
+  let vlf = float_of_int vl in
+  let b = float_of_int (Chime.bubble_sum ~machine c) in
+  let zmax = Chime.z_max ~machine c in
+  let longs = List.filter (long_z ~machine) c.instrs in
+  let only_long = longs <> [] && List.length longs = List.length c.instrs in
+  if only_long then
+    (* drain chime: base VL overlaps neighbours, excess remains *)
+    { chime = c; cycles = ((zmax -. 1.0) *. vlf) +. b; masked = true;
+      refresh = false }
+  else
+    let exposed =
+      List.exists (fun i -> pipe_conflict ~machine all_vector i) longs
+    in
+    (* a long-Z drain hides behind the load/store pipe only when the
+       chime is memory-paced and no other instruction competes for its
+       pipe *)
+    let z =
+      if longs <> [] && Chime.has_memory c && not exposed then 1.0 else zmax
+    in
+    { chime = c; cycles = (z *. vlf) +. b; masked = false; refresh = false }
+
+(* Mark chimes belonging to maximal cyclic runs of >= 4 successive memory
+   chimes; masked chimes are transparent (skipped) when forming runs. *)
+let mark_refresh chime_costs =
+  let visible =
+    List.filteri (fun _ (cc : chime_cost) -> not cc.masked) chime_costs
+    |> List.map (fun (cc : chime_cost) -> Chime.has_memory cc.chime)
+  in
+  let n = List.length visible in
+  if n = 0 then chime_costs
+  else
+    let arr = Array.of_list visible in
+    let in_run = Array.make n false in
+    if Array.for_all Fun.id arr then Array.fill in_run 0 n true
+    else begin
+      (* walk the doubled sequence to catch runs wrapping the loop end *)
+      let run_start = ref None in
+      for idx = 0 to (2 * n) - 1 do
+        let i = idx mod n in
+        if arr.(i) then begin
+          if !run_start = None then run_start := Some idx
+        end
+        else begin
+          (match !run_start with
+          | Some s when idx - s >= 4 ->
+              for j = s to idx - 1 do
+                in_run.(j mod n) <- true
+              done
+          | _ -> ());
+          run_start := None
+        end
+      done;
+      (* a run still open at the end of the doubled walk was handled by
+         the all-memory case above *)
+      ()
+    end;
+    let k = ref 0 in
+    List.map
+      (fun (cc : chime_cost) ->
+        if cc.masked then cc
+        else begin
+          let flagged = in_run.(!k) in
+          incr k;
+          { cc with refresh = flagged }
+        end)
+      chime_costs
+
+let compute_of_chimes ~machine ~vl instrs chimes =
+  let all_vector = List.filter Instr.is_vector instrs in
+  let costs = List.map (chime_cost ~machine ~vl ~all_vector) chimes in
+  let costs = mark_refresh costs in
+  let factor = Mem_params.refresh_factor machine.Machine.memory in
+  let cycles =
+    List.fold_left
+      (fun acc (cc : chime_cost) ->
+        acc +. (cc.cycles *. if cc.refresh then factor else 1.0))
+      0.0 costs
+  in
+  { cycles; cpl = cycles /. float_of_int vl; vl; chimes = costs }
+
+let compute ?vl ~machine instrs =
+  let vl = Option.value ~default:machine.Machine.max_vl vl in
+  if vl <= 0 then invalid_arg "Macs_bound.compute: nonpositive vl";
+  let chimes = Chime.partition ~machine instrs in
+  compute_of_chimes ~machine ~vl instrs chimes
+
+let f_only ?vl ~machine instrs =
+  compute ?vl ~machine
+    (List.filter (fun i -> not (Instr.is_vector_memory i)) instrs)
+
+let m_only ?vl ~machine instrs =
+  compute ?vl ~machine
+    (List.filter (fun i -> not (Instr.is_vector_fp i)) instrs)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>MACS bound: %.2f cycles / %d elements = %.3f CPL"
+    r.cycles r.vl r.cpl;
+  List.iteri
+    (fun i (cc : chime_cost) ->
+      Format.fprintf fmt "@,chime %d: %.2f cycles%s%s (%d instrs)" (i + 1)
+        cc.cycles
+        (if cc.masked then ", masked" else "")
+        (if cc.refresh then ", refresh" else "")
+        (Chime.instr_count cc.chime))
+    r.chimes;
+  Format.fprintf fmt "@]"

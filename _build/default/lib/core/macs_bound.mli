@@ -1,0 +1,52 @@
+open Convex_isa
+open Convex_machine
+
+(** The MACS bound (paper §3.4): steady-state cycles per loop iteration of
+    a specific compiled schedule on a specific machine.
+
+    The loop body is partitioned into chimes; a chime preceded by at least
+    one chime costs [Z_max * VL + sum B] cycles (eq. 13), and the memory
+    refresh multiplies every maximal cyclic run of four or more successive
+    memory chimes by 1.02 (§3.2, §3.4).
+
+    Reductions and divisions involve "numerous special cases" the paper
+    does not spell out; the rules implemented here (validated against the
+    paper's Tables 3–5) are:
+
+    - a long-Z instruction chained into a chime that also contains other
+      work keeps the chime at [Z_max * VL + sum B] only if some other
+      instruction in the loop uses the same pipe (a resource conflict,
+      Table 1's footnote); with no conflict the drain is masked and the
+      chime costs [VL + sum B];
+    - a chime consisting only of long-Z instructions contributes just its
+      excess [(Z_max - 1) * VL + sum B], its base VL overlapping
+      neighbouring chimes; such masked chimes are transparent to the
+      refresh-run computation. *)
+
+type chime_cost = {
+  chime : Chime.t;
+  cycles : float;  (** before refresh adjustment *)
+  masked : bool;  (** excess-only contribution *)
+  refresh : bool;  (** belongs to a refresh-penalised run *)
+}
+
+type result = {
+  cycles : float;  (** per loop iteration of [vl] elements, after refresh *)
+  cpl : float;  (** [cycles / vl] *)
+  vl : int;
+  chimes : chime_cost list;
+}
+
+val compute : ?vl:int -> machine:Machine.t -> Instr.t list -> result
+(** Bound for one iteration of the given loop body.  [vl] defaults to the
+    machine's maximum vector length.  A body with no vector instructions
+    yields a zero bound. *)
+
+val f_only : ?vl:int -> machine:Machine.t -> Instr.t list -> result
+(** [t_MACS^f]: the bound recomputed with all vector memory operations
+    deleted (paper §3.4). *)
+
+val m_only : ?vl:int -> machine:Machine.t -> Instr.t list -> result
+(** [t_MACS^m]: all vector floating-point operations deleted. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,19 @@
+let cpf_of_cpl ~cpl ~flops =
+  if flops <= 0 then invalid_arg "Units.cpf_of_cpl: nonpositive flops";
+  cpl /. float_of_int flops
+
+let cpl_of_cpf ~cpf ~flops =
+  if flops <= 0 then invalid_arg "Units.cpl_of_cpf: nonpositive flops";
+  cpf *. float_of_int flops
+
+let mflops ~clock_mhz ~cpf =
+  if cpf <= 0.0 then invalid_arg "Units.mflops: nonpositive cpf";
+  clock_mhz /. cpf
+
+let hmean_mflops ~clock_mhz ~cpf_values =
+  mflops ~clock_mhz ~cpf:(Macs_util.Stats.mean cpf_values)
+
+let percent_of_bound ~bound ~measured =
+  if measured <= 0.0 then
+    invalid_arg "Units.percent_of_bound: nonpositive measurement";
+  bound /. measured

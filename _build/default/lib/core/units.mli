@@ -1,0 +1,20 @@
+(** Unit conversions of the bounds hierarchy (paper eqs. 2–4).
+
+    CPL is cycles per (original, scalar) inner-loop iteration; CPF is
+    cycles per floating-point operation; MFLOPS follows from CPF and the
+    clock.  The paper summarises a benchmark set by the average CPF, whose
+    reciprocal (scaled by the clock) is the harmonic-mean MFLOPS. *)
+
+val cpf_of_cpl : cpl:float -> flops:int -> float
+(** Raises [Invalid_argument] if [flops <= 0]. *)
+
+val cpl_of_cpf : cpf:float -> flops:int -> float
+
+val mflops : clock_mhz:float -> cpf:float -> float
+
+val hmean_mflops : clock_mhz:float -> cpf_values:float array -> float
+(** [clock / mean cpf]: the harmonic-mean MFLOPS of eq. 4. *)
+
+val percent_of_bound : bound:float -> measured:float -> float
+(** The paper's "% of bound" columns: [bound / measured] (1.0 when the
+    measurement meets its bound exactly). *)

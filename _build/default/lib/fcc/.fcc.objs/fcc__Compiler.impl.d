@@ -1,0 +1,1 @@
+lib/fcc/compiler.pp.ml: Array Asm Convex_isa Convex_machine Convex_vpsim Fun Hashtbl Instr Interp Job Lfk List Opt_level Option Printf Program Reg Schedule Store String Vectorizer

@@ -1,0 +1,1 @@
+lib/fcc/compiler.pp.mli: Convex_isa Convex_vpsim Job Lfk Opt_level Program Store Vectorizer

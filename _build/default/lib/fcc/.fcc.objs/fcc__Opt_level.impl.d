@@ -1,0 +1,1 @@
+lib/fcc/opt_level.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/fcc/schedule.pp.ml: Array Convex_isa Convex_machine Fun Hashtbl Instr List Machine Option Pipe Reg

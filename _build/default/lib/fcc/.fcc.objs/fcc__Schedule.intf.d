@@ -1,0 +1,1 @@
+lib/fcc/schedule.pp.mli: Convex_isa Convex_machine Instr Machine

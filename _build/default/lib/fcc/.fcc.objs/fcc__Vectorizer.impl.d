@@ -1,0 +1,1 @@
+lib/fcc/vectorizer.pp.ml: Format Lfk List Option

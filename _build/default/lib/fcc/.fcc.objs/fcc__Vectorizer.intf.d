@@ -1,0 +1,1 @@
+lib/fcc/vectorizer.pp.mli: Format Lfk

@@ -1,0 +1,223 @@
+open Convex_isa
+open Convex_machine
+
+(* ------------------------------------------------------------------ *)
+(* The compiler's model of the chime rules (mirrors the hardware rules
+   the Macs library also models; duplicated here because the analysis
+   library sits above the compiler in the dependency order, exactly as a
+   real compiler carries its own machine model)                         *)
+(* ------------------------------------------------------------------ *)
+
+type chime_state = {
+  mutable members : Instr.t list;
+  mutable barrier : bool;  (* scalar memory seen since the chime opened *)
+}
+
+let fresh_chime () = { members = []; barrier = false }
+
+let fits ~machine st i =
+  match Pipe.of_instr i with
+  | None -> true (* scalar instructions live outside chimes *)
+  | Some pipe ->
+      let on_pipe =
+        List.length
+          (List.filter (fun m -> Pipe.of_instr m = Some pipe) st.members)
+      in
+      if on_pipe >= Machine.pipe_count machine pipe then false
+      else if st.barrier && Instr.is_vector_memory i then false
+      else
+        let group = i :: st.members in
+        let count f pid =
+          List.fold_left
+            (fun acc m ->
+              acc
+              + List.length (List.filter (fun r -> Reg.pair_id r = pid) (f m)))
+            0 group
+        in
+        List.for_all
+          (fun pid ->
+            count Instr.reads_v pid <= machine.Machine.pair_read_limit
+            && count Instr.writes_v pid <= machine.Machine.pair_write_limit)
+          (List.init Reg.pair_count Fun.id)
+
+let place ~machine st i =
+  if Instr.is_scalar i then begin
+    if Instr.is_scalar_memory i then
+      if List.exists Instr.is_vector_memory st.members then begin
+        (* closes the chime *)
+        st.members <- [];
+        st.barrier <- false;
+        true
+      end
+      else begin
+        st.barrier <- true;
+        false
+      end
+    else false
+  end
+  else if fits ~machine st i then begin
+    st.members <- i :: st.members;
+    false
+  end
+  else begin
+    st.members <- [ i ];
+    st.barrier <- false;
+    true (* opened a new chime *)
+  end
+
+let chime_count ~machine instrs =
+  let st = fresh_chime () in
+  let opened = ref 0 in
+  List.iter
+    (fun i ->
+      let closed = place ~machine st i in
+      ignore closed;
+      (* count chime openings: a vector instruction landing in an empty
+         chime state opens one *)
+      if Instr.is_vector i && List.length st.members = 1 then incr opened)
+    instrs;
+  !opened
+
+(* ------------------------------------------------------------------ *)
+(* Dependence graph                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let build_deps instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let preds = Array.make n [] in
+  let add_edge i j = if i <> j then preds.(j) <- i :: preds.(j) in
+  (* last writer / readers-since per vector and scalar register *)
+  let vwriter = Array.make Reg.vector_count (-1) in
+  let vreaders = Array.make Reg.vector_count [] in
+  let swriter = Array.make Reg.scalar_count (-1) in
+  let sreaders = Array.make Reg.scalar_count [] in
+  (* last memory op per array touching it with a store involved *)
+  let last_store : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let loads_since : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  for j = 0 to n - 1 do
+    let i = arr.(j) in
+    List.iter
+      (fun r ->
+        let x = Reg.v_index r in
+        if vwriter.(x) >= 0 then add_edge vwriter.(x) j;
+        vreaders.(x) <- j :: vreaders.(x))
+      (Instr.reads_v i);
+    List.iter
+      (fun r ->
+        let x = Reg.v_index r in
+        if vwriter.(x) >= 0 then add_edge vwriter.(x) j;
+        List.iter (fun r' -> add_edge r' j) vreaders.(x);
+        vwriter.(x) <- j;
+        vreaders.(x) <- [])
+      (Instr.writes_v i);
+    List.iter
+      (fun r ->
+        let x = Reg.s_index r in
+        if swriter.(x) >= 0 then add_edge swriter.(x) j;
+        sreaders.(x) <- j :: sreaders.(x))
+      (Instr.reads_s i);
+    List.iter
+      (fun r ->
+        let x = Reg.s_index r in
+        if swriter.(x) >= 0 then add_edge swriter.(x) j;
+        List.iter (fun r' -> add_edge r' j) sreaders.(x);
+        swriter.(x) <- j;
+        sreaders.(x) <- [])
+      (Instr.writes_s i);
+    (match Instr.mem_ref i with
+    | Some m ->
+        let is_store =
+          match i with Instr.Vst _ | Instr.Sst _ -> true | _ -> false
+        in
+        if is_store then begin
+          (match Hashtbl.find_opt last_store m.array with
+          | Some p -> add_edge p j
+          | None -> ());
+          List.iter (fun p -> add_edge p j)
+            (Option.value ~default:[] (Hashtbl.find_opt loads_since m.array));
+          Hashtbl.replace last_store m.array j;
+          Hashtbl.replace loads_since m.array []
+        end
+        else begin
+          (match Hashtbl.find_opt last_store m.array with
+          | Some p -> add_edge p j
+          | None -> ());
+          Hashtbl.replace loads_since m.array
+            (j :: Option.value ~default:[] (Hashtbl.find_opt loads_since m.array))
+        end
+    | None -> ());
+    (* loop-control scalars (Sop/Smovvl/Sbranch) keep their order among
+       themselves and stay after everything when they trail the body *)
+    match i with
+    | Instr.Sop _ | Instr.Smovvl | Instr.Sbranch ->
+        for p = 0 to j - 1 do
+          match arr.(p) with
+          | Instr.Sop _ | Instr.Smovvl | Instr.Sbranch -> add_edge p j
+          | _ -> ()
+        done
+    | _ -> ()
+  done;
+  (arr, preds)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy list scheduling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pack ~machine instrs =
+  let arr, preds = build_deps instrs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let pending = Array.make n 0 in
+    Array.iteri
+      (fun j ps ->
+        pending.(j) <- List.length (List.sort_uniq compare ps))
+      preds;
+    let succs = Array.make n [] in
+    Array.iteri
+      (fun j ps ->
+        List.iter (fun p -> succs.(p) <- j :: succs.(p))
+          (List.sort_uniq compare ps))
+      preds;
+    let scheduled = Array.make n false in
+    let out = ref [] in
+    let st = fresh_chime () in
+    let ready () =
+      let r = ref [] in
+      for j = n - 1 downto 0 do
+        if (not scheduled.(j)) && pending.(j) = 0 then r := j :: !r
+      done;
+      !r
+    in
+    let emit j =
+      scheduled.(j) <- true;
+      ignore (place ~machine st arr.(j));
+      List.iter (fun s -> pending.(s) <- pending.(s) - 1) succs.(j);
+      out := arr.(j) :: !out
+    in
+    let steps = ref 0 in
+    while List.exists (fun s -> not s) (Array.to_list scheduled) do
+      incr steps;
+      if !steps > n * (n + 2) then failwith "Schedule.pack: no progress";
+      let candidates = ready () in
+      (match candidates with
+      | [] -> failwith "Schedule.pack: dependence cycle"
+      | _ ->
+          (* prefer the first (original order) candidate that fits the
+             open chime without closing it; otherwise take the first
+             candidate outright *)
+          let fitting =
+            List.find_opt
+              (fun j ->
+                Instr.is_vector arr.(j) && fits ~machine st arr.(j)
+                && st.members <> [])
+              candidates
+          in
+          let choice =
+            match fitting with Some j -> j | None -> List.hd candidates
+          in
+          emit choice)
+    done;
+    List.rev !out
+  end

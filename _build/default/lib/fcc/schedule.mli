@@ -1,0 +1,25 @@
+open Convex_isa
+open Convex_machine
+
+(** Chime-aware list scheduling.
+
+    The depth-first order produced by expression lowering chains each load
+    into its consumers (good), but long arithmetic statements emit bursts
+    of same-pipe instructions that cannot share a chime (LFK8's triple-mul
+    runs).  This pass reorders a loop body, respecting dependences, to
+    greedily pack instructions into chimes — the compiler's own model of
+    the hardware's chime rules (one instruction per pipe, two reads and
+    one write per vector register pair, scalar memory barriers).
+
+    Preserved dependences: RAW/WAR/WAW through vector and scalar
+    registers, and the relative order of memory operations touching the
+    same array.  Instructions are otherwise free to move; ties are broken
+    by original program order, so an already well-packed schedule (LFK1)
+    comes out unchanged. *)
+
+val pack : machine:Machine.t -> Instr.t list -> Instr.t list
+(** Reorder a loop body.  The result is a permutation of the input. *)
+
+val chime_count : machine:Machine.t -> Instr.t list -> int
+(** Number of chimes the compiler's model assigns to a body — the cost
+    function [pack] minimizes greedily. *)

@@ -1,0 +1,47 @@
+module Ir = Lfk.Ir
+
+type verdict =
+  | Vectorizable
+  | Carried_dependence of { store : Ir.ref_; load : Ir.ref_ }
+
+let canonical_array (k : Lfk.Kernel.t) name =
+  match List.assoc_opt name k.aliases with Some target -> target | None -> name
+
+(* A flow dependence from iteration k to iteration k + d/scale is real
+   only if that later iteration exists: distances at or beyond the longest
+   segment (LFK10's 101-word column spacing over a 101-trip loop) never
+   materialize. *)
+let max_trip (k : Lfk.Kernel.t) =
+  List.fold_left (fun acc s -> max acc s.Lfk.Kernel.length) 0 k.segments
+
+let carried (k : Lfk.Kernel.t) (store : Ir.ref_) (load : Ir.ref_) =
+  canonical_array k store.array = canonical_array k load.array
+  && store.scale = load.scale
+  && store.scale <> 0
+  &&
+  let d = store.offset - load.offset in
+  d > 0 && d mod store.scale = 0 && d / abs store.scale < max_trip k
+
+let analyze (k : Lfk.Kernel.t) =
+  let stores = Ir.store_refs k.body in
+  let loads = Ir.load_refs k.body in
+  let conflict =
+    List.find_map
+      (fun store ->
+        Option.map
+          (fun load -> (store, load))
+          (List.find_opt (fun load -> carried k store load) loads))
+      stores
+  in
+  match conflict with
+  | None -> Vectorizable
+  | Some (store, load) -> Carried_dependence { store; load }
+
+let vectorizable k = analyze k = Vectorizable
+
+let pp_verdict fmt = function
+  | Vectorizable -> Format.fprintf fmt "vectorizable"
+  | Carried_dependence { store; load } ->
+      Format.fprintf fmt
+        "loop-carried flow dependence: store %a feeds load %a" Ir.pp_ref_
+        store Ir.pp_ref_ load

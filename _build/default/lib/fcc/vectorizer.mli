@@ -1,0 +1,31 @@
+(** Vectorization legality analysis.
+
+    The Convex compiler vectorizes an inner loop only when no
+    loop-carried flow dependence runs through its arrays: a statement that
+    stores element [k] and (in the same or a later iteration) loads
+    element [k - d] with [d > 0] must execute serially (LFK5's tridiagonal
+    elimination, LFK11's prefix sum — the two kernels of the paper's
+    benchmark range that do {e not} appear in its vectorized case study).
+
+    The check compares every store stream against every load stream of
+    the same storage (alias declarations are resolved): a carried flow
+    dependence exists when both have the same scale and the store offset
+    exceeds the load offset by a multiple of the scale.  Anti-dependences
+    (load offset ahead of the store) are harmless: vector semantics
+    performs all strip loads before the store instruction issues, which
+    matches sequential order.  Streams of different scales under an alias
+    come from the kernel's outer-pass structure (LFK2) and are taken as
+    independent — the alias declaration asserts it.
+
+    Reductions are not dependences; the compiler has a dedicated lowering
+    for them. *)
+
+type verdict =
+  | Vectorizable
+  | Carried_dependence of { store : Lfk.Ir.ref_; load : Lfk.Ir.ref_ }
+
+val analyze : Lfk.Kernel.t -> verdict
+
+val vectorizable : Lfk.Kernel.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

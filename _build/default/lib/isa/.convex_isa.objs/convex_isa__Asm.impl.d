@@ -1,0 +1,1 @@
+lib/isa/asm.pp.ml: Buffer Char Instr List Printf Program Reg Result String

@@ -1,0 +1,1 @@
+lib/isa/instr.pp.ml: Option Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/isa/program.pp.ml: Format Hashtbl Instr List Option Reg String

@@ -1,0 +1,1 @@
+lib/isa/reg.pp.ml: Format Fun Int List Printf

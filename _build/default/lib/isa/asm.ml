@@ -1,0 +1,262 @@
+let print_mem (m : Instr.mem) =
+  Printf.sprintf "%s[%d:%d]" m.array m.offset m.stride
+
+let print_vsrc = function
+  | Instr.Vr r -> Reg.show_v r
+  | Instr.Sr r -> Reg.show_s r
+
+let binop_mnemonic = function
+  | Instr.Add -> "vadd"
+  | Instr.Sub -> "vsub"
+  | Instr.Mul -> "vmul"
+  | Instr.Div -> "vdiv"
+
+let print_instr (i : Instr.t) =
+  match i with
+  | Vld { dst; src } ->
+      Printf.sprintf "vld    %s, %s" (Reg.show_v dst) (print_mem src)
+  | Vst { src; dst } ->
+      Printf.sprintf "vst    %s, %s" (print_mem dst) (Reg.show_v src)
+  | Vbin { op; dst; src1; src2 } ->
+      Printf.sprintf "%s   %s, %s, %s" (binop_mnemonic op) (Reg.show_v dst)
+        (print_vsrc src1) (print_vsrc src2)
+  | Vneg { dst; src } ->
+      Printf.sprintf "vneg   %s, %s" (Reg.show_v dst) (Reg.show_v src)
+  | Vsqrt { dst; src } ->
+      Printf.sprintf "vsqrt  %s, %s" (Reg.show_v dst) (Reg.show_v src)
+  | Vcmp { op; src1; src2 } ->
+      let mn =
+        match op with
+        | Instr.Lt -> "vlt"
+        | Instr.Le -> "vle"
+        | Instr.Eq -> "veq"
+        | Instr.Ne -> "vne"
+      in
+      Printf.sprintf "%s    %s, %s" mn (Reg.show_v src1) (print_vsrc src2)
+  | Vmerge { dst; src_true; src_false } ->
+      Printf.sprintf "vmrg   %s, %s, %s" (Reg.show_v dst)
+        (print_vsrc src_true) (print_vsrc src_false)
+  | Vgather { dst; base; index } ->
+      Printf.sprintf "vgath  %s, %s, %s" (Reg.show_v dst) (print_mem base)
+        (Reg.show_v index)
+  | Vscatter { src; base; index } ->
+      Printf.sprintf "vscat  %s, %s, %s" (print_mem base) (Reg.show_v src)
+        (Reg.show_v index)
+  | Vsum { dst; src } ->
+      Printf.sprintf "vsum   %s, %s" (Reg.show_s dst) (Reg.show_v src)
+  | Sld { dst; src } ->
+      Printf.sprintf "sld    %s, %s" (Reg.show_s dst) (print_mem src)
+  | Sst { src; dst } ->
+      Printf.sprintf "sst    %s, %s" (print_mem dst) (Reg.show_s src)
+  | Sbin { op; dst; src1; src2 } ->
+      let mn =
+        match op with
+        | Instr.Add -> "sadd"
+        | Instr.Sub -> "ssub"
+        | Instr.Mul -> "smul"
+        | Instr.Div -> "sdiv"
+      in
+      Printf.sprintf "%s   %s, %s, %s" mn (Reg.show_s dst) (Reg.show_s src1)
+        (Reg.show_s src2)
+  | Sop { name } -> Printf.sprintf "sop    %s" name
+  | Smovvl -> "smovvl"
+  | Sbranch -> "sbr"
+
+let print_program p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Program.name p);
+  Buffer.add_string buf ":\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (print_instr i);
+      Buffer.add_char buf '\n')
+    (Program.body p);
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let tokenize line =
+  line
+  |> String.map (fun c -> if c = ',' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let ( let* ) = Result.bind
+
+let parse_reg_kind prefix mk max tok =
+  let plen = String.length prefix in
+  if
+    String.length tok = plen + 1
+    && String.sub tok 0 plen = prefix
+    && tok.[plen] >= '0'
+    && tok.[plen] <= '9'
+  then
+    let i = Char.code tok.[plen] - Char.code '0' in
+    if i < max then Ok (mk i) else Error (Printf.sprintf "register %S out of range" tok)
+  else Error (Printf.sprintf "expected %s-register, got %S" prefix tok)
+
+let parse_v = parse_reg_kind "v" Reg.v Reg.vector_count
+let parse_s = parse_reg_kind "s" Reg.s Reg.scalar_count
+
+let parse_int tok =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected integer, got %S" tok)
+
+let is_ident_char c =
+  (c >= 'A' && c <= 'Z')
+  || (c >= 'a' && c <= 'z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let parse_mem tok =
+  match (String.index_opt tok '[', String.rindex_opt tok ']') with
+  | Some lb, Some rb when rb = String.length tok - 1 && lb > 0 ->
+      let array = String.sub tok 0 lb in
+      if not (String.for_all is_ident_char array) then
+        Error (Printf.sprintf "bad array name in %S" tok)
+      else
+        let inner = String.sub tok (lb + 1) (rb - lb - 1) in
+        (match String.split_on_char ':' inner with
+        | [ off; stride ] ->
+            let* offset = parse_int off in
+            let* stride = parse_int stride in
+            Ok { Instr.array; offset; stride }
+        | _ -> Error (Printf.sprintf "bad memory operand %S" tok))
+  | _ -> Error (Printf.sprintf "expected memory operand, got %S" tok)
+
+let parse_vsrc tok =
+  match parse_v tok with
+  | Ok r -> Ok (Instr.Vr r)
+  | Error _ -> (
+      match parse_s tok with
+      | Ok r -> Ok (Instr.Sr r)
+      | Error _ -> Error (Printf.sprintf "expected v- or s-register, got %S" tok))
+
+let parse_vbin op args =
+  match args with
+  | [ dst; src1; src2 ] ->
+      let* dst = parse_v dst in
+      let* src1 = parse_vsrc src1 in
+      let* src2 = parse_vsrc src2 in
+      Ok (Instr.Vbin { op; dst; src1; src2 })
+  | _ -> Error "vector arithmetic takes three operands"
+
+let parse_instr line =
+  let line = strip_comment line in
+  match tokenize line with
+  | [] -> Error "empty line"
+  | mnemonic :: args -> (
+      match (mnemonic, args) with
+      | "vld", [ dst; src ] ->
+          let* dst = parse_v dst in
+          let* src = parse_mem src in
+          Ok (Instr.Vld { dst; src })
+      | "vst", [ dst; src ] ->
+          let* dst = parse_mem dst in
+          let* src = parse_v src in
+          Ok (Instr.Vst { src; dst })
+      | "vadd", _ -> parse_vbin Instr.Add args
+      | "vsub", _ -> parse_vbin Instr.Sub args
+      | "vmul", _ -> parse_vbin Instr.Mul args
+      | "vdiv", _ -> parse_vbin Instr.Div args
+      | "vneg", [ dst; src ] ->
+          let* dst = parse_v dst in
+          let* src = parse_v src in
+          Ok (Instr.Vneg { dst; src })
+      | "vsqrt", [ dst; src ] ->
+          let* dst = parse_v dst in
+          let* src = parse_v src in
+          Ok (Instr.Vsqrt { dst; src })
+      | ("vlt" | "vle" | "veq" | "vne"), [ src1; src2 ] ->
+          let op =
+            match mnemonic with
+            | "vlt" -> Instr.Lt
+            | "vle" -> Instr.Le
+            | "veq" -> Instr.Eq
+            | _ -> Instr.Ne
+          in
+          let* src1 = parse_v src1 in
+          let* src2 = parse_vsrc src2 in
+          Ok (Instr.Vcmp { op; src1; src2 })
+      | "vmrg", [ dst; src_true; src_false ] ->
+          let* dst = parse_v dst in
+          let* src_true = parse_vsrc src_true in
+          let* src_false = parse_vsrc src_false in
+          Ok (Instr.Vmerge { dst; src_true; src_false })
+      | "vgath", [ dst; base; index ] ->
+          let* dst = parse_v dst in
+          let* base = parse_mem base in
+          let* index = parse_v index in
+          Ok (Instr.Vgather { dst; base; index })
+      | "vscat", [ base; src; index ] ->
+          let* base = parse_mem base in
+          let* src = parse_v src in
+          let* index = parse_v index in
+          Ok (Instr.Vscatter { src; base; index })
+      | "vsum", [ dst; src ] ->
+          let* dst = parse_s dst in
+          let* src = parse_v src in
+          Ok (Instr.Vsum { dst; src })
+      | "sld", [ dst; src ] ->
+          let* dst = parse_s dst in
+          let* src = parse_mem src in
+          Ok (Instr.Sld { dst; src })
+      | "sst", [ dst; src ] ->
+          let* dst = parse_mem dst in
+          let* src = parse_s src in
+          Ok (Instr.Sst { src; dst })
+      | ("sadd" | "ssub" | "smul" | "sdiv"), [ dst; src1; src2 ] ->
+          let op =
+            match mnemonic with
+            | "sadd" -> Instr.Add
+            | "ssub" -> Instr.Sub
+            | "smul" -> Instr.Mul
+            | _ -> Instr.Div
+          in
+          let* dst = parse_s dst in
+          let* src1 = parse_s src1 in
+          let* src2 = parse_s src2 in
+          Ok (Instr.Sbin { op; dst; src1; src2 })
+      | "sop", [ name ] -> Ok (Instr.Sop { name })
+      | "smovvl", [] -> Ok Instr.Smovvl
+      | "sbr", [] -> Ok Instr.Sbranch
+      | _ ->
+          Error
+            (Printf.sprintf "cannot parse instruction %S" (String.trim line)))
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let nonblank =
+    List.filter
+      (fun l -> String.trim (strip_comment l) <> "")
+      lines
+  in
+  match nonblank with
+  | [] -> Error "empty program"
+  | header :: rest -> (
+      let header = String.trim (strip_comment header) in
+      match String.index_opt header ':' with
+      | Some i when i = String.length header - 1 ->
+          let name = String.sub header 0 i in
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | l :: ls -> (
+                match parse_instr l with
+                | Ok i -> go (i :: acc) ls
+                | Error e ->
+                    Error (Printf.sprintf "%s (line %S)" e (String.trim l)))
+          in
+          let* body = go [] rest in
+          if body = [] then Error "program has no instructions"
+          else Ok (Program.make ~name body)
+      | _ -> Error (Printf.sprintf "expected \"name:\" header, got %S" header))
+
+let parse_program_exn text =
+  match parse_program text with Ok p -> p | Error e -> failwith e

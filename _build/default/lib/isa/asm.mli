@@ -1,0 +1,44 @@
+(** Textual assembly syntax: printer and parser.
+
+    One instruction per line; [;] starts a comment.  Memory operands are
+    written [NAME\[offset:stride\]] with word offsets (possibly negative)
+    and word strides.  Example listing (the paper's LFK1 inner loop in this
+    syntax):
+
+    {v
+    lfk1:
+      smovvl
+      vld    v0, ZX[10:1]
+      vmul   v1, v0, s1
+      vld    v2, ZX[11:1]
+      vmul   v0, v2, s3
+      vadd   v3, v1, v0
+      vld    v1, Y[0:1]
+      vmul   v2, v1, v3
+      vadd   v0, v2, s7
+      vst    X[0:1], v0
+      sop    add.a
+      sop    add.s
+      sop    lt.s
+      sbr
+    v}
+
+    The printer and parser round-trip: [parse_program (print_program p)]
+    yields a program equal to [p]. *)
+
+val print_instr : Instr.t -> string
+
+val print_program : Program.t -> string
+(** Multi-line listing starting with ["name:"], two-space indentation,
+    trailing newline. *)
+
+val parse_instr : string -> (Instr.t, string) result
+(** Parse a single instruction line (comment and surrounding blanks
+    allowed).  [Error] carries a human-readable message. *)
+
+val parse_program : string -> (Program.t, string) result
+(** Parse a full listing: a ["name:"] header line followed by instruction
+    lines.  Blank lines and comment-only lines are skipped. *)
+
+val parse_program_exn : string -> Program.t
+(** Like {!parse_program}; raises [Failure] with the message on error. *)

@@ -1,0 +1,137 @@
+type mem = { array : string; offset : int; stride : int } [@@deriving show, eq]
+
+type vsrc = Vr of Reg.v | Sr of Reg.s [@@deriving show, eq]
+type vbinop = Add | Sub | Mul | Div [@@deriving show, eq]
+type cmpop = Lt | Le | Eq | Ne [@@deriving show, eq]
+
+type t =
+  | Vld of { dst : Reg.v; src : mem }
+  | Vst of { src : Reg.v; dst : mem }
+  | Vbin of { op : vbinop; dst : Reg.v; src1 : vsrc; src2 : vsrc }
+  | Vneg of { dst : Reg.v; src : Reg.v }
+  | Vsqrt of { dst : Reg.v; src : Reg.v }
+  | Vcmp of { op : cmpop; src1 : Reg.v; src2 : vsrc }
+  | Vmerge of { dst : Reg.v; src_true : vsrc; src_false : vsrc }
+  | Vgather of { dst : Reg.v; base : mem; index : Reg.v }
+  | Vscatter of { src : Reg.v; base : mem; index : Reg.v }
+  | Vsum of { dst : Reg.s; src : Reg.v }
+  | Sld of { dst : Reg.s; src : mem }
+  | Sst of { src : Reg.s; dst : mem }
+  | Sbin of { op : vbinop; dst : Reg.s; src1 : Reg.s; src2 : Reg.s }
+  | Sop of { name : string }
+  | Smovvl
+  | Sbranch
+[@@deriving show, eq]
+
+type vclass =
+  | Cld
+  | Cst
+  | Cadd
+  | Csub
+  | Cmul
+  | Cdiv
+  | Csqrt
+  | Csum
+  | Cneg
+  | Ccmp
+  | Cmerge
+[@@deriving show, eq]
+
+let all_vclasses =
+  [ Cld; Cst; Cadd; Csub; Cmul; Cdiv; Csqrt; Csum; Cneg; Ccmp; Cmerge ]
+
+let vclass_of = function
+  | Vld _ -> Some Cld
+  | Vst _ -> Some Cst
+  | Vbin { op = Add; _ } -> Some Cadd
+  | Vbin { op = Sub; _ } -> Some Csub
+  | Vbin { op = Mul; _ } -> Some Cmul
+  | Vbin { op = Div; _ } -> Some Cdiv
+  | Vneg _ -> Some Cneg
+  | Vsqrt _ -> Some Csqrt
+  | Vcmp _ -> Some Ccmp
+  | Vmerge _ -> Some Cmerge
+  | Vgather _ -> Some Cld
+  | Vscatter _ -> Some Cst
+  | Vsum _ -> Some Csum
+  | Sld _ | Sst _ | Sbin _ | Sop _ | Smovvl | Sbranch -> None
+
+let is_vector i = Option.is_some (vclass_of i)
+let is_scalar i = not (is_vector i)
+
+let is_vector_memory = function
+  | Vld _ | Vst _ | Vgather _ | Vscatter _ -> true
+  | _ -> false
+let is_scalar_memory = function Sld _ | Sst _ -> true | _ -> false
+let is_memory i = is_vector_memory i || is_scalar_memory i
+let is_vector_fp = function
+  | Vbin _ | Vneg _ | Vsqrt _ | Vsum _ | Vcmp _ | Vmerge _ -> true
+  | _ -> false
+
+let reads_of_vsrc = function Vr r -> [ r ] | Sr _ -> []
+
+let reads_v = function
+  | Vld _ -> []
+  | Vst { src; _ } -> [ src ]
+  | Vcmp { src1; src2; _ } -> src1 :: reads_of_vsrc src2
+  | Vmerge { src_true; src_false; _ } ->
+      reads_of_vsrc src_true @ reads_of_vsrc src_false
+  | Vgather { index; _ } -> [ index ]
+  | Vscatter { src; index; _ } -> [ src; index ]
+  | Vbin { src1; src2; _ } -> reads_of_vsrc src1 @ reads_of_vsrc src2
+  | Vneg { src; _ } -> [ src ]
+  | Vsqrt { src; _ } -> [ src ]
+  | Vsum { src; _ } -> [ src ]
+  | Sld _ | Sst _ | Sbin _ | Sop _ | Smovvl | Sbranch -> []
+
+let writes_v = function
+  | Vld { dst; _ } -> [ dst ]
+  | Vmerge { dst; _ } -> [ dst ]
+  | Vgather { dst; _ } -> [ dst ]
+  | Vbin { dst; _ } -> [ dst ]
+  | Vneg { dst; _ } -> [ dst ]
+  | Vsqrt { dst; _ } -> [ dst ]
+  | Vst _ | Vscatter _ | Vcmp _ | Vsum _ | Sld _ | Sst _ | Sbin _ | Sop _
+  | Smovvl | Sbranch ->
+      []
+
+let sreads_of_vsrc = function Vr _ -> [] | Sr r -> [ r ]
+
+let reads_s = function
+  | Vbin { src1; src2; _ } -> sreads_of_vsrc src1 @ sreads_of_vsrc src2
+  | Vcmp { src2; _ } -> sreads_of_vsrc src2
+  | Vmerge { src_true; src_false; _ } ->
+      sreads_of_vsrc src_true @ sreads_of_vsrc src_false
+  | Sst { src; _ } -> [ src ]
+  | Sbin { src1; src2; _ } -> [ src1; src2 ]
+  | Vld _ | Vst _ | Vgather _ | Vscatter _ | Vneg _ | Vsqrt _ | Vsum _
+  | Sld _ | Sop _ | Smovvl | Sbranch ->
+      []
+
+let writes_s = function
+  | Vsum { dst; _ } -> [ dst ]
+  | Sld { dst; _ } -> [ dst ]
+  | Sbin { dst; _ } -> [ dst ]
+  | Vld _ | Vst _ | Vgather _ | Vscatter _ | Vbin _ | Vneg _ | Vsqrt _
+  | Vcmp _ | Vmerge _ | Sst _ | Sop _ | Smovvl | Sbranch ->
+      []
+
+let mem_ref = function
+  | Vld { src; _ } -> Some src
+  | Vst { dst; _ } -> Some dst
+  | Vgather { base; _ } -> Some base
+  | Vscatter { base; _ } -> Some base
+  | Sld { src; _ } -> Some src
+  | Sst { dst; _ } -> Some dst
+  | Vbin _ | Vneg _ | Vsqrt _ | Vsum _ | Vcmp _ | Vmerge _ | Sbin _ | Sop _
+  | Smovvl | Sbranch ->
+      None
+
+let flop_count = function
+  | Vbin _ | Vsqrt _ | Vsum _ -> 1
+  | Vld _ | Vst _ | Vgather _ | Vscatter _ | Vneg _ | Vcmp _ | Vmerge _
+  | Sld _ | Sst _ | Sbin _ | Sop _ | Smovvl | Sbranch ->
+      0
+
+let writes_merge = function Vcmp _ -> true | _ -> false
+let reads_merge = function Vmerge _ -> true | _ -> false

@@ -1,0 +1,57 @@
+type t = { name : string; body : Instr.t list }
+
+let make ~name body =
+  if body = [] then invalid_arg "Program.make: empty body";
+  { name; body }
+
+let name t = t.name
+let body t = t.body
+let length t = List.length t.body
+let vector_instrs t = List.filter Instr.is_vector t.body
+let scalar_instrs t = List.filter Instr.is_scalar t.body
+
+let count pred t =
+  List.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0 t.body
+
+let arrays t =
+  let names =
+    List.filter_map
+      (fun i -> Option.map (fun (m : Instr.mem) -> m.array) (Instr.mem_ref i))
+      t.body
+  in
+  List.sort_uniq String.compare names
+
+(* Registers read before any write, scanning in program order. *)
+let live_in reads writes index t =
+  let written = Hashtbl.create 8 in
+  let live = ref [] in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          if
+            (not (Hashtbl.mem written (index r)))
+            && not (List.exists (fun r' -> index r' = index r) !live)
+          then live := r :: !live)
+        (reads i);
+      List.iter (fun r -> Hashtbl.replace written (index r) ()) (writes i))
+    t.body;
+  List.rev !live
+
+let live_in_v t = live_in Instr.reads_v Instr.writes_v Reg.v_index t
+let live_in_s t = live_in Instr.reads_s Instr.writes_s Reg.s_index t
+
+let map_body f t =
+  let body = f t.body in
+  if body = [] then invalid_arg "Program.map_body: transform emptied body";
+  { t with body }
+
+let rename name t = { t with name }
+
+let equal t1 t2 =
+  String.equal t1.name t2.name && List.equal Instr.equal t1.body t2.body
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s:" t.name;
+  List.iter (fun i -> Format.fprintf fmt "@,  %a" Instr.pp i) t.body;
+  Format.fprintf fmt "@]"

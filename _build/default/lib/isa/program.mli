@@ -1,0 +1,45 @@
+(** An inner-loop body: the unit of analysis for both the MACS bounds and
+    the simulator.
+
+    A program holds the instructions of {e one iteration} of a strip-mined
+    vectorized inner loop, in schedule order: typically a [Smovvl], the
+    vector body, then scalar loop control ending in [Sbranch].  The MACS
+    model analyses the vector instructions; the simulator executes the whole
+    body repeatedly. *)
+
+type t = private { name : string; body : Instr.t list }
+
+val make : name:string -> Instr.t list -> t
+(** Raises [Invalid_argument] if [body] is empty. *)
+
+val name : t -> string
+val body : t -> Instr.t list
+val length : t -> int
+
+val vector_instrs : t -> Instr.t list
+(** The vector instructions, in program order. *)
+
+val scalar_instrs : t -> Instr.t list
+
+val count : (Instr.t -> bool) -> t -> int
+(** Number of body instructions satisfying a predicate. *)
+
+val arrays : t -> string list
+(** Distinct array names referenced, sorted. *)
+
+val live_in_v : t -> Reg.v list
+(** Vector registers read before being written — the registers the
+    X-process generator must prime (paper §3.6). *)
+
+val live_in_s : t -> Reg.s list
+
+val map_body : (Instr.t list -> Instr.t list) -> t -> t
+(** Rebuild the program with a transformed body (used by the A/X
+    transforms).  The result keeps the same name with a suffix supplied by
+    the caller via {!rename}. *)
+
+val rename : string -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing, one instruction per line. *)

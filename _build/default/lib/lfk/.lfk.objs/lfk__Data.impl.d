@@ -1,0 +1,1 @@
+lib/lfk/data.pp.ml: Array Char Convex_vpsim Kernel List String

@@ -1,0 +1,1 @@
+lib/lfk/data.pp.mli: Convex_vpsim Kernel

@@ -1,0 +1,1 @@
+lib/lfk/gallery.pp.ml: Array Convex_vpsim Float Ir Kernel List Printf Store

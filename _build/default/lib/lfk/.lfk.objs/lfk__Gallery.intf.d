@@ -1,0 +1,1 @@
+lib/lfk/gallery.pp.mli: Convex_vpsim Kernel

@@ -1,0 +1,1 @@
+lib/lfk/ir.pp.ml: Hashtbl Int List Option Ppx_deriving_runtime Printf Result String

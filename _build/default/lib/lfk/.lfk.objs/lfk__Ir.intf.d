@@ -1,0 +1,1 @@
+lib/lfk/ir.pp.mli: Format

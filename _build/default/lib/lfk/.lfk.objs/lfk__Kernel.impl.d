@@ -1,0 +1,1 @@
+lib/lfk/kernel.pp.ml: Ir List Option Printf Result

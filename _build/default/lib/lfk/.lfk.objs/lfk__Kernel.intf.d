@@ -1,0 +1,1 @@
+lib/lfk/kernel.pp.mli: Ir

@@ -1,0 +1,1 @@
+lib/lfk/kernels.pp.ml: Data Ir Kernel List Printf

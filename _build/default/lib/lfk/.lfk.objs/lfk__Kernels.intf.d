@@ -1,0 +1,1 @@
+lib/lfk/kernels.pp.mli: Kernel

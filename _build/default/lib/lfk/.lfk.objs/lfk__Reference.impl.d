@@ -1,0 +1,1 @@
+lib/lfk/reference.pp.ml: Array Convex_vpsim Kernel List Printf Store

@@ -1,0 +1,1 @@
+lib/lfk/reference.pp.mli: Convex_vpsim Kernel

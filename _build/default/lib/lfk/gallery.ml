@@ -1,0 +1,242 @@
+open Ir
+open Convex_vpsim
+
+let ref_ ?(scale = 1) array offset = { array; scale; offset }
+let ld ?scale array offset = Load (ref_ ?scale array offset)
+
+let plain ~id ~name ~description ~fortran ~body ~scalars ~arrays ?(acc = None)
+    ?(aliases = []) n : Kernel.t =
+  {
+    id;
+    name;
+    description;
+    fortran;
+    body;
+    acc;
+    scalars;
+    arrays;
+    aliases;
+    segments = [ { base = 0; length = n; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let daxpy =
+  plain ~id:101 ~name:"daxpy" ~description:"y(i) = a*x(i) + y(i)"
+    ~fortran:"DO 1 i= 1,n\n1 Y(i)= A*X(i) + Y(i)"
+    ~body:
+      [ Store (ref_ "Y" 0, Add (Mul (Scalar "a", ld "X" 0), ld "Y" 0)) ]
+    ~scalars:[ ("a", 2.5) ]
+    ~arrays:[ ("X", 2048); ("Y", 2048) ]
+    2000
+
+let dot =
+  plain ~id:102 ~name:"dot" ~description:"s = sum x(i)*y(i)"
+    ~fortran:"S= 0.0\nDO 2 i= 1,n\n2 S= S + X(i)*Y(i)"
+    ~body:[ Reduce { neg = false; rhs = Mul (ld "X" 0, ld "Y" 0) } ]
+    ~acc:
+      (Some
+         {
+           Kernel.init = Kernel.Zero;
+           scale_by = None;
+           store_to = Some (ref_ ~scale:0 "S" 0);
+         })
+    ~scalars:[]
+    ~arrays:[ ("X", 2048); ("Y", 2048); ("S", 2) ]
+    2000
+
+let triad =
+  plain ~id:103 ~name:"triad" ~description:"a(i) = b(i) + q*c(i)"
+    ~fortran:"DO 3 i= 1,n\n3 A(i)= B(i) + Q*C(i)"
+    ~body:[ Store (ref_ "A" 0, Add (ld "B" 0, Mul (Scalar "q", ld "C" 0))) ]
+    ~scalars:[ ("q", 3.0) ]
+    ~arrays:[ ("A", 2048); ("B", 2048); ("C", 2048) ]
+    2000
+
+let stencil5 =
+  let b k = ld "B" k in
+  plain ~id:104 ~name:"stencil5"
+    ~description:"a(i) = w*(b(i-2)+b(i-1)+b(i)+b(i+1)+b(i+2))"
+    ~fortran:"DO 4 i= 3,n-2\n4 A(i)= W*(B(i-2)+B(i-1)+B(i)+B(i+1)+B(i+2))"
+    ~body:
+      [
+        Store
+          ( ref_ "A" 2,
+            Mul
+              (Scalar "w", Add (Add (Add (Add (b 0, b 1), b 2), b 3), b 4))
+          );
+      ]
+    ~scalars:[ ("w", 0.2) ]
+    ~arrays:[ ("A", 2048); ("B", 2048) ]
+    1996
+
+let jacobi_row =
+  plain ~id:105 ~name:"jacobi_row"
+    ~description:"r(i) = 0.25*(u(i-1)+u(i+1)+un(i)+us(i))"
+    ~fortran:"DO 5 i= 2,n-1\n5 R(i)= 0.25*(U(i-1)+U(i+1)+UN(i)+US(i))"
+    ~body:
+      [
+        Store
+          ( ref_ "R" 1,
+            Mul
+              ( Scalar "quarter",
+                Add (Add (ld "U" 0, ld "U" 2), Add (ld "UN" 1, ld "US" 1))
+              ) );
+      ]
+    ~scalars:[ ("quarter", 0.25) ]
+    ~arrays:[ ("R", 2048); ("U", 2048); ("UN", 2048); ("US", 2048) ]
+    2000
+
+let gather16 =
+  plain ~id:106 ~name:"gather16" ~description:"b(i) = q*a(16*i)"
+    ~fortran:"DO 6 i= 1,n\n6 B(i)= Q*A(16*i)"
+    ~body:[ Store (ref_ "B" 0, Mul (Scalar "q", ld ~scale:16 "A" 0)) ]
+    ~scalars:[ ("q", 1.5) ]
+    ~arrays:[ ("A", 16 * 1100); ("B", 2048) ]
+    1000
+
+let rcp_update =
+  plain ~id:107 ~name:"rcp_update" ~description:"y(i) = y(i) + x(i)/z(i)"
+    ~fortran:"DO 7 i= 1,n\n7 Y(i)= Y(i) + X(i)/Z(i)"
+    ~body:
+      [ Store (ref_ "Y" 0, Add (ld "Y" 0, Div (ld "X" 0, ld "Z" 0))) ]
+    ~scalars:[]
+    ~arrays:[ ("X", 2048); ("Y", 2048); ("Z", 2048) ]
+    2000
+
+let norm2 =
+  plain ~id:108 ~name:"norm2" ~description:"y(i) = sqrt(x(i)*x(i) + z(i)*z(i))"
+    ~fortran:"DO 8 i= 1,n\n8 Y(i)= SQRT(X(i)*X(i) + Z(i)*Z(i))"
+    ~body:
+      [
+        Store
+          ( ref_ "Y" 0,
+            Sqrt
+              (Add (Mul (ld "X" 0, ld "X" 0), Mul (ld "Z" 0, ld "Z" 0))) );
+      ]
+    ~scalars:[]
+    ~arrays:[ ("X", 2048); ("Y", 2048); ("Z", 2048) ]
+    2000
+
+let permute =
+  plain ~id:109 ~name:"permute" ~description:"y(i) = a(idx(i)) + y(i)"
+    ~fortran:"DO 9 i= 1,n\n9 Y(i)= A(IDX(i)) + Y(i)"
+    ~body:
+      [
+        Store
+          ( ref_ "Y" 0,
+            Add (Gather { array = "A"; offset = 0; index = ld "IDX" 0 },
+                 ld "Y" 0) );
+      ]
+    ~scalars:[]
+    ~arrays:[ ("A", 1024); ("IDX", 2048); ("Y", 2048) ]
+    2000
+
+let clip =
+  plain ~id:110 ~name:"clip"
+    ~description:"y(i) = w * min(x(i), ceiling) via compare and merge"
+    ~fortran:"DO 10 i= 1,n\n10 Y(i)= W*MIN(X(i), C)"
+    ~body:
+      [
+        Store
+          ( ref_ "Y" 0,
+            Mul
+              ( Scalar "w",
+                Select
+                  {
+                    op = CLt;
+                    a = ld "X" 0;
+                    b = Scalar "ceiling";
+                    if_true = ld "X" 0;
+                    if_false = Scalar "ceiling";
+                  } ) );
+      ]
+    ~scalars:[ ("ceiling", 0.08); ("w", 2.0) ]
+    ~arrays:[ ("X", 2048); ("Y", 2048) ]
+    2000
+
+let all =
+  [ daxpy; dot; triad; stencil5; jacobi_row; gather16; rcp_update; norm2;
+    permute; clip ]
+
+let find id =
+  match List.find_opt (fun (k : Kernel.t) -> k.id = id) all with
+  | Some k -> k
+  | None -> raise Not_found
+
+(* gallery kernels count stores that alias their own loads (daxpy,
+   rcp_update read and write Y); within one iteration the load precedes
+   the store, so sequential semantics below match the vector ones *)
+let run_reference (k : Kernel.t) store =
+  let get = Store.get store in
+  match k.id with
+  | 101 ->
+      let x = get "X" and y = get "Y" in
+      let a = List.assoc "a" k.scalars in
+      for i = 0 to 1999 do
+        y.(i) <- (a *. x.(i)) +. y.(i)
+      done
+  | 102 ->
+      let x = get "X" and y = get "Y" and s = get "S" in
+      let acc = ref 0.0 in
+      for i = 0 to 1999 do
+        acc := !acc +. (x.(i) *. y.(i))
+      done;
+      s.(0) <- !acc
+  | 103 ->
+      let a = get "A" and b = get "B" and c = get "C" in
+      let q = List.assoc "q" k.scalars in
+      for i = 0 to 1999 do
+        a.(i) <- b.(i) +. (q *. c.(i))
+      done
+  | 104 ->
+      let a = get "A" and b = get "B" in
+      let w = List.assoc "w" k.scalars in
+      for i = 0 to 1995 do
+        a.(i + 2) <-
+          w *. (b.(i) +. b.(i + 1) +. b.(i + 2) +. b.(i + 3) +. b.(i + 4))
+      done
+  | 105 ->
+      let r = get "R" and u = get "U" in
+      let un = get "UN" and us = get "US" in
+      for i = 0 to 1999 do
+        r.(i + 1) <- 0.25 *. (u.(i) +. u.(i + 2) +. un.(i + 1) +. us.(i + 1))
+      done
+  | 106 ->
+      let a = get "A" and b = get "B" in
+      let q = List.assoc "q" k.scalars in
+      for i = 0 to 999 do
+        b.(i) <- q *. a.(16 * i)
+      done
+  | 107 ->
+      let x = get "X" and y = get "Y" and z = get "Z" in
+      for i = 0 to 1999 do
+        y.(i) <- y.(i) +. (x.(i) /. z.(i))
+      done
+  | 108 ->
+      let x = get "X" and y = get "Y" and z = get "Z" in
+      for i = 0 to 1999 do
+        y.(i) <- Float.sqrt ((x.(i) *. x.(i)) +. (z.(i) *. z.(i)))
+      done
+  | 109 ->
+      let a = get "A" and idx = get "IDX" and y = get "Y" in
+      for i = 0 to 1999 do
+        y.(i) <- a.(int_of_float idx.(i)) +. y.(i)
+      done
+  | 110 ->
+      let x = get "X" and y = get "Y" in
+      let c = List.assoc "ceiling" k.scalars in
+      let w = List.assoc "w" k.scalars in
+      for i = 0 to 1999 do
+        y.(i) <- w *. (if x.(i) < c then x.(i) else c)
+      done
+  | id -> invalid_arg (Printf.sprintf "Gallery.run_reference: no kernel %d" id)
+
+let output_arrays (k : Kernel.t) =
+  match k.id with
+  | 101 | 107 | 108 | 109 | 110 -> [ "Y" ]
+  | 102 -> [ "S" ]
+  | 103 -> [ "A" ]
+  | 104 -> [ "A" ]
+  | 105 -> [ "R" ]
+  | 106 -> [ "B" ]
+  | id -> invalid_arg (Printf.sprintf "Gallery.output_arrays: no kernel %d" id)

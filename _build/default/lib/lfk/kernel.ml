@@ -1,0 +1,101 @@
+type segment_spec = {
+  base : int;
+  length : int;
+  shifts : (string * int) list;
+}
+
+type acc_init = Zero | Load_from of Ir.ref_
+
+type acc_spec = {
+  init : acc_init;
+  scale_by : string option;
+  store_to : Ir.ref_ option;
+}
+
+type t = {
+  id : int;
+  name : string;
+  description : string;
+  fortran : string;
+  body : Ir.stmt list;
+  acc : acc_spec option;
+  scalars : (string * float) list;
+  arrays : (string * int) list;
+  aliases : (string * string) list;
+  segments : segment_spec list;
+  outer_ops : int;
+}
+
+let flops k = Ir.flops k.body
+
+let total_elements k =
+  List.fold_left (fun acc s -> acc + s.length) 0 k.segments
+
+let has_reduction k =
+  List.exists (function Ir.Reduce _ -> true | _ -> false) k.body
+
+let all_array_names k =
+  List.map fst k.arrays @ List.map fst k.aliases
+
+let validate k =
+  let ( let* ) = Result.bind in
+  let* () = Ir.validate k.body in
+  let* () =
+    if has_reduction k <> Option.is_some k.acc then
+      Error "Reduce statement and acc spec must come together"
+    else Ok ()
+  in
+  let* () =
+    let known = List.map fst k.scalars in
+    let needed =
+      Ir.scalars k.body
+      @ (match k.acc with
+        | Some { scale_by = Some s; _ } -> [ s ]
+        | _ -> [])
+    in
+    match List.find_opt (fun s -> not (List.mem s known)) needed with
+    | Some s -> Error (Printf.sprintf "scalar %s has no value" s)
+    | None -> Ok ()
+  in
+  let* () =
+    let declared = all_array_names k in
+    let acc_refs =
+      match k.acc with
+      | None -> []
+      | Some a ->
+          (match a.init with Load_from r -> [ r ] | Zero -> [])
+          @ match a.store_to with Some r -> [ r ] | None -> []
+    in
+    let refs = Ir.load_refs k.body @ Ir.store_refs k.body @ acc_refs in
+    match
+      List.find_opt
+        (fun (r : Ir.ref_) -> not (List.mem r.array declared))
+        refs
+    with
+    | Some r -> Error (Printf.sprintf "array %s is not declared" r.array)
+    | None -> (
+        match
+          List.find_opt
+            (fun a -> not (List.mem a declared))
+            (Ir.indexed_arrays k.body)
+        with
+        | Some a ->
+            Error (Printf.sprintf "indexed array %s is not declared" a)
+        | None -> Ok ())
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun (_, target) -> not (List.mem_assoc target k.arrays))
+        k.aliases
+    with
+    | Some (a, target) ->
+        Error (Printf.sprintf "alias %s targets undeclared array %s" a target)
+    | None -> Ok ()
+  in
+  let* () =
+    if k.segments = [] then Error "kernel has no segments" else Ok ()
+  in
+  match List.find_opt (fun s -> s.length <= 0) k.segments with
+  | Some _ -> Error "segment with nonpositive length"
+  | None -> Ok ()

@@ -1,0 +1,67 @@
+(** A benchmark kernel: the high-level application (A) plus everything the
+    compiler and the simulator need to run it — scalar constant values,
+    array sizes, outer-loop structure, and the reduction accumulator
+    protocol.
+
+    The inner loop is [body], executed for every element of every segment.
+    Segments model the outer loop: per-array word shifts implement outer
+    address arithmetic (2-D columns, pass offsets), and an optional
+    accumulator is re-initialised / stored once per segment (the scalar
+    code the MACS inner-loop model deliberately leaves out). *)
+
+type segment_spec = {
+  base : int;
+  length : int;
+  shifts : (string * int) list;
+}
+
+type acc_init = Zero | Load_from of Ir.ref_
+
+(** Reduction accumulator protocol.  [init] runs in the segment prologue;
+    after the segment the accumulator is optionally multiplied by scalar
+    [scale_by] and stored to [store_to] (a scale-0 reference resolved with
+    the segment's shifts). *)
+type acc_spec = {
+  init : acc_init;
+  scale_by : string option;
+  store_to : Ir.ref_ option;
+}
+
+type t = {
+  id : int;  (** LFK number (1..12) *)
+  name : string;
+  description : string;
+  fortran : string;  (** original Fortran listing, for documentation *)
+  body : Ir.stmt list;
+  acc : acc_spec option;
+  scalars : (string * float) list;
+      (** loop-invariant scalars and their runtime values *)
+  arrays : (string * int) list;  (** array sizes in words *)
+  aliases : (string * string) list;
+      (** [(alias, target)]: the alias names the same storage as target —
+          used when loads and stores of one Fortran array need different
+          per-segment shifts (LFK2's in-place ICCG passes, LFK6's
+          recurrence) *)
+  segments : segment_spec list;
+  outer_ops : int;
+      (** scalar bookkeeping instructions the outer loop executes per
+          segment (pointer updates, trip-count arithmetic, exit tests) —
+          unmodeled by the inner-loop bounds, visible in measured time *)
+}
+
+val flops : t -> int
+(** Floating-point operations per inner-loop iteration, from the IR. *)
+
+val total_elements : t -> int
+
+val has_reduction : t -> bool
+
+val all_array_names : t -> string list
+(** Declared arrays plus aliases. *)
+
+val validate : t -> (unit, string) result
+(** Well-formedness: valid body IR; a [Reduce] statement iff [acc] is
+    provided; every scalar named in the body is given a value; every array
+    referenced (body and accumulator references) is declared or aliased;
+    alias targets are declared; segments are nonempty with positive
+    lengths. *)

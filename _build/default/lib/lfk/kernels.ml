@@ -1,0 +1,519 @@
+open Ir
+
+let ref_ ?(scale = 1) array offset = { array; scale; offset }
+let ld ?scale array offset = Load (ref_ ?scale array offset)
+let sc name = Scalar name
+let t name = Temp name
+
+(* ------------------------------------------------------------------ *)
+(* LFK1: hydro fragment                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lfk1 : Kernel.t =
+  {
+    id = 1;
+    name = "lfk1";
+    description = "hydro fragment";
+    fortran =
+      "DO 1 k = 1,n\n1 X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))";
+    body =
+      [
+        Store
+          ( ref_ "X" 0,
+            Add
+              ( sc "q",
+                Mul
+                  ( ld "Y" 0,
+                    Add (Mul (sc "r", ld "ZX" 10), Mul (sc "t", ld "ZX" 11))
+                  ) ) );
+      ];
+    acc = None;
+    scalars = [ ("q", 0.5); ("r", 0.25); ("t", 0.125) ];
+    arrays = [ ("X", 1024); ("Y", 1024); ("ZX", 1024) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1001; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK2: incomplete Cholesky - conjugate gradient excerpt             *)
+(* ------------------------------------------------------------------ *)
+
+(* Passes of halving length: pass p reads x[ipnt..] with stride 2 and
+   writes x[ipntp..] densely; loads and stores need different shifts for
+   the same storage, hence the XS alias. *)
+let lfk2_segments =
+  let rec go ipntp ii acc =
+    if ii <= 0 then List.rev acc
+    else
+      let ipnt = ipntp in
+      let ipntp = ipntp + ii in
+      let len = ii / 2 in
+      let seg =
+        {
+          Kernel.base = 0;
+          length = len;
+          shifts = [ ("X", ipnt); ("V", ipnt); ("XS", ipntp + 1) ];
+        }
+      in
+      let acc = if len > 0 then seg :: acc else acc in
+      go ipntp (ii / 2) acc
+  in
+  go 0 101 []
+
+let lfk2 : Kernel.t =
+  {
+    id = 2;
+    name = "lfk2";
+    description = "incomplete Cholesky conjugate gradient";
+    fortran =
+      "ii= n\n\
+       ipntp= 0\n\
+       222 ipnt= ipntp\n\
+       ipntp= ipntp+ii\n\
+       ii= ii/2\n\
+       i= ipntp\n\
+       DO 2 k= ipnt+2,ipntp,2\n\
+       i= i+1\n\
+       2 X(i)= X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)\n\
+       IF (ii.GT.1) GO TO 222";
+    body =
+      [
+        Store
+          ( ref_ "XS" 0,
+            Sub
+              ( Sub
+                  ( ld ~scale:2 "X" 1,
+                    Mul (ld ~scale:2 "V" 1, ld ~scale:2 "X" 0) ),
+                Mul (ld ~scale:2 "V" 2, ld ~scale:2 "X" 2) ) );
+      ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("X", 256); ("V", 256) ];
+    aliases = [ ("XS", "X") ];
+    segments = lfk2_segments;
+    outer_ops = 10;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK3: inner product                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lfk3 : Kernel.t =
+  {
+    id = 3;
+    name = "lfk3";
+    description = "inner product";
+    fortran = "Q= 0.0\nDO 3 k= 1,n\n3 Q= Q + Z(k)*X(k)";
+    body = [ Reduce { neg = false; rhs = Mul (ld "Z" 0, ld "X" 0) } ];
+    acc =
+      Some
+        {
+          init = Kernel.Zero;
+          scale_by = None;
+          store_to = Some (ref_ ~scale:0 "Q" 0);
+        };
+    scalars = [];
+    arrays = [ ("Z", 1024); ("X", 1024); ("Q", 2) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1001; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK4: banded linear equations                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Three bands (m = (1001-7)/2 apart); each is a 200-element dot product
+   with stride-5 accesses to Y, reduced into a loop-carried scalar. *)
+let lfk4_segments =
+  let m = (1001 - 7) / 2 in
+  List.map
+    (fun k ->
+      {
+        Kernel.base = 0;
+        length = 200;
+        shifts = [ ("XZ", k - 6); ("X", k - 1) ];
+      })
+    [ 6; 6 + m; 6 + (2 * m) ]
+
+let lfk4 : Kernel.t =
+  {
+    id = 4;
+    name = "lfk4";
+    description = "banded linear equations";
+    fortran =
+      "m= (1001-7)/2\n\
+       DO 444 k= 7,1001,m\n\
+       lw= k-6\n\
+       temp= X(k-1)\n\
+       DO 4 j= 5,n,5\n\
+       temp= temp - XZ(lw)*Y(j)\n\
+       4 lw= lw+1\n\
+       X(k-1)= Y(5)*temp\n\
+       444 CONTINUE";
+    body =
+      [ Reduce { neg = true; rhs = Mul (ld "XZ" 0, ld ~scale:5 "Y" 4) } ];
+    acc =
+      Some
+        {
+          init = Kernel.Load_from (ref_ ~scale:0 "X" 0);
+          scale_by = Some "y5";
+          store_to = Some (ref_ ~scale:0 "X" 0);
+        };
+    scalars = [ ("y5", Data.value "Y" 4) ];
+    arrays = [ ("XZ", 1280); ("Y", 1024); ("X", 1024) ];
+    aliases = [];
+    segments = lfk4_segments;
+    outer_ops = 6;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK6: general linear recurrence equations                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Triangular: segment i (1..63) is a dot product of length i between
+   row i of B and the prefix of W, accumulated into w(i) in place.  B is
+   laid out with the summation index contiguous (unit stride). *)
+let lfk6_dim = 64
+
+let lfk6_segments =
+  List.init (lfk6_dim - 1) (fun j ->
+      let i = j + 1 in
+      {
+        Kernel.base = 0;
+        length = i;
+        shifts = [ ("B", lfk6_dim * i); ("WS", i) ];
+      })
+
+let lfk6 : Kernel.t =
+  {
+    id = 6;
+    name = "lfk6";
+    description = "general linear recurrence equations";
+    fortran =
+      "DO 6 i= 2,n\nDO 6 k= 1,i-1\n6 W(i)= W(i) + B(i,k)*W(k)";
+    body = [ Reduce { neg = false; rhs = Mul (ld "B" 0, ld "W" 0) } ];
+    acc =
+      Some
+        {
+          init = Kernel.Load_from (ref_ ~scale:0 "WS" 0);
+          scale_by = None;
+          store_to = Some (ref_ ~scale:0 "WS" 0);
+        };
+    scalars = [];
+    arrays = [ ("B", (lfk6_dim * lfk6_dim) + lfk6_dim); ("W", 128) ];
+    aliases = [ ("WS", "W") ];
+    segments = lfk6_segments;
+    outer_ops = 4;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK7: equation of state fragment                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lfk7 : Kernel.t =
+  {
+    id = 7;
+    name = "lfk7";
+    description = "equation of state fragment";
+    fortran =
+      "DO 7 k= 1,n\n\
+       7 X(k)= U(k) + R*(Z(k) + R*Y(k))\n\
+      \       + T*(U(k+3) + R*(U(k+2) + R*U(k+1))\n\
+      \       + T*(U(k+6) + Q*(U(k+5) + Q*U(k+4))))";
+    body =
+      [
+        Store
+          ( ref_ "X" 0,
+            Add
+              ( Add
+                  ( ld "U" 0,
+                    Mul (sc "r", Add (ld "Z" 0, Mul (sc "r", ld "Y" 0))) ),
+                Mul
+                  ( sc "t",
+                    Add
+                      ( Add
+                          ( ld "U" 3,
+                            Mul
+                              ( sc "r",
+                                Add (ld "U" 2, Mul (sc "r", ld "U" 1)) ) ),
+                        Mul
+                          ( sc "t",
+                            Add
+                              ( ld "U" 6,
+                                Mul
+                                  ( sc "q",
+                                    Add (ld "U" 5, Mul (sc "q", ld "U" 4))
+                                  ) ) ) ) ) ) );
+      ];
+    acc = None;
+    scalars = [ ("q", 0.5); ("r", 0.25); ("t", 0.125) ];
+    arrays = [ ("X", 1024); ("U", 1024); ("Y", 1024); ("Z", 1024) ];
+    aliases = [];
+    segments = [ { base = 0; length = 995; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK8: ADI integration                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Vectorized over ky (99 elements) after interchanging the tiny kx loop
+   outward: one segment per kx in {1,2} (0-based).  U arrays are the nl1
+   planes, U*O the nl2 output planes, indexed [kx + 4*ky]; DU streams are
+   indexed by ky.  Eleven scalar coefficients force scalar-register
+   spills, whose per-iteration reloads split chimes (paper §4.4, LFK8). *)
+let lfk8_dim1 = 4
+
+let u_line u uo (a1, a2, a3) =
+  [
+    Store
+      ( ref_ ~scale:lfk8_dim1 uo 0,
+        Add
+          ( Add
+              ( Add
+                  ( Add (ld ~scale:lfk8_dim1 u 0, Mul (sc a1, t "du1")),
+                    Mul (sc a2, t "du2") ),
+                Mul (sc a3, t "du3") ),
+            Mul
+              ( sc "sig",
+                Add
+                  ( Sub
+                      ( ld ~scale:lfk8_dim1 u 1,
+                        Mul (sc "two", ld ~scale:lfk8_dim1 u 0) ),
+                    ld ~scale:lfk8_dim1 u (-1) ) ) ) );
+  ]
+
+let lfk8 : Kernel.t =
+  {
+    id = 8;
+    name = "lfk8";
+    description = "ADI integration";
+    fortran =
+      "DO 8 ky= 2,n\n\
+       DO 8 kx= 2,3\n\
+       DU1(ky)= U1(kx,ky+1,nl1) - U1(kx,ky-1,nl1)\n\
+       DU2(ky)= U2(kx,ky+1,nl1) - U2(kx,ky-1,nl1)\n\
+       DU3(ky)= U3(kx,ky+1,nl1) - U3(kx,ky-1,nl1)\n\
+       U1(kx,ky,nl2)= U1(kx,ky,nl1) + A11*DU1(ky) + A12*DU2(ky)\n\
+      \  + A13*DU3(ky) + SIG*(U1(kx+1,ky,nl1) - 2.*U1(kx,ky,nl1)\n\
+      \  + U1(kx-1,ky,nl1))\n\
+       ... (same for U2 with A2j, U3 with A3j)\n\
+       8 CONTINUE";
+    body =
+      [
+        Let
+          ( "du1",
+            Sub (ld ~scale:lfk8_dim1 "U1" lfk8_dim1,
+                 ld ~scale:lfk8_dim1 "U1" (-lfk8_dim1)) );
+        Store (ref_ "DU1" 0, t "du1");
+        Let
+          ( "du2",
+            Sub (ld ~scale:lfk8_dim1 "U2" lfk8_dim1,
+                 ld ~scale:lfk8_dim1 "U2" (-lfk8_dim1)) );
+        Store (ref_ "DU2" 0, t "du2");
+        Let
+          ( "du3",
+            Sub (ld ~scale:lfk8_dim1 "U3" lfk8_dim1,
+                 ld ~scale:lfk8_dim1 "U3" (-lfk8_dim1)) );
+        Store (ref_ "DU3" 0, t "du3");
+      ]
+      @ u_line "U1" "U1O" ("a11", "a12", "a13")
+      @ u_line "U2" "U2O" ("a21", "a22", "a23")
+      @ u_line "U3" "U3O" ("a31", "a32", "a33");
+    acc = None;
+    scalars =
+      [
+        ("a11", 0.10); ("a12", 0.11); ("a13", 0.12);
+        ("a21", 0.13); ("a22", 0.14); ("a23", 0.15);
+        ("a31", 0.16); ("a32", 0.17); ("a33", 0.18);
+        ("sig", 0.25); ("two", 2.0);
+      ];
+    arrays =
+      [
+        ("U1", 512); ("U2", 512); ("U3", 512);
+        ("U1O", 512); ("U2O", 512); ("U3O", 512);
+        ("DU1", 128); ("DU2", 128); ("DU3", 128);
+      ];
+    aliases = [];
+    segments =
+      List.map
+        (fun kx ->
+          {
+            Kernel.base = 1;
+            length = 99;
+            shifts =
+              [
+                ("U1", kx); ("U2", kx); ("U3", kx);
+                ("U1O", kx); ("U2O", kx); ("U3O", kx);
+              ];
+          })
+        [ 1; 2 ];
+    outer_ops = 4;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK9: integrate predictors                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* PX stores each column as a contiguous 101-element stream at offset
+   101*c, so the loop over i is unit stride within every column. *)
+let lfk9_col c = 101 * c
+
+let lfk9 : Kernel.t =
+  let px c = ld "PX" (lfk9_col c) in
+  {
+    id = 9;
+    name = "lfk9";
+    description = "integrate predictors";
+    fortran =
+      "DO 9 i= 1,n\n\
+       9 PX(i,1)= DM28*PX(i,13) + DM27*PX(i,12) + DM26*PX(i,11)\n\
+      \   + DM25*PX(i,10) + DM24*PX(i,9) + DM23*PX(i,8)\n\
+      \   + DM22*PX(i,7) + C0*(PX(i,5) + PX(i,6)) + PX(i,3)";
+    body =
+      [
+        Store
+          ( ref_ "PX" (lfk9_col 0),
+            Add
+              ( Add
+                  ( Add
+                      ( Add
+                          ( Add
+                              ( Add
+                                  ( Add
+                                      ( Add
+                                          ( Mul (sc "dm28", px 12),
+                                            Mul (sc "dm27", px 11) ),
+                                        Mul (sc "dm26", px 10) ),
+                                    Mul (sc "dm25", px 9) ),
+                                Mul (sc "dm24", px 8) ),
+                            Mul (sc "dm23", px 7) ),
+                        Mul (sc "dm22", px 6) ),
+                    Mul (sc "c0", Add (px 4, px 5)) ),
+                px 2 ) );
+      ];
+    acc = None;
+    scalars =
+      [
+        ("dm22", 0.10); ("dm23", 0.12); ("dm24", 0.14); ("dm25", 0.16);
+        ("dm26", 0.18); ("dm27", 0.20); ("dm28", 0.22); ("c0", 0.30);
+      ];
+    arrays = [ ("PX", (101 * 13) + 32) ];
+    aliases = [];
+    segments = [ { base = 0; length = 101; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK10: difference predictors                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lfk10_col c = 101 * c
+
+let lfk10 : Kernel.t =
+  let px c = ld "PX" (lfk10_col c) in
+  let store_px c e = Store (ref_ "PX" (lfk10_col c), e) in
+  (* t0 = cx(i,5); t_{k+1} = t_k - px(i,5+k); px(i,5+k) = t_k *)
+  let chain =
+    List.concat
+      (List.init 9 (fun k ->
+           let cur = Printf.sprintf "t%d" k in
+           let next = Printf.sprintf "t%d" (k + 1) in
+           [ Let (next, Sub (t cur, px (4 + k))); store_px (4 + k) (t cur) ]))
+  in
+  {
+    id = 10;
+    name = "lfk10";
+    description = "difference predictors";
+    fortran =
+      "DO 10 i= 1,n\n\
+       AR= CX(i,5)\n\
+       BR= AR - PX(i,5)\n\
+       PX(i,5)= AR\n\
+       CR= BR - PX(i,6)\n\
+       PX(i,6)= BR\n\
+       ... (chain continues through PX(i,14))";
+    body = (Let ("t0", ld "CX" (lfk10_col 4)) :: chain) @ [ store_px 13 (t "t9") ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("PX", (101 * 14) + 32); ("CX", (101 * 5) + 32) ];
+    aliases = [];
+    segments = [ { base = 0; length = 101; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK12: first difference                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lfk12 : Kernel.t =
+  {
+    id = 12;
+    name = "lfk12";
+    description = "first difference";
+    fortran = "DO 12 k= 1,n\n12 X(k)= Y(k+1) - Y(k)";
+    body = [ Store (ref_ "X" 0, Sub (ld "Y" 1, ld "Y" 0)) ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("X", 1024); ("Y", 1024) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1000; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LFK5 and LFK11: the non-vectorizable recurrences                    *)
+(* ------------------------------------------------------------------ *)
+
+(* These two kernels sit inside the paper's "first twelve" range but are
+   excluded from its vectorized case study: both carry a flow dependence
+   through x(i-1), so the compiler must emit scalar-mode code.  They are
+   provided (in [scalar_kernels], not [all]) to exercise the scalar-mode
+   path and the dependence-height bound. *)
+
+let lfk5 : Kernel.t =
+  {
+    id = 5;
+    name = "lfk5";
+    description = "tri-diagonal elimination, below diagonal";
+    fortran = "DO 5 i= 2,n\n5 X(i)= Z(i)*(Y(i) - X(i-1))";
+    body =
+      [
+        Store
+          (ref_ "X" 1, Mul (ld "Z" 1, Sub (ld "Y" 1, ld "X" 0)));
+      ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("X", 1024); ("Y", 1024); ("Z", 1024) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1000; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let lfk11 : Kernel.t =
+  {
+    id = 11;
+    name = "lfk11";
+    description = "first sum (prefix sum)";
+    fortran = "DO 11 k= 2,n\n11 X(k)= X(k-1) + Y(k)";
+    body = [ Store (ref_ "X" 1, Add (ld "X" 0, ld "Y" 1)) ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("X", 1024); ("Y", 1024) ];
+    aliases = [];
+    segments = [ { base = 0; length = 1000; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let scalar_kernels = [ lfk5; lfk11 ]
+
+let all = [ lfk1; lfk2; lfk3; lfk4; lfk6; lfk7; lfk8; lfk9; lfk10; lfk12 ]
+
+let find id =
+  match
+    List.find_opt (fun (k : Kernel.t) -> k.id = id) (all @ scalar_kernels)
+  with
+  | Some k -> k
+  | None -> raise Not_found

@@ -1,0 +1,63 @@
+(** The ten Lawrence Livermore Fortran Kernels of the paper's case study:
+    LFK 1, 2, 3, 4, 6, 7, 8, 9, 10 and 12 (paper §1, §4), defined in the
+    loop IR with the standard Livermore loop spans.
+
+    Layout conventions: multi-dimensional Fortran arrays are expressed as
+    word-addressed streams — 2-D columns become per-segment shifts, so the
+    inner loop is always affine in its index.  LFK6's B matrix is laid out
+    with the inner index contiguous (unit stride), matching the paper's
+    observation that "most memory accesses are unit stride". *)
+
+val lfk1 : Kernel.t
+(** Hydro fragment: [x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))]. *)
+
+val lfk2 : Kernel.t
+(** Incomplete Cholesky — conjugate gradient excerpt: log₂(n) passes of
+    halving length, stride-2 loads, in-place update. *)
+
+val lfk3 : Kernel.t
+(** Inner product: [q = sum z(k)*x(k)]. *)
+
+val lfk4 : Kernel.t
+(** Banded linear equations: per-band dot product with stride-5 loads and
+    a loop-carried scalar update. *)
+
+val lfk6 : Kernel.t
+(** General linear recurrence: triangular reduction, segment lengths
+    growing 1..n-1. *)
+
+val lfk7 : Kernel.t
+(** Equation of state fragment: 16 flops per iteration, deep operand
+    reuse of the shifted [u] stream. *)
+
+val lfk8 : Kernel.t
+(** ADI integration: 36 flops, six stored streams, more scalar
+    coefficients than the machine has scalar registers. *)
+
+val lfk9 : Kernel.t
+(** Numerical integration (integrate predictors): 10 loaded columns. *)
+
+val lfk10 : Kernel.t
+(** Numerical differentiation (difference predictors): pure add-pipe
+    chain with 10 loads and 10 stores. *)
+
+val lfk12 : Kernel.t
+(** First difference: [x(k) = y(k+1) - y(k)]. *)
+
+val lfk5 : Kernel.t
+(** Tri-diagonal elimination: a loop-carried recurrence through x(i-1).
+    Not in the paper's vectorized case study; compiles to scalar mode. *)
+
+val lfk11 : Kernel.t
+(** First sum (prefix sum): likewise loop-carried and scalar. *)
+
+val all : Kernel.t list
+(** The ten vectorizable kernels of the paper's case study, in paper
+    order (1,2,3,4,6,7,8,9,10,12). *)
+
+val scalar_kernels : Kernel.t list
+(** The two non-vectorizable kernels (5 and 11) of the paper's benchmark
+    range, for the scalar-mode extension. *)
+
+val find : int -> Kernel.t
+(** By LFK number, over both sets; raises [Not_found] otherwise. *)

@@ -1,0 +1,205 @@
+open Convex_vpsim
+
+let scalar (k : Kernel.t) name =
+  match List.assoc_opt name k.scalars with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Reference: kernel %s has no scalar %s"
+                     k.name name)
+
+let lfk1 k store =
+  let x = Store.get store "X"
+  and y = Store.get store "Y"
+  and zx = Store.get store "ZX" in
+  let q = scalar k "q" and r = scalar k "r" and t = scalar k "t" in
+  for i = 0 to 1000 do
+    x.(i) <- q +. (y.(i) *. ((r *. zx.(i + 10)) +. (t *. zx.(i + 11))))
+  done
+
+let lfk2 _ store =
+  let x = Store.get store "X" and v = Store.get store "V" in
+  let ii = ref 101 and ipntp = ref 0 in
+  while !ii > 0 do
+    let ipnt = !ipntp in
+    ipntp := !ipntp + !ii;
+    ii := !ii / 2;
+    let i = ref !ipntp in
+    let k = ref (ipnt + 1) in
+    while !k < !ipntp do
+      incr i;
+      x.(!i) <-
+        x.(!k) -. (v.(!k) *. x.(!k - 1)) -. (v.(!k + 1) *. x.(!k + 1));
+      k := !k + 2
+    done
+  done
+
+let lfk3 _ store =
+  let z = Store.get store "Z"
+  and x = Store.get store "X"
+  and q = Store.get store "Q" in
+  let acc = ref 0.0 in
+  for i = 0 to 1000 do
+    acc := !acc +. (z.(i) *. x.(i))
+  done;
+  q.(0) <- !acc
+
+let lfk4 k store =
+  let xz = Store.get store "XZ"
+  and y = Store.get store "Y"
+  and x = Store.get store "X" in
+  let y5 = scalar k "y5" in
+  let m = (1001 - 7) / 2 in
+  List.iter
+    (fun kk ->
+      let temp = ref x.(kk - 1) in
+      let lw = ref (kk - 6) in
+      let j = ref 4 in
+      while !j < 1001 do
+        temp := !temp -. (xz.(!lw) *. y.(!j));
+        incr lw;
+        j := !j + 5
+      done;
+      x.(kk - 1) <- y5 *. !temp)
+    [ 6; 6 + m; 6 + (2 * m) ]
+
+let lfk5 _ store =
+  let x = Store.get store "X"
+  and y = Store.get store "Y"
+  and z = Store.get store "Z" in
+  for i = 1 to 1000 do
+    x.(i) <- z.(i) *. (y.(i) -. x.(i - 1))
+  done
+
+let lfk11 _ store =
+  let x = Store.get store "X" and y = Store.get store "Y" in
+  for k = 1 to 1000 do
+    x.(k) <- x.(k - 1) +. y.(k)
+  done
+
+let lfk6 _ store =
+  let b = Store.get store "B" and w = Store.get store "W" in
+  let dim = 64 in
+  for i = 1 to dim - 1 do
+    for k = 0 to i - 1 do
+      w.(i) <- w.(i) +. (b.((dim * i) + k) *. w.(k))
+    done
+  done
+
+let lfk7 k store =
+  let x = Store.get store "X"
+  and u = Store.get store "U"
+  and y = Store.get store "Y"
+  and z = Store.get store "Z" in
+  let q = scalar k "q" and r = scalar k "r" and t = scalar k "t" in
+  for i = 0 to 994 do
+    x.(i) <-
+      u.(i)
+      +. (r *. (z.(i) +. (r *. y.(i))))
+      +. (t
+         *. (u.(i + 3)
+            +. (r *. (u.(i + 2) +. (r *. u.(i + 1))))
+            +. (t
+               *. (u.(i + 6) +. (q *. (u.(i + 5) +. (q *. u.(i + 4))))))))
+  done
+
+let lfk8 k store =
+  let u1 = Store.get store "U1"
+  and u2 = Store.get store "U2"
+  and u3 = Store.get store "U3"
+  and u1o = Store.get store "U1O"
+  and u2o = Store.get store "U2O"
+  and u3o = Store.get store "U3O"
+  and du1 = Store.get store "DU1"
+  and du2 = Store.get store "DU2"
+  and du3 = Store.get store "DU3" in
+  let a11 = scalar k "a11" and a12 = scalar k "a12" and a13 = scalar k "a13"
+  and a21 = scalar k "a21" and a22 = scalar k "a22" and a23 = scalar k "a23"
+  and a31 = scalar k "a31" and a32 = scalar k "a32" and a33 = scalar k "a33"
+  and sg = scalar k "sig" in
+  let d = 4 in
+  List.iter
+    (fun kx ->
+      for t = 0 to 98 do
+        let ky = t + 1 in
+        let at c = kx + (d * (ky + c)) in
+        let d1 = u1.(at 1) -. u1.(at (-1))
+        and d2 = u2.(at 1) -. u2.(at (-1))
+        and d3 = u3.(at 1) -. u3.(at (-1)) in
+        du1.(ky) <- d1;
+        du2.(ky) <- d2;
+        du3.(ky) <- d3;
+        let line u uo (c1, c2, c3) =
+          uo.(at 0) <-
+            u.(at 0) +. (c1 *. d1) +. (c2 *. d2) +. (c3 *. d3)
+            +. (sg *. (u.(at 0 + 1) -. (2.0 *. u.(at 0)) +. u.(at 0 - 1)))
+        in
+        line u1 u1o (a11, a12, a13);
+        line u2 u2o (a21, a22, a23);
+        line u3 u3o (a31, a32, a33)
+      done)
+    [ 1; 2 ]
+
+let lfk9 k store =
+  let px = Store.get store "PX" in
+  let col c i = (101 * c) + i in
+  let dm22 = scalar k "dm22" and dm23 = scalar k "dm23"
+  and dm24 = scalar k "dm24" and dm25 = scalar k "dm25"
+  and dm26 = scalar k "dm26" and dm27 = scalar k "dm27"
+  and dm28 = scalar k "dm28" and c0 = scalar k "c0" in
+  for i = 0 to 100 do
+    px.(col 0 i) <-
+      (dm28 *. px.(col 12 i))
+      +. (dm27 *. px.(col 11 i))
+      +. (dm26 *. px.(col 10 i))
+      +. (dm25 *. px.(col 9 i))
+      +. (dm24 *. px.(col 8 i))
+      +. (dm23 *. px.(col 7 i))
+      +. (dm22 *. px.(col 6 i))
+      +. (c0 *. (px.(col 4 i) +. px.(col 5 i)))
+      +. px.(col 2 i)
+  done
+
+let lfk10 _ store =
+  let px = Store.get store "PX" and cx = Store.get store "CX" in
+  let col c i = (101 * c) + i in
+  for i = 0 to 100 do
+    let t = ref cx.(col 4 i) in
+    for c = 4 to 12 do
+      let next = !t -. px.(col c i) in
+      px.(col c i) <- !t;
+      t := next
+    done;
+    px.(col 13 i) <- !t
+  done
+
+let lfk12 _ store =
+  let x = Store.get store "X" and y = Store.get store "Y" in
+  for i = 0 to 999 do
+    x.(i) <- y.(i + 1) -. y.(i)
+  done
+
+let run (k : Kernel.t) store =
+  match k.id with
+  | 1 -> lfk1 k store
+  | 2 -> lfk2 k store
+  | 3 -> lfk3 k store
+  | 4 -> lfk4 k store
+  | 5 -> lfk5 k store
+  | 6 -> lfk6 k store
+  | 7 -> lfk7 k store
+  | 8 -> lfk8 k store
+  | 9 -> lfk9 k store
+  | 10 -> lfk10 k store
+  | 11 -> lfk11 k store
+  | 12 -> lfk12 k store
+  | id -> invalid_arg (Printf.sprintf "Reference.run: no kernel %d" id)
+
+let output_arrays (k : Kernel.t) =
+  match k.id with
+  | 1 | 7 | 12 -> [ "X" ]
+  | 2 | 4 | 5 | 11 -> [ "X" ]
+  | 3 -> [ "Q" ]
+  | 6 -> [ "W" ]
+  | 8 -> [ "U1O"; "U2O"; "U3O"; "DU1"; "DU2"; "DU3" ]
+  | 9 | 10 -> [ "PX" ]
+  | id -> invalid_arg (Printf.sprintf "Reference.output_arrays: no kernel %d" id)

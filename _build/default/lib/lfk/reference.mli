@@ -1,0 +1,14 @@
+(** Direct OCaml implementations of the ten kernels: the ground truth the
+    compiled-and-interpreted code is validated against.
+
+    Each implementation mutates a {!Convex_vpsim.Store.t} exactly as the
+    original Fortran would (sequential execution order), using the same
+    scalar constant values as the kernel definition. *)
+
+val run : Kernel.t -> Convex_vpsim.Store.t -> unit
+(** Raises [Invalid_argument] for a kernel id outside the implemented
+    set. *)
+
+val output_arrays : Kernel.t -> string list
+(** The arrays a kernel writes — the ones result comparisons should
+    inspect. *)

@@ -1,0 +1,1 @@
+lib/machine/machine.pp.ml: Format Mem_params Pipe Ppx_deriving_runtime String Timing

@@ -1,0 +1,1 @@
+lib/machine/machine.pp.mli: Format Mem_params Pipe Timing

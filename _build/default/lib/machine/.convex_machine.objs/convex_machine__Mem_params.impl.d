@@ -1,0 +1,1 @@
+lib/machine/mem_params.pp.ml: Ppx_deriving_runtime

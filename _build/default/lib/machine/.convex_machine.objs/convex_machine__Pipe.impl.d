@@ -1,0 +1,1 @@
+lib/machine/pipe.pp.ml: Convex_isa Instr Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/pipe.pp.mli: Convex_isa Format Instr

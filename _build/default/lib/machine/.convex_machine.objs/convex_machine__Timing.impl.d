@@ -1,0 +1,1 @@
+lib/machine/timing.pp.ml: Array Convex_isa Format Instr List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/timing.pp.mli: Convex_isa Format Instr

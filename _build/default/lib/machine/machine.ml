@@ -1,0 +1,80 @@
+type pipe_config = { load_store : int; add_unit : int; multiply_unit : int }
+[@@deriving show, eq]
+
+type t = {
+  name : string;
+  clock_mhz : float;
+  max_vl : int;
+  timing : Timing.table;
+  memory : Mem_params.t;
+  pipes : pipe_config;
+  pair_read_limit : int;
+  pair_write_limit : int;
+  scalar_cycles : int;
+  scalar_memory_cycles : int;
+}
+
+let c240 =
+  {
+    name = "Convex C-240";
+    clock_mhz = 25.0;
+    max_vl = 128;
+    timing = Timing.c240;
+    memory = Mem_params.c240;
+    pipes = { load_store = 1; add_unit = 1; multiply_unit = 1 };
+    pair_read_limit = 2;
+    pair_write_limit = 1;
+    scalar_cycles = 1;
+    scalar_memory_cycles = 1;
+  }
+
+let no_bubbles m =
+  { m with name = m.name ^ " (B=0)"; timing = Timing.zero_bubbles m.timing }
+
+let no_refresh m =
+  {
+    m with
+    name = m.name ^ " (no refresh)";
+    memory = Mem_params.no_refresh m.memory;
+  }
+
+let ideal =
+  let m = no_refresh (no_bubbles c240) in
+  {
+    m with
+    name = "Idealized C-240";
+    timing = Timing.map (fun _ p -> { p with z = 1.0 }) m.timing;
+  }
+
+let dual_load_store m =
+  {
+    m with
+    name = m.name ^ " (dual LSU)";
+    pipes = { m.pipes with load_store = 2 };
+  }
+
+let clock_period_ns m = 1000.0 /. m.clock_mhz
+let mflops_of_cpf m cpf = m.clock_mhz /. cpf
+
+let pipe_count m = function
+  | Pipe.Load_store -> m.pipes.load_store
+  | Pipe.Add_unit -> m.pipes.add_unit
+  | Pipe.Multiply_unit -> m.pipes.multiply_unit
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>%s: %.0f MHz, VL=%d, pipes=%a@,timing:@,%a@,memory: %a@]" m.name
+    m.clock_mhz m.max_vl pp_pipe_config m.pipes Timing.pp m.timing
+    Mem_params.pp m.memory
+
+let equal m1 m2 =
+  String.equal m1.name m2.name
+  && m1.clock_mhz = m2.clock_mhz
+  && m1.max_vl = m2.max_vl
+  && Timing.equal m1.timing m2.timing
+  && Mem_params.equal m1.memory m2.memory
+  && equal_pipe_config m1.pipes m2.pipes
+  && m1.pair_read_limit = m2.pair_read_limit
+  && m1.pair_write_limit = m2.pair_write_limit
+  && m1.scalar_cycles = m2.scalar_cycles
+  && m1.scalar_memory_cycles = m2.scalar_memory_cycles

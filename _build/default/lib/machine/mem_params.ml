@@ -1,0 +1,24 @@
+type t = {
+  banks : int;
+  word_bytes : int;
+  bank_busy_cycles : int;
+  refresh_period : int;
+  refresh_duration : int;
+  ports : int;
+}
+[@@deriving show, eq]
+
+let c240 =
+  {
+    banks = 32;
+    word_bytes = 8;
+    bank_busy_cycles = 8;
+    refresh_period = 400;
+    refresh_duration = 8;
+    ports = 5;
+  }
+
+let refresh_factor t =
+  1.0 +. (float_of_int t.refresh_duration /. float_of_int t.refresh_period)
+
+let no_refresh t = { t with refresh_period = max_int; refresh_duration = 0 }

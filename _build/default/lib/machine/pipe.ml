@@ -1,0 +1,20 @@
+open Convex_isa
+
+type t = Load_store | Add_unit | Multiply_unit [@@deriving show, eq]
+
+let all = [ Load_store; Add_unit; Multiply_unit ]
+let index = function Load_store -> 0 | Add_unit -> 1 | Multiply_unit -> 2
+let count = 3
+
+let of_vclass = function
+  | Instr.Cld | Instr.Cst -> Load_store
+  | Instr.Cadd | Instr.Csub | Instr.Csum | Instr.Cneg | Instr.Ccmp ->
+      Add_unit
+  | Instr.Cmul | Instr.Cdiv | Instr.Csqrt | Instr.Cmerge -> Multiply_unit
+
+let of_instr i = Option.map of_vclass (Instr.vclass_of i)
+
+let name = function
+  | Load_store -> "load/store"
+  | Add_unit -> "add"
+  | Multiply_unit -> "multiply"

@@ -1,0 +1,23 @@
+open Convex_isa
+
+(** The three pipelined function units of the C-240 Vector Processor.
+
+    The load/store pipe is the VP's only interface to memory; the add pipe
+    handles additions, negations, logicals and the sum reduction; the
+    multiply pipe handles multiplications, divisions and square roots.  The
+    three pipes may execute different instructions concurrently within a
+    chime. *)
+
+type t = Load_store | Add_unit | Multiply_unit
+
+val all : t list
+val index : t -> int
+val count : int
+val of_vclass : Instr.vclass -> t
+val of_instr : Instr.t -> t option
+(** [None] for scalar instructions. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool

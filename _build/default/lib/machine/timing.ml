@@ -1,0 +1,58 @@
+open Convex_isa
+
+type params = { x : int; y : int; z : float; b : int } [@@deriving show, eq]
+
+let class_index = function
+  | Instr.Cld -> 0
+  | Instr.Cst -> 1
+  | Instr.Cadd -> 2
+  | Instr.Csub -> 3
+  | Instr.Cmul -> 4
+  | Instr.Cdiv -> 5
+  | Instr.Csqrt -> 6
+  | Instr.Csum -> 7
+  | Instr.Cneg -> 8
+  | Instr.Ccmp -> 9
+  | Instr.Cmerge -> 10
+
+type table = params array
+
+let get t c = t.(class_index c)
+
+let make f =
+  let t = Array.make (List.length Instr.all_vclasses) (f Instr.Cld) in
+  List.iter (fun c -> t.(class_index c) <- f c) Instr.all_vclasses;
+  t
+
+let map f t = make (fun c -> f c (get t c))
+
+let c240 =
+  make (function
+    | Instr.Cld -> { x = 2; y = 10; z = 1.0; b = 2 }
+    | Instr.Cst -> { x = 2; y = 10; z = 1.0; b = 4 }
+    | Instr.Cadd -> { x = 2; y = 10; z = 1.0; b = 1 }
+    | Instr.Csub -> { x = 2; y = 10; z = 1.0; b = 1 }
+    | Instr.Cmul -> { x = 2; y = 12; z = 1.0; b = 1 }
+    | Instr.Cdiv -> { x = 2; y = 72; z = 4.0; b = 21 }
+    (* the paper's Table 1 has no square-root row; it runs on the same
+       iterative multiply-pipe unit as divide, so we assume the divide
+       parameters (documented assumption) *)
+    | Instr.Csqrt -> { x = 2; y = 72; z = 4.0; b = 21 }
+    | Instr.Csum -> { x = 2; y = 10; z = 1.35; b = 0 }
+    | Instr.Cneg -> { x = 2; y = 10; z = 1.0; b = 1 }
+    (* comparisons run like adds; merges (vector edits) like multiplies:
+       the paper's Table 1 lists neither, so the pipes' generic rates are
+       assumed (documented) *)
+    | Instr.Ccmp -> { x = 2; y = 10; z = 1.0; b = 1 }
+    | Instr.Cmerge -> { x = 2; y = 12; z = 1.0; b = 1 })
+
+let zero_bubbles t = map (fun _ p -> { p with b = 0 }) t
+let equal t1 t2 = Array.for_all2 equal_params t1 t2
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%a: %a@," Instr.pp_vclass c pp_params (get t c))
+    Instr.all_vclasses;
+  Format.fprintf fmt "@]"

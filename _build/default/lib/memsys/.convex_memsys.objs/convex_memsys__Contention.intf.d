@@ -1,0 +1,1 @@
+lib/memsys/contention.pp.mli: Format

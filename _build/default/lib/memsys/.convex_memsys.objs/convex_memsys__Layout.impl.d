@@ -1,0 +1,1 @@
+lib/memsys/layout.pp.ml: Convex_isa Hashtbl Instr List Printf Program

@@ -1,0 +1,1 @@
+lib/memsys/layout.pp.mli: Convex_isa Instr Program

@@ -1,0 +1,1 @@
+lib/memsys/memory.pp.ml: Array Contention Convex_machine Hashtbl Mem_params

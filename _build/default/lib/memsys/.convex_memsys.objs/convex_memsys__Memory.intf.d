@@ -1,0 +1,1 @@
+lib/memsys/memory.pp.mli: Contention Convex_machine Mem_params

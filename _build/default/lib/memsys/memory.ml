@@ -1,0 +1,87 @@
+open Convex_machine
+
+type t = {
+  params : Mem_params.t;
+  contention : Contention.t;
+  log : (int * int) list ref option;
+  bank_free_at : int array;
+  port_used : (int, unit) Hashtbl.t;
+      (* cycles on which our port slot was consumed; a hash table rather
+         than a high-water mark because the simulator schedules
+         instructions in issue order, so queries arrive out of time
+         order *)
+  mutable accesses : int;
+  mutable conflict_stalls : int;
+  mutable refresh_stalls : int;
+  mutable port_stalls : int;
+}
+
+let create ?(contention = Contention.none) ?log (params : Mem_params.t) =
+  {
+    params;
+    contention;
+    log;
+    bank_free_at = Array.make params.banks 0;
+    port_used = Hashtbl.create 4096;
+    accesses = 0;
+    conflict_stalls = 0;
+    refresh_stalls = 0;
+    port_stalls = 0;
+  }
+
+let reset t =
+  Array.fill t.bank_free_at 0 (Array.length t.bank_free_at) 0;
+  Hashtbl.reset t.port_used;
+  t.accesses <- 0;
+  t.conflict_stalls <- 0;
+  t.refresh_stalls <- 0;
+  t.port_stalls <- 0
+
+(* The refresh window sits at the end of each period so that short runs
+   starting at cycle 0 are not unrealistically hit by a refresh on their
+   first access (real runs start at a random refresh phase). *)
+let refresh_active t ~cycle =
+  t.params.refresh_duration > 0
+  && t.params.refresh_period <> max_int
+  && cycle mod t.params.refresh_period
+     >= t.params.refresh_period - t.params.refresh_duration
+
+let port_stolen t ~cycle = Contention.sampler t.contention cycle
+
+let bank_of t ~word =
+  let b = word mod t.params.banks in
+  if b < 0 then b + t.params.banks else b
+
+let try_access t ~cycle ~word =
+  if refresh_active t ~cycle then begin
+    t.refresh_stalls <- t.refresh_stalls + 1;
+    false
+  end
+  else if Hashtbl.mem t.port_used cycle then begin
+    t.port_stalls <- t.port_stalls + 1;
+    false
+  end
+  else if port_stolen t ~cycle then begin
+    t.port_stalls <- t.port_stalls + 1;
+    false
+  end
+  else
+    let bank = bank_of t ~word in
+    if t.bank_free_at.(bank) > cycle then begin
+      t.conflict_stalls <- t.conflict_stalls + 1;
+      false
+    end
+    else begin
+      t.bank_free_at.(bank) <- cycle + t.params.bank_busy_cycles;
+      Hashtbl.replace t.port_used cycle ();
+      t.accesses <- t.accesses + 1;
+      (match t.log with
+      | Some r -> r := (cycle, word) :: !r
+      | None -> ());
+      true
+    end
+
+let stats_accesses t = t.accesses
+let stats_conflict_stalls t = t.conflict_stalls
+let stats_refresh_stalls t = t.refresh_stalls
+let stats_port_stalls t = t.port_stalls

@@ -1,0 +1,49 @@
+open Convex_machine
+
+(** Cycle-level model of one CPU's view of the C-240 memory system.
+
+    The model tracks per-bank busy times (bank = word address modulo the
+    bank count, 8-cycle bank cycle time), the periodic refresh window
+    (every 400 cycles, 8 cycles long, during which no bank accepts a new
+    access), and optional port contention from other CPUs.  A unit-stride
+    stream on an idle machine sustains exactly one access per cycle, the
+    peak the paper cites; stride-16 or stride-32 streams collide in the
+    banks and are throttled, which is how the simulator exposes nonunit
+    stride costs the MA/MAC bounds ignore. *)
+
+type t
+
+val create :
+  ?contention:Contention.t ->
+  ?log:(int * int) list ref ->
+  Mem_params.t ->
+  t
+(** [log], when provided, receives every accepted access as a
+    [(cycle, word)] pair (prepended; callers sort).  Used by the
+    co-simulator to capture exact solo access streams. *)
+
+val reset : t -> unit
+(** Clear bank state (contention and parameters are kept). *)
+
+val refresh_active : t -> cycle:int -> bool
+
+val port_stolen : t -> cycle:int -> bool
+
+val try_access : t -> cycle:int -> word:int -> bool
+(** Attempt a one-word access at [cycle].  Succeeds iff no refresh is in
+    progress, the port is not stolen, and the addressed bank is idle; on
+    success the bank is busy for the bank cycle time.  At most one access
+    per cycle is accepted (single port); a second call for the same cycle
+    returns [false]. *)
+
+val bank_of : t -> word:int -> int
+
+val stats_accesses : t -> int
+(** Accesses accepted since creation/reset. *)
+
+val stats_conflict_stalls : t -> int
+(** Failed attempts due to a busy bank. *)
+
+val stats_refresh_stalls : t -> int
+
+val stats_port_stalls : t -> int

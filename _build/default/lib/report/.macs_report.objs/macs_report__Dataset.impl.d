@@ -1,0 +1,1 @@
+lib/report/dataset.ml: Array Convex_machine Fcc Lfk List Machine Macs

@@ -1,0 +1,1 @@
+lib/report/dataset.mli: Contention Convex_machine Convex_memsys Fcc Machine Macs

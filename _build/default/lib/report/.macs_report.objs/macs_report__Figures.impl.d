@@ -1,0 +1,1 @@
+lib/report/figures.ml: Asm Buffer Chart Convex_isa Convex_machine Convex_memsys Convex_vpsim Dataset Fcc Instr Job Lfk List Macs Macs_util Paper Printf Reg Sim String

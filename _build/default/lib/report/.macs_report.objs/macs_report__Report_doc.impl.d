@@ -1,0 +1,1 @@
+lib/report/report_doc.ml: Buffer Dataset Figures Fun List Printf String Suite Tables

@@ -1,0 +1,1 @@
+lib/report/suite.ml: Array Convex_machine Convex_vpsim Fcc Float Job Lfk List Machine Macs Macs_util Measure Printf Store Table

@@ -1,0 +1,1 @@
+lib/report/suite.mli: Convex_machine Convex_vpsim Fcc Lfk Machine

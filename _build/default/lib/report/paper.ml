@@ -1,0 +1,74 @@
+type kernel_row = {
+  id : int;
+  flops : int;
+  t_ma_cpf : float;
+  t_mac_cpf : float;
+  t_macs_cpf : float;
+  t_p_cpf : float;
+  t_f : int;
+  t_f' : int;
+  t_macs_f : float;
+  t_m : int;
+  t_m' : int;
+  t_macs_m : float;
+  t_macs_cpl : float;
+  t_p_cpl : float;
+  ax : (float * float) option;
+}
+
+let rows =
+  [
+    { id = 1; flops = 5; t_ma_cpf = 0.600; t_mac_cpf = 0.800;
+      t_macs_cpf = 0.840; t_p_cpf = 0.852; t_f = 3; t_f' = 3;
+      t_macs_f = 3.04; t_m = 3; t_m' = 4; t_macs_m = 4.14;
+      t_macs_cpl = 4.20; t_p_cpl = 4.26; ax = Some (3.13, 4.20) };
+    { id = 2; flops = 4; t_ma_cpf = 1.250; t_mac_cpf = 1.500;
+      t_macs_cpf = 1.566; t_p_cpf = 3.773; t_f = 2; t_f' = 2;
+      t_macs_f = 2.03; t_m = 5; t_m' = 6; t_macs_m = 6.22;
+      t_macs_cpl = 6.26; t_p_cpl = 15.09; ax = Some (9.05, 13.39) };
+    { id = 3; flops = 2; t_ma_cpf = 1.000; t_mac_cpf = 1.000;
+      t_macs_cpf = 1.044; t_p_cpf = 1.128; t_f = 1; t_f' = 1;
+      t_macs_f = 1.37; t_m = 2; t_m' = 2; t_macs_m = 2.07;
+      t_macs_cpl = 2.09; t_p_cpl = 2.26; ax = Some (1.47, 2.07) };
+    { id = 4; flops = 2; t_ma_cpf = 1.000; t_mac_cpf = 1.000;
+      t_macs_cpf = 1.226; t_p_cpf = 1.863; t_f = 1; t_f' = 2;
+      t_macs_f = 2.37; t_m = 2; t_m' = 2; t_macs_m = 2.07;
+      t_macs_cpl = 2.45; t_p_cpl = 3.73; ax = Some (2.91, 2.44) };
+    { id = 6; flops = 2; t_ma_cpf = 1.000; t_mac_cpf = 1.000;
+      t_macs_cpf = 1.226; t_p_cpf = 2.632; t_f = 1; t_f' = 1;
+      t_macs_f = 1.37; t_m = 2; t_m' = 2; t_macs_m = 2.07;
+      t_macs_cpl = 2.44; t_p_cpl = 5.26; ax = Some (3.74, 3.29) };
+    { id = 7; flops = 16; t_ma_cpf = 0.500; t_mac_cpf = 0.625;
+      t_macs_cpf = 0.656; t_p_cpf = 0.681; t_f = 8; t_f' = 8;
+      t_macs_f = 9.13; t_m = 4; t_m' = 10; t_macs_m = 10.37;
+      t_macs_cpl = 10.50; t_p_cpl = 10.89; ax = Some (9.55, 10.35) };
+    { id = 8; flops = 36; t_ma_cpf = 0.583; t_mac_cpf = 0.583;
+      t_macs_cpf = 0.824; t_p_cpf = 0.858; t_f = 21; t_f' = 21;
+      t_macs_f = 21.28; t_m = 15; t_m' = 21; t_macs_m = 21.85;
+      t_macs_cpl = 30.15; t_p_cpl = 30.90; ax = Some (22.77, 22.53) };
+    { id = 9; flops = 17; t_ma_cpf = 0.647; t_mac_cpf = 0.647;
+      t_macs_cpf = 0.679; t_p_cpf = 0.749; t_f = 9; t_f' = 9;
+      t_macs_f = 9.13; t_m = 11; t_m' = 11; t_macs_m = 11.41;
+      t_macs_cpl = 11.55; t_p_cpl = 12.73; ax = Some (9.61, 11.62) };
+    { id = 10; flops = 9; t_ma_cpf = 2.222; t_mac_cpf = 2.222;
+      t_macs_cpf = 2.328; t_p_cpf = 2.442; t_f = 9; t_f' = 9;
+      t_macs_f = 9.07; t_m = 20; t_m' = 20; t_macs_m = 20.88;
+      t_macs_cpl = 20.95; t_p_cpl = 21.98; ax = None };
+    { id = 12; flops = 1; t_ma_cpf = 2.000; t_mac_cpf = 3.000;
+      t_macs_cpf = 3.132; t_p_cpf = 3.182; t_f = 1; t_f' = 1;
+      t_macs_f = 1.01; t_m = 2; t_m' = 3; t_macs_m = 3.12;
+      t_macs_cpl = 3.13; t_p_cpl = 3.18; ax = Some (1.05, 3.15) };
+  ]
+
+let row id = List.find (fun r -> r.id = id) rows
+let avg_cpf = (1.080, 1.238, 1.352, 1.900)
+let hmean_mflops = (23.15, 20.19, 17.79, 13.16)
+let clock_mhz = 25.0
+let lfk1_chime_bounds = [ 131.0; 132.0; 132.0; 132.0 ]
+let lfk1_chime_calibrations = [ 131.93; 133.33; 133.33; 132.35 ]
+let lfk1_chime_sum = 527.0
+let lfk1_macs_cycles = 537.54
+let lfk1_measured_cycles = 545.28
+let fig2_chained_cycles = 162.0
+let fig2_unchained_cycles = 422.0
+let fig2_steady_chime = 132.0

@@ -1,0 +1,61 @@
+(** Published values from Boyd & Davidson (ISCA 1993), used as the
+    reference columns of every reproduced table.
+
+    Tables 4 and 5 are taken verbatim from the paper.  The paper's
+    Tables 2 and 3 are partially garbled in our source text; their CPL
+    values were reconstructed from Tables 4 and 5 (the reconstruction is
+    arithmetically exact — see DESIGN.md §7) and are marked as such.
+    Table 5's A/X columns are mapped by physics: the execute-only
+    measurement tracks the f-chime bound, the access-only measurement the
+    m-chime bound.  The LFK10 row of Table 5 is missing from our source
+    text. *)
+
+type kernel_row = {
+  id : int;
+  flops : int;  (** floating-point operations per iteration *)
+  (* Table 4, CPF *)
+  t_ma_cpf : float;
+  t_mac_cpf : float;
+  t_macs_cpf : float;
+  t_p_cpf : float;
+  (* Table 3 (reconstructed) and Table 5, CPL *)
+  t_f : int;
+  t_f' : int;
+  t_macs_f : float;
+  t_m : int;
+  t_m' : int;
+  t_macs_m : float;
+  t_macs_cpl : float;
+  t_p_cpl : float;
+  ax : (float * float) option;  (** (t_x, t_a) measured, when published *)
+}
+
+val rows : kernel_row list
+(** In paper order: LFK 1, 2, 3, 4, 6, 7, 8, 9, 10, 12. *)
+
+val row : int -> kernel_row
+(** By LFK id; raises [Not_found]. *)
+
+val avg_cpf : float * float * float * float
+(** Table 4's AVG row: (MA, MAC, MACS, measured). *)
+
+val hmean_mflops : float * float * float * float
+(** Table 4's MFLOPS row: (23.15, 20.19, 17.79, 13.16). *)
+
+val clock_mhz : float
+
+(** Worked example of §3.5 (LFK1): per-chime bound and calibration-loop
+    cycles, the 527-cycle chime sum, the 537.54-cycle MACS bound, and the
+    545.28-cycle measurement. *)
+
+val lfk1_chime_bounds : float list
+val lfk1_chime_calibrations : float list
+val lfk1_chime_sum : float
+val lfk1_macs_cycles : float
+val lfk1_measured_cycles : float
+
+(** Figure 2 reference points. *)
+
+val fig2_chained_cycles : float
+val fig2_unchained_cycles : float
+val fig2_steady_chime : float

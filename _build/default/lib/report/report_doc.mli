@@ -1,0 +1,11 @@
+(** Render the complete artifact set — every reproduced table and figure
+    plus the extensions — as a single Markdown document, suitable for
+    committing alongside the code or attaching to a report. *)
+
+val sections : unit -> (string * string) list
+(** [(title, body)] pairs in presentation order.  Bodies are preformatted
+    ASCII (to be fenced in Markdown). *)
+
+val to_markdown : unit -> string
+
+val write_file : string -> unit

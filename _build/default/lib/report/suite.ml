@@ -1,0 +1,99 @@
+open Convex_machine
+open Convex_vpsim
+
+type row = {
+  kernel : Lfk.Kernel.t;
+  mode : Job.mode;
+  cpl : float;
+  cpf : float;
+  mflops : float;
+  checksum : float;
+  checksum_ok : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  rows : row list;
+  vector_hmean_mflops : float;
+  overall_hmean_mflops : float;
+}
+
+let checksum_of_store (k : Lfk.Kernel.t) store =
+  List.fold_left
+    (fun acc name ->
+      Array.fold_left ( +. ) acc (Store.get store name))
+    0.0
+    (Lfk.Reference.output_arrays k)
+
+let run_kernel machine opt (k : Lfk.Kernel.t) =
+  let c = Fcc.Compiler.compile ~opt k in
+  let layout = Macs.Hierarchy.layout_of c in
+  let m =
+    Measure.run ~machine ~layout ~flops_per_iteration:c.flops_per_iteration
+      c.job
+  in
+  let got = Fcc.Compiler.run_interp c in
+  let want = Lfk.Data.store_of k in
+  Lfk.Reference.run k want;
+  let checksum = checksum_of_store k got in
+  let expected = checksum_of_store k want in
+  let checksum_ok =
+    Float.abs (checksum -. expected)
+    <= 1e-9 *. (Float.abs expected +. 1.0)
+  in
+  {
+    kernel = k;
+    mode = c.mode;
+    cpl = m.Measure.cpl;
+    cpf = m.Measure.cpf;
+    mflops = m.Measure.mflops;
+    checksum;
+    checksum_ok;
+  }
+
+let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61) () =
+  let kernels = Lfk.Kernels.all @ Lfk.Kernels.scalar_kernels in
+  let kernels =
+    List.sort (fun (a : Lfk.Kernel.t) b -> compare a.id b.id) kernels
+  in
+  let rows = List.map (run_kernel machine opt) kernels in
+  let hmean sel =
+    let cpfs =
+      rows |> List.filter sel |> List.map (fun r -> r.cpf) |> Array.of_list
+    in
+    Macs.Units.hmean_mflops ~clock_mhz:machine.Machine.clock_mhz
+      ~cpf_values:cpfs
+  in
+  {
+    machine;
+    rows;
+    vector_hmean_mflops = hmean (fun r -> r.mode = Job.Vector);
+    overall_hmean_mflops = hmean (fun _ -> true);
+  }
+
+let render t =
+  let open Macs_util in
+  let tbl =
+    Table.create
+      ~header:
+        [ "LFK"; "mode"; "CPL"; "CPF"; "MFLOPS"; "checksum"; "verified" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          Table.cell_int r.kernel.id;
+          (match r.mode with Job.Vector -> "vector" | Job.Scalar -> "scalar");
+          Table.cell_float ~decimals:3 r.cpl;
+          Table.cell_float ~decimals:3 r.cpf;
+          Table.cell_float ~decimals:2 r.mflops;
+          Printf.sprintf "%.6e" r.checksum;
+          (if r.checksum_ok then "ok" else "MISMATCH");
+        ])
+    t.rows;
+  Printf.sprintf
+    "Livermore suite on the simulated %s\n%s\n\nharmonic-mean MFLOPS: \
+     %.2f over the ten vectorized kernels, %.2f over all twelve\n"
+    t.machine.Machine.name (Table.render tbl) t.vector_hmean_mflops
+    t.overall_hmean_mflops

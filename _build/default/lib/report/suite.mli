@@ -1,0 +1,32 @@
+open Convex_machine
+
+(** The full Livermore run: all twelve kernels of the paper's benchmark
+    range (ten vectorized, two scalar-mode), executed and verified the way
+    the original LFK driver reports — per-kernel rates, output checksums
+    against the reference implementations, and the harmonic-mean summary.
+    This is the "run the whole benchmark" entry point a user of the
+    library reaches for first. *)
+
+type row = {
+  kernel : Lfk.Kernel.t;
+  mode : Convex_vpsim.Job.mode;
+  cpl : float;
+  cpf : float;
+  mflops : float;
+  checksum : float;  (** sum over the kernel's output arrays after the run *)
+  checksum_ok : bool;  (** matches the reference implementation's checksum *)
+}
+
+type t = {
+  machine : Machine.t;
+  rows : row list;
+  vector_hmean_mflops : float;  (** over the ten vectorized kernels *)
+  overall_hmean_mflops : float;  (** over all twelve *)
+}
+
+val run : ?machine:Machine.t -> ?opt:Fcc.Opt_level.t -> unit -> t
+
+val render : t -> string
+
+val checksum_of_store : Lfk.Kernel.t -> Convex_vpsim.Store.t -> float
+(** Sum of the kernel's output arrays — the LFK-style result signature. *)

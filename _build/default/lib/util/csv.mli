@@ -1,0 +1,14 @@
+(** Minimal CSV emission (RFC-4180-style quoting) so benchmark results can be
+    exported for external plotting. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val row : string list -> string
+(** Render one row, no trailing newline. *)
+
+val render : header:string list -> string list list -> string
+(** Render header plus rows, rows separated by ['\n'], trailing newline. *)
+
+val write_file : string -> header:string list -> string list list -> unit
+(** [write_file path ~header rows] writes the CSV to [path]. *)

@@ -1,0 +1,91 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let harmonic_mean xs =
+  check_nonempty "Stats.harmonic_mean" xs;
+  let sum_inv =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.harmonic_mean: nonpositive element"
+        else acc +. (1.0 /. x))
+      0.0 xs
+  in
+  float_of_int (Array.length xs) /. sum_inv
+
+let geometric_mean xs =
+  check_nonempty "Stats.geometric_mean" xs;
+  let sum_log =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then
+          invalid_arg "Stats.geometric_mean: nonpositive element"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (sum_log /. float_of_int (Array.length xs))
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let sum_sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sum_sq /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let median xs =
+  check_nonempty "Stats.median" xs;
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2)
+  else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then ys.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. w)) +. (ys.(hi) *. w)
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let nf = float_of_int n in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: degenerate abscissae";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  (intercept, slope)
+
+let rel_error ~actual ~expected =
+  if expected = 0.0 then invalid_arg "Stats.rel_error: expected is zero";
+  Float.abs (actual -. expected) /. Float.abs expected
+
+let within ~tolerance ~actual ~expected =
+  rel_error ~actual ~expected <= tolerance

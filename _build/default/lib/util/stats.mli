@@ -1,0 +1,46 @@
+(** Small statistics toolkit used by the bounds model, the calibration
+    harness, and the report generators.
+
+    All functions operate on [float array] or [float list] inputs and raise
+    [Invalid_argument] on empty input unless stated otherwise. *)
+
+val mean : float array -> float
+(** Arithmetic mean. *)
+
+val harmonic_mean : float array -> float
+(** Harmonic mean; every element must be strictly positive.  Used to convert
+    average CPF into the paper's HMEAN MFLOPS figure (eq. 4). *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; every element must be strictly positive. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. *)
+
+val median : float array -> float
+(** Median (average of the two central elements for even lengths).  Does not
+    modify its argument. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] for [p] in [0;100], linear interpolation between
+    order statistics.  Does not modify its argument. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] returns [(intercept, slope)] of the least-squares line
+    through [pts].  Used by the calibration harness to recover [X + Y] and
+    [Z] from measured [cycles = (X+Y) + Z * vl] samples.  Requires at least
+    two distinct abscissae. *)
+
+val rel_error : actual:float -> expected:float -> float
+(** [rel_error ~actual ~expected] is [|actual - expected| / |expected|].
+    [expected] must be nonzero. *)
+
+val within : tolerance:float -> actual:float -> expected:float -> bool
+(** [within ~tolerance ~actual ~expected] tests relative error against
+    [tolerance] (e.g. [0.02] for 2%). *)

@@ -1,0 +1,78 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  header : string list;
+  aligns : align list;
+  width : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~header () =
+  let width = List.length header in
+  let aligns =
+    match aligns with
+    | None -> List.init width (fun _ -> Right)
+    | Some a ->
+        if List.length a <> width then
+          invalid_arg "Table.create: aligns length mismatch"
+        else a
+  in
+  { header; aligns; width; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let total = width - n in
+    match align with
+    | Left -> s ^ String.make total ' '
+    | Right -> String.make total ' ' ^ s
+    | Center ->
+        let left = total / 2 in
+        String.make left ' ' ^ s ^ String.make (total - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let note_widths cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells cs -> note_widths cs | Separator -> ()) rows;
+  let render_cells cells =
+    let parts =
+      List.mapi
+        (fun i c ->
+          let a = List.nth t.aligns i in
+          pad a widths.(i) c)
+        cells
+    in
+    String.concat " | " parts
+  in
+  let rule =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body =
+    List.map (function Cells cs -> render_cells cs | Separator -> rule) rows
+  in
+  String.concat "\n" (render_cells t.header :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_int = string_of_int
+let cell_pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+let cell_opt f = function None -> "-" | Some v -> f v

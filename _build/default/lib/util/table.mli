@@ -1,0 +1,40 @@
+(** ASCII table rendering for the report generators.
+
+    A table is a header row plus data rows of equal width.  Cells are plain
+    strings; alignment is per column.  The renderer pads with spaces and
+    draws a separator under the header, matching the look used throughout
+    EXPERIMENTS.md and the bench output. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Right] for
+    every column.  Raises [Invalid_argument] if [aligns] is given with a
+    length different from [header]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] on width mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows such as AVG). *)
+
+val render : t -> string
+(** Render to a string, one line per row, no trailing newline. *)
+
+val print : t -> unit
+(** [render] then print to stdout with a trailing newline. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 3 decimals (the paper's precision). *)
+
+val cell_int : int -> string
+
+val cell_pct : float -> string
+(** [cell_pct 0.704] is ["70.4%"]. *)
+
+val cell_opt : ('a -> string) -> 'a option -> string
+(** [None] renders as ["-"], matching the paper's "no change" dashes. *)

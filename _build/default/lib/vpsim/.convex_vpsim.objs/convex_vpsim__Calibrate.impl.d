@@ -1,0 +1,1 @@
+lib/vpsim/calibrate.pp.ml: Convex_isa Convex_machine Instr Job List Machine Macs_util Reg Sim

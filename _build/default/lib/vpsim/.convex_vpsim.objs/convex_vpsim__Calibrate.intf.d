@@ -1,0 +1,1 @@
+lib/vpsim/calibrate.pp.mli: Convex_isa Convex_machine Instr Machine

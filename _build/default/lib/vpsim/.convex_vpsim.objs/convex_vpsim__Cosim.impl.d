@@ -1,0 +1,1 @@
+lib/vpsim/cosim.pp.ml: Array Convex_machine Float Format List Machine Mem_params Sim

@@ -1,0 +1,1 @@
+lib/vpsim/cosim.pp.mli: Convex_machine Format Job Machine

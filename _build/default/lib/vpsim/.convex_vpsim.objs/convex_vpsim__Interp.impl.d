@@ -1,0 +1,1 @@
+lib/vpsim/interp.pp.ml: Array Convex_isa Float Instr Job List Printf Reg Store

@@ -1,0 +1,1 @@
+lib/vpsim/interp.pp.mli: Job Store

@@ -1,0 +1,1 @@
+lib/vpsim/job.pp.ml: Convex_isa Instr List Option Program String

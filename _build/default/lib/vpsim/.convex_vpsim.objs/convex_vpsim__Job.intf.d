@@ -1,0 +1,1 @@
+lib/vpsim/job.pp.mli: Convex_isa Instr Program

@@ -1,0 +1,1 @@
+lib/vpsim/measure.pp.ml: Convex_machine Format Machine Sim

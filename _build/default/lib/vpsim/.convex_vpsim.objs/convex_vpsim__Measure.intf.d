@@ -1,0 +1,1 @@
+lib/vpsim/measure.pp.mli: Contention Convex_machine Convex_memsys Format Job Layout Machine Sim

@@ -1,0 +1,1 @@
+lib/vpsim/parallel.pp.ml: Contention Convex_machine Convex_memsys Float Format Job List Machine Measure Sim

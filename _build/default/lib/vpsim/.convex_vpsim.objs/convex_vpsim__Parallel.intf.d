@@ -1,0 +1,1 @@
+lib/vpsim/parallel.pp.mli: Convex_machine Format Job Machine Measure

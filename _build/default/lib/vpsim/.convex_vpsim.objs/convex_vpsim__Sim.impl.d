@@ -1,0 +1,1 @@
+lib/vpsim/sim.pp.ml: Array Asm Contention Convex_isa Convex_machine Convex_memsys Float Format Fun Instr Job Layout List Machine Memory Option Pipe Reg Timing

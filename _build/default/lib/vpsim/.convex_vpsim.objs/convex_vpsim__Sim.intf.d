@@ -1,0 +1,1 @@
+lib/vpsim/sim.pp.mli: Contention Convex_isa Convex_machine Convex_memsys Format Instr Job Layout Machine

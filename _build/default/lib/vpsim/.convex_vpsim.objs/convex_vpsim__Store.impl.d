@@ -1,0 +1,1 @@
+lib/vpsim/store.pp.ml: Array Hashtbl List Printf

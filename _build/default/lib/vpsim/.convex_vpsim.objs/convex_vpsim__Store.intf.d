@@ -1,0 +1,1 @@
+lib/vpsim/store.pp.mli:

@@ -1,0 +1,1 @@
+lib/vpsim/trace_export.pp.ml: Asm Buffer Convex_isa Convex_machine Float Fun List Printf Sim String

@@ -1,0 +1,1 @@
+lib/vpsim/trace_export.pp.mli: Sim

@@ -1,0 +1,55 @@
+open Convex_machine
+
+(** Trace-replay co-simulation of the shared memory system.
+
+    Where {!Parallel} models cross-CPU interference with a calibrated
+    steal probability, this module makes it {e emerge}: each workload
+    first runs solo (traced), its memory accesses are reconstructed as a
+    time-stamped stream, and the streams of up to four CPUs are then
+    replayed together, cycle by cycle, against the shared banks — each
+    CPU has its own port (as on the C-240), but a bank in its busy window
+    rejects everyone.  A rejected access slips that CPU's entire remaining
+    stream by a cycle, so contention compounds exactly as queueing does.
+
+    The paper's §4.2 rules of thumb then fall out rather than being
+    dialed in: identical lockstep streams interleave cleanly across banks
+    (the 5–10% case), while unrelated programs collide irregularly (the
+    ~20% case), and memory-saturated codes expose the most degradation. *)
+
+type access = { cycle : int; word : int }
+
+type stream = {
+  name : string;
+  accesses : access list;  (** time-ordered solo access stream *)
+  solo_cycles : float;
+}
+
+type cpu_outcome = {
+  stream : stream;
+  delay : int;  (** cycles of slip accumulated by the replay *)
+  slowdown : float;  (** (solo + delay) / solo *)
+}
+
+type t = { cpus : cpu_outcome list; average_slowdown : float }
+
+val stream_of_job :
+  ?machine:Machine.t -> name:string -> Job.t -> stream
+(** Solo-run the job (traced) and reconstruct its memory-access stream:
+    each vector memory instruction contributes one access per element
+    starting at its observed start cycle; scalar accesses contribute one.
+    Bank addresses come from the same layout the run used. *)
+
+val replay :
+  ?machine:Machine.t -> ?stagger:int -> ?equalize:bool -> stream list -> t
+(** Replay up to four streams against shared banks.  [stagger] offsets
+    CPU [i]'s start by [i * stagger] cycles (default 3 — processes never
+    start on the same cycle).  [equalize] (default true) repeats shorter
+    streams until they cover the longest, modeling a machine that stays
+    loaded; per-CPU slip is then averaged back to one repetition.  Raises
+    [Invalid_argument] on an empty list or more than four streams. *)
+
+val run :
+  ?machine:Machine.t -> ?stagger:int -> (Job.t * string) list -> t
+(** [stream_of_job] each workload, then [replay]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Functional (timing-free) interpreter for jobs.
+
+    Executes a job's instructions over a {!Store.t}, giving the compiled
+    code a reference semantics: tests compare its results against the
+    direct OCaml implementations of the Livermore kernels to establish that
+    the compiler substrate preserves meaning before its output is fed to
+    the timing model.
+
+    Scalar registers are initialised from [sregs]; vector registers start
+    zero-filled.  [Sop], [Smovvl] and [Sbranch] are no-ops (the driver
+    performs loop control).  Out-of-bounds accesses raise {!Error}. *)
+
+exception Error of string
+
+val run :
+  ?max_vl:int ->
+  ?sregs:(int * float) list ->
+  store:Store.t ->
+  Job.t ->
+  float array
+(** Run all segments and strips; returns the final scalar register file
+    (length {!Convex_isa.Reg.scalar_count}).  [max_vl] defaults to 128. *)

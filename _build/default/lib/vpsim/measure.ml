@@ -1,0 +1,28 @@
+open Convex_machine
+
+type t = {
+  cpl : float;
+  cpf : float;
+  mflops : float;
+  cycles : float;
+  stats : Sim.stats;
+}
+
+let run ?(machine = Machine.c240) ?layout ?contention ~flops_per_iteration job
+    =
+  if flops_per_iteration <= 0 then
+    invalid_arg "Measure.run: nonpositive flops_per_iteration";
+  let r = Sim.run ~machine ?layout ?contention job in
+  let cpl = Sim.cpl r in
+  let cpf = cpl /. float_of_int flops_per_iteration in
+  {
+    cpl;
+    cpf;
+    mflops = Machine.mflops_of_cpf machine cpf;
+    cycles = r.stats.cycles;
+    stats = r.stats;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt "%.3f CPL, %.3f CPF, %.2f MFLOPS (%.0f cycles)" m.cpl
+    m.cpf m.mflops m.cycles

@@ -1,0 +1,24 @@
+open Convex_machine
+open Convex_memsys
+
+(** High-level measurement wrapper: runs a job on the simulator and reports
+    the paper's units. *)
+
+type t = {
+  cpl : float;  (** cycles per original inner-loop iteration *)
+  cpf : float;  (** cycles per floating-point operation *)
+  mflops : float;
+  cycles : float;
+  stats : Sim.stats;
+}
+
+val run :
+  ?machine:Machine.t ->
+  ?layout:Layout.t ->
+  ?contention:Contention.t ->
+  flops_per_iteration:int ->
+  Job.t ->
+  t
+(** Raises [Invalid_argument] if [flops_per_iteration <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

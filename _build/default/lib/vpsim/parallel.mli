@@ -1,0 +1,47 @@
+open Convex_machine
+
+(** Multi-CPU throughput model (paper §2 and §4.2).
+
+    The C-240 runs four CPUs against 32 shared banks; the paper's rules of
+    thumb: four {e different} programs typically cost ~20% each to memory
+    contention, while four processes of the {e same} executable fall into
+    lockstep and cost only 5–10%.
+
+    This module models a P-CPU run in two passes: each workload first runs
+    alone to measure its memory-port pressure (accesses per cycle), then
+    re-runs with cross-CPU contention sampled at a steal probability
+    proportional to the other CPUs' combined pressure.  Lockstep runs
+    (identical workloads) interleave their access patterns and see a
+    reduced effective steal.  The proportionality constants are calibrated
+    to land the paper's two rules of thumb for memory-saturated codes. *)
+
+type cpu = {
+  job : Job.t;
+  flops_per_iteration : int;
+  alone : Measure.t;  (** solo measurement (pass 1) *)
+  contended : Measure.t;  (** with the other CPUs running (pass 2) *)
+  pressure : float;  (** solo memory accesses per cycle *)
+  slowdown : float;  (** contended CPL / solo CPL *)
+}
+
+type t = {
+  lockstep : bool;
+  cpus : cpu list;
+  average_slowdown : float;
+}
+
+val run :
+  ?machine:Machine.t ->
+  ?lockstep:bool ->
+  (Job.t * int) list ->
+  t
+(** [run workloads] simulates each [(job, flops)] on its own CPU.
+    [lockstep] defaults to detecting it: true iff all jobs share a name.
+    Raises [Invalid_argument] on an empty list or more than four
+    workloads (the C-240 has four CPUs). *)
+
+val replicate : Job.t * int -> int -> (Job.t * int) list
+(** [replicate w p] is [p] copies of the workload — the
+    same-executable-everywhere experiment. *)
+
+val pp : Format.formatter -> t -> unit

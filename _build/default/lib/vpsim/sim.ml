@@ -1,0 +1,448 @@
+open Convex_isa
+open Convex_machine
+open Convex_memsys
+
+type event = {
+  instr : Instr.t;
+  strip : int;
+  issue : float;
+  start : float;
+  first_result : float;
+  completion : float;
+}
+
+type stats = {
+  cycles : float;
+  elements : int;
+  instructions : int;
+  strips : int;
+  mem_accesses : int;
+  bank_conflict_stalls : int;
+  refresh_stalls : int;
+  port_stalls : int;
+  pipe_busy : (string * float) list;
+}
+
+type result = { stats : stats; events : event list }
+
+(* An executing (or executed) vector instruction.  [enter.(e)] is the cycle
+   at which element [e] entered the first stage of the function pipe;
+   results stream out [y] cycles later.  [source_unit] is the function unit
+   ultimately pacing this instruction's element stream: itself if it starts
+   unchained, the producer's source if it chains — tailgate bubbles of
+   chained consumers are charged back to that unit (back-pressure). *)
+type inflight = {
+  instr : Instr.t;
+  enter : float array;
+  y : float;
+  completion : float;
+  source_unit : int;
+  unit_id : int;
+}
+
+type unit_state = { mutable used : bool; mutable next_accept : float }
+
+(* latency of a scalar load (cache) and a scalar FP ALU operation *)
+let scalar_load_latency = 4.0
+let scalar_fp_latency = 3.0
+
+let result_at w e =
+  let n = Array.length w.enter in
+  w.enter.(min e (n - 1)) +. w.y
+
+let enter_at w e =
+  let n = Array.length w.enter in
+  w.enter.(min e (n - 1))
+
+let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
+    ?access_log ?(trace = false) (job : Job.t) =
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Layout.build (List.map (fun a -> (a, 8192)) (Job.arrays job))
+  in
+  let memory = Memory.create ~contention ?log:access_log machine.memory in
+  (* function unit instances: load/store units first, then add, then
+     multiply *)
+  let lsu_n = machine.pipes.load_store in
+  let add_n = machine.pipes.add_unit in
+  let mul_n = machine.pipes.multiply_unit in
+  let n_units = lsu_n + add_n + mul_n in
+  let units =
+    Array.init n_units (fun _ -> { used = false; next_accept = 0.0 })
+  in
+  let unit_ids = function
+    | Pipe.Load_store -> List.init lsu_n Fun.id
+    | Pipe.Add_unit -> List.init add_n (fun i -> lsu_n + i)
+    | Pipe.Multiply_unit -> List.init mul_n (fun i -> lsu_n + add_n + i)
+  in
+  let unit_last_start = Array.make n_units 0.0 in
+  let pipe_busy = Array.make Pipe.count 0.0 in
+  let vwriter : inflight option array = Array.make Reg.vector_count None in
+  let vm_writer : inflight option ref = ref None in
+  let vreaders : inflight list array = Array.make Reg.vector_count [] in
+  let sready = Array.make Reg.scalar_count 0.0 in
+  let issue_front = ref 0.0 in
+  let finish = ref 0.0 in
+  let active : inflight list ref = ref [] in
+  (* outstanding stores as (lo_word, hi_word, completion): a later load
+     overlapping the range must wait — memory RAW dependences, which
+     serialize LFK2's ICCG passes and LFK6's recurrence *)
+  let stores : (int * int * float) list ref = ref [] in
+  let store_dep ~lo ~hi =
+    List.fold_left
+      (fun acc (l, h, c) -> if h >= lo && l <= hi then Float.max acc c else acc)
+      0.0 !stores
+  in
+  let note_store ~lo ~hi ~completion ~now =
+    if List.length !stores > 64 then
+      stores := List.filter (fun (_, _, c) -> c > now) !stores;
+    stores := (lo, hi, completion) :: !stores
+  in
+  let events = ref [] in
+  let instructions = ref 0 in
+  let strips = ref 0 in
+  let record ev = if trace then events := ev :: !events in
+  let note_finish t = if t > !finish then finish := t in
+
+  let acquire_mem ~earliest ~word =
+    let c = ref (int_of_float (Float.ceil earliest)) in
+    let guard = ref 0 in
+    while not (Memory.try_access memory ~cycle:!c ~word) do
+      incr c;
+      incr guard;
+      if !guard > 1_000_000 then failwith "Sim: memory livelock"
+    done;
+    float_of_int !c
+  in
+
+  let shift_of (seg : Job.segment) array =
+    match List.assoc_opt array seg.shifts with Some s -> s | None -> 0
+  in
+
+  let word_for (seg : Job.segment) (m : Instr.mem) ~base_index ~element =
+    Layout.word_of layout m ~base_index ~element + shift_of seg m.array
+  in
+
+  (* ---- scalar instructions ---- *)
+  let exec_scalar (seg : Job.segment) ~base_index ~strip i =
+    let sdeps =
+      List.fold_left (fun acc r -> Float.max acc sready.(Reg.s_index r)) 0.0
+        (Instr.reads_s i)
+    in
+    let t0 = Float.max !issue_front sdeps in
+    let fin =
+      match i with
+      | Instr.Sld { dst; src } ->
+          let word = word_for seg src ~base_index ~element:0 in
+          let t0 = Float.max t0 (store_dep ~lo:word ~hi:word) in
+          let t_acc = acquire_mem ~earliest:t0 ~word in
+          sready.(Reg.s_index dst) <- t_acc +. scalar_load_latency;
+          issue_front := t_acc +. float_of_int machine.scalar_memory_cycles;
+          t_acc +. scalar_load_latency
+      | Sst { dst; _ } ->
+          let word = word_for seg dst ~base_index ~element:0 in
+          let t_acc = acquire_mem ~earliest:t0 ~word in
+          issue_front := t_acc +. float_of_int machine.scalar_memory_cycles;
+          note_store ~lo:word ~hi:word ~completion:(t_acc +. 1.0) ~now:t0;
+          t_acc +. 1.0
+      | Sbin { dst; _ } ->
+          sready.(Reg.s_index dst) <- t0 +. scalar_fp_latency;
+          issue_front := t0 +. float_of_int machine.scalar_cycles;
+          t0 +. scalar_fp_latency
+      | Sop _ | Smovvl | Sbranch ->
+          issue_front := t0 +. float_of_int machine.scalar_cycles;
+          t0 +. float_of_int machine.scalar_cycles
+      | Vld _ | Vst _ | Vgather _ | Vscatter _ | Vbin _ | Vneg _ | Vsqrt _
+      | Vcmp _ | Vmerge _ | Vsum _ ->
+          invalid_arg "Sim.exec_scalar: vector instruction"
+    in
+    note_finish fin;
+    record
+      { instr = i; strip; issue = t0; start = t0; first_result = fin;
+        completion = fin }
+  in
+
+  (* ---- vector instructions ---- *)
+  let exec_vector (seg : Job.segment) ~base_index ~strip ~vl i =
+    let cls = Option.get (Instr.vclass_of i) in
+    let p = Timing.get machine.timing cls in
+    let pipe = Pipe.of_vclass cls in
+    (* choose the least-busy unit instance of the pipe *)
+    let u =
+      List.fold_left
+        (fun best id ->
+          if units.(id).next_accept < units.(best).next_accept then id
+          else best)
+        (List.hd (unit_ids pipe))
+        (unit_ids pipe)
+    in
+    (* in-order issue with bounded run-ahead: issue of this instruction
+       cannot begin before the previous instruction on the same unit has
+       started *)
+    let issue_t = Float.max !issue_front unit_last_start.(u) in
+    let arrive = issue_t +. float_of_int p.x in
+    issue_front := arrive;
+    let sdep =
+      List.fold_left (fun acc r -> Float.max acc sready.(Reg.s_index r)) 0.0
+        (Instr.reads_s i)
+    in
+    let srcs = Instr.reads_v i in
+    let dsts = Instr.writes_v i in
+    let producers =
+      List.filter_map (fun r -> vwriter.(Reg.v_index r)) srcs
+      @ (if Instr.reads_merge i then Option.to_list !vm_writer else [])
+    in
+    let waw =
+      List.filter_map (fun r -> vwriter.(Reg.v_index r)) dsts
+    in
+    let war =
+      List.concat_map (fun r -> vreaders.(Reg.v_index r)) dsts
+    in
+    let ready e =
+      let chain =
+        List.fold_left (fun acc w -> Float.max acc (result_at w e)) 0.0
+          producers
+      in
+      let waw_c =
+        List.fold_left (fun acc w -> Float.max acc (enter_at w e +. 1.0)) 0.0
+          waw
+      in
+      let war_c =
+        List.fold_left (fun acc w -> Float.max acc (enter_at w e +. 1.0)) 0.0
+          war
+      in
+      Float.max chain (Float.max waw_c war_c)
+    in
+    let pipe_c =
+      if units.(u).used then units.(u).next_accept +. float_of_int p.b
+      else 0.0
+    in
+    let mem = Instr.mem_ref i in
+    let is_vmem = Instr.is_vector_memory i in
+    let mem_range =
+      match (is_vmem, mem) with
+      | true, Some m -> (
+          match i with
+          | Instr.Vgather _ | Instr.Vscatter _ ->
+              (* data-dependent addresses: conservatively cover the array *)
+              let b = Layout.base_of layout m.array in
+              Some (b, b + 0xFFFF)
+          | _ ->
+              let w0 = word_for seg m ~base_index ~element:0 in
+              let w1 = word_for seg m ~base_index ~element:(vl - 1) in
+              Some (min w0 w1, max w0 w1))
+      | _ -> None
+    in
+    let raw_dep =
+      match (i, mem_range) with
+      | (Instr.Vld _ | Instr.Vgather _), Some (lo, hi) -> store_dep ~lo ~hi
+      | _ -> 0.0
+    in
+    let t0 =
+      Float.max raw_dep
+        (Float.max arrive (Float.max pipe_c (Float.max (ready 0) sdep)))
+    in
+    (* Register-pair port limits: at most [pair_read_limit] reads and
+       [pair_write_limit] writes per pair among chime-concurrent
+       instructions.  Two instructions are chime-concurrent when their
+       element-entry windows overlap — tailgating instructions in
+       successive chimes reuse pairs freely.  A violation delays the start
+       past the end of the earliest conflicting entry window. *)
+    active := List.filter (fun w -> w.completion > t0) !active;
+    let entry_end w = w.enter.(Array.length w.enter - 1) in
+    let my_span = p.z *. float_of_int (max 0 (vl - 1)) in
+    let pair_conflict_until t0 =
+      let my_end = t0 +. my_span in
+      let live =
+        List.filter
+          (fun w -> entry_end w >= t0 && w.enter.(0) <= my_end)
+          !active
+      in
+      let conflicts = ref [] in
+      for pid = 0 to Reg.pair_count - 1 do
+        let in_pair rs =
+          List.length (List.filter (fun r -> Reg.pair_id r = pid) rs)
+        in
+        let reads =
+          in_pair srcs
+          + List.fold_left (fun a w -> a + in_pair (Instr.reads_v w.instr)) 0
+              live
+        in
+        let writes =
+          in_pair dsts
+          + List.fold_left (fun a w -> a + in_pair (Instr.writes_v w.instr)) 0
+              live
+        in
+        if
+          (in_pair srcs > 0 || in_pair dsts > 0)
+          && (reads > machine.pair_read_limit
+             || writes > machine.pair_write_limit)
+        then
+          List.iter
+            (fun w ->
+              if
+                in_pair (Instr.reads_v w.instr) > 0
+                || in_pair (Instr.writes_v w.instr) > 0
+              then conflicts := entry_end w :: !conflicts)
+            live
+      done;
+      match !conflicts with
+      | [] -> None
+      | cs -> Some (List.fold_left Float.min (List.hd cs) cs)
+    in
+    let rec settle t0 guard =
+      if guard > 64 then t0
+      else
+        match pair_conflict_until t0 with
+        | None -> t0
+        | Some t when t +. 1.0 > t0 -> settle (t +. 1.0) (guard + 1)
+        | Some _ -> t0 +. 1.0
+    in
+    let t0 = settle t0 0 in
+    (* back-pressure: a chained consumer charges its bubble to the ultimate
+       stream source unit (unless that is its own unit, where the tailgate
+       bubble already applies) *)
+    let binding_producer =
+      List.fold_left
+        (fun acc w ->
+          if w.completion > t0 then
+            match acc with
+            | None -> Some w
+            | Some best ->
+                if result_at w 0 > result_at best 0 then Some w else acc
+          else acc)
+        None producers
+    in
+    let source_unit =
+      match binding_producer with
+      | Some w when w.source_unit <> u ->
+          units.(w.source_unit).next_accept <-
+            units.(w.source_unit).next_accept +. float_of_int p.b;
+          w.source_unit
+      | _ -> u
+    in
+    (* element streaming *)
+    let enter = Array.make vl t0 in
+    let indexed =
+      match i with Instr.Vgather _ | Instr.Vscatter _ -> true | _ -> false
+    in
+    let place e earliest =
+      match (is_vmem, mem) with
+      | true, Some m ->
+          let word =
+            if indexed then
+              (* the timing model carries no register values: indexed
+                 elements address synthetic uniformly-distributed words
+                 (a mixed integer hash, so banks are genuinely random),
+                 the statistically faithful stand-in for a data-dependent
+                 gather/scatter pattern *)
+              let h = (e + (base_index * 131) + m.offset) * 0x9E3779B1 in
+              let h = h land 0x3FFFFFFF in
+              let h = h lxor (h lsr 15) in
+              let h = h * 0x85EBCA77 land 0x3FFFFFFF in
+              let h = h lxor (h lsr 13) in
+              Layout.base_of layout m.array + (h land 0xFFFF)
+            else word_for seg m ~base_index ~element:e
+          in
+          acquire_mem ~earliest ~word
+      | _ -> earliest
+    in
+    enter.(0) <- place 0 t0;
+    for e = 1 to vl - 1 do
+      let t = Float.max (enter.(e - 1) +. p.z) (ready e) in
+      enter.(e) <- place e t
+    done;
+    let completion = enter.(vl - 1) +. float_of_int p.y +. 1.0 in
+    (match (i, mem_range) with
+    | (Instr.Vst _ | Instr.Vscatter _), Some (lo, hi) ->
+        note_store ~lo ~hi ~completion ~now:t0
+    | _ -> ());
+    let me = { instr = i; enter; y = float_of_int p.y; completion;
+               source_unit; unit_id = u } in
+    units.(u).used <- true;
+    units.(u).next_accept <- enter.(vl - 1) +. p.z;
+    unit_last_start.(u) <- t0;
+    pipe_busy.(Pipe.index pipe) <-
+      pipe_busy.(Pipe.index pipe) +. (enter.(vl - 1) +. p.z -. enter.(0));
+    List.iter
+      (fun r ->
+        let idx = Reg.v_index r in
+        vwriter.(idx) <- Some me;
+        vreaders.(idx) <- [])
+      dsts;
+    List.iter
+      (fun r ->
+        let idx = Reg.v_index r in
+        vreaders.(idx) <-
+          me :: List.filter (fun w -> w.completion > t0) vreaders.(idx))
+      srcs;
+    List.iter
+      (fun r -> sready.(Reg.s_index r) <- completion)
+      (Instr.writes_s i);
+    if Instr.writes_merge i then vm_writer := Some me;
+    active := me :: !active;
+    note_finish completion;
+    record
+      { instr = i; strip; issue = issue_t; start = t0;
+        first_result = enter.(0) +. me.y; completion }
+  in
+
+  let exec_instr seg ~base_index ~strip ~vl i =
+    incr instructions;
+    if Instr.is_vector i then exec_vector seg ~base_index ~strip ~vl i
+    else exec_scalar seg ~base_index ~strip i
+  in
+
+  List.iter
+    (fun (seg : Job.segment) ->
+      let pro_vl = min seg.vl machine.max_vl in
+      List.iter (exec_instr seg ~base_index:seg.base ~strip:!strips ~vl:pro_vl)
+        seg.prologue;
+      let step = match job.mode with
+        | Job.Vector -> machine.max_vl
+        | Job.Scalar -> 1
+      in
+      let remaining = ref seg.vl in
+      let base = ref seg.base in
+      while !remaining > 0 do
+        let vl = min step !remaining in
+        List.iter (exec_instr seg ~base_index:!base ~strip:!strips ~vl)
+          job.body;
+        incr strips;
+        base := !base + vl;
+        remaining := !remaining - vl
+      done;
+      List.iter
+        (exec_instr seg ~base_index:seg.base ~strip:(!strips - 1) ~vl:pro_vl)
+        seg.epilogue)
+    job.segments;
+
+  let stats =
+    {
+      cycles = !finish;
+      elements = Job.total_elements job;
+      instructions = !instructions;
+      strips = !strips;
+      mem_accesses = Memory.stats_accesses memory;
+      bank_conflict_stalls = Memory.stats_conflict_stalls memory;
+      refresh_stalls = Memory.stats_refresh_stalls memory;
+      port_stalls = Memory.stats_port_stalls memory;
+      pipe_busy =
+        List.map
+          (fun pipe -> (Pipe.name pipe, pipe_busy.(Pipe.index pipe)))
+          Pipe.all;
+    }
+  in
+  { stats; events = List.rev !events }
+
+let cpl r = r.stats.cycles /. float_of_int r.stats.elements
+
+let cpf r ~flops_per_iteration =
+  if flops_per_iteration <= 0 then invalid_arg "Sim.cpf: nonpositive flops";
+  cpl r /. float_of_int flops_per_iteration
+
+let pp_event fmt (e : event) =
+  Format.fprintf fmt "%-30s strip=%d issue=%.1f start=%.1f first=%.1f done=%.1f"
+    (Asm.print_instr e.instr) e.strip e.issue e.start e.first_result
+    e.completion

@@ -1,0 +1,82 @@
+open Convex_isa
+open Convex_machine
+open Convex_memsys
+
+(** Cycle-level simulator of one C-240 CPU running a vectorized loop.
+
+    The simulator stands in for the real machine: it produces the
+    "measured" times (t_p, t_a, t_x, calibration loops) of the paper's
+    methodology.  It models what the MACS bound models — chimes emerge from
+    pipe structural hazards and chaining — {e plus} the effects the bound
+    deliberately idealizes away:
+
+    - pipeline start-up ([X] issue overhead and [Y] fill latency) exposed
+      on every strip, which dominates short-vector kernels (LFK2/4/6);
+    - tailgate bubbles ([B]) between successive instructions in a pipe and
+      at every chaining hook-up, with back-pressure propagated to the
+      ultimate stream source (the paper's "chime takes VL + ΣB" behaviour);
+    - the scalar unit executing loop control and outer-loop code in
+      program order, with hardware interlocks against vector results
+      (reduction → scalar accumulation stalls);
+    - scalar and vector memory operations competing for the single port;
+    - bank conflicts for nonunit strides and the periodic memory refresh,
+      both simulated by the {!Convex_memsys} bank model;
+    - optional cross-CPU port contention for the multi-process experiment.
+
+    Cycles are represented as floats so that the fractional per-element
+    rates of Table 1 (reduction Z = 1.35, divide Z = 4) compose exactly. *)
+
+type event = {
+  instr : Instr.t;
+  strip : int;  (** strip sequence number, counting from 0 *)
+  issue : float;  (** cycle at which issue of this instruction began *)
+  start : float;  (** first element enters the pipe / scalar executes *)
+  first_result : float;
+  completion : float;
+}
+
+type stats = {
+  cycles : float;  (** completion time of the whole job *)
+  elements : int;  (** total inner-loop iterations executed *)
+  instructions : int;
+  strips : int;
+  mem_accesses : int;
+  bank_conflict_stalls : int;
+  refresh_stalls : int;
+  port_stalls : int;
+  pipe_busy : (string * float) list;
+      (** measured cycles each function pipe spent streaming elements,
+          keyed by {!Convex_machine.Pipe.name} (summed over unit
+          instances) *)
+}
+
+type result = { stats : stats; events : event list }
+(** [events] is empty unless the run was traced, and lists instructions in
+    issue order. *)
+
+val run :
+  ?machine:Machine.t ->
+  ?layout:Layout.t ->
+  ?contention:Contention.t ->
+  ?access_log:(int * int) list ref ->
+  ?trace:bool ->
+  Job.t ->
+  result
+(** Simulate a job to completion.  [machine] defaults to {!Machine.c240};
+    [layout] defaults to [Layout.build] over the job's arrays;
+    [contention] to none; [trace] to [false]. *)
+
+val cpl : result -> float
+(** Cycles per (original scalar) inner-loop iteration:
+    [stats.cycles / stats.elements]. *)
+
+val cpf : result -> flops_per_iteration:int -> float
+(** [cpl /. flops_per_iteration]. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val scalar_load_latency : float
+(** Result latency of a scalar load (cycles after its port access). *)
+
+val scalar_fp_latency : float
+(** Result latency of a scalar FP ALU operation. *)

@@ -1,0 +1,28 @@
+type t = { table : (string, float array) Hashtbl.t; order : string list }
+
+let create bindings =
+  let table = Hashtbl.create 16 in
+  let order =
+    List.map
+      (fun (name, arr) ->
+        if Hashtbl.mem table name then
+          invalid_arg (Printf.sprintf "Store.create: duplicate array %s" name);
+        Hashtbl.add table name arr;
+        name)
+      bindings
+  in
+  { table; order }
+
+let of_sizes sizes =
+  create (List.map (fun (name, n) -> (name, Array.make n 0.0)) sizes)
+
+let get t name =
+  match Hashtbl.find_opt t.table name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.table name
+let arrays t = t.order
+
+let copy t =
+  create (List.map (fun name -> (name, Array.copy (get t name))) t.order)

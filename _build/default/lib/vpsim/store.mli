@@ -1,0 +1,21 @@
+(** Array storage for the functional interpreter: a named collection of
+    float arrays standing in for the Fortran COMMON blocks of the LFK
+    benchmark driver. *)
+
+type t
+
+val create : (string * float array) list -> t
+(** Arrays are held by reference: the interpreter mutates them in place.
+    Raises [Invalid_argument] on duplicate names. *)
+
+val of_sizes : (string * int) list -> t
+(** Zero-filled arrays. *)
+
+val get : t -> string -> float array
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val arrays : t -> string list
+
+val copy : t -> t
+(** Deep copy, so a run can be compared against a pristine baseline. *)

@@ -1,0 +1,64 @@
+open Convex_isa
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let track_of (e : Sim.event) =
+  match Convex_machine.Pipe.of_instr e.instr with
+  | Some p -> Convex_machine.Pipe.index p + 1
+  | None -> 0
+
+let track_name = function
+  | 0 -> "scalar unit"
+  | 1 -> "load/store pipe"
+  | 2 -> "add pipe"
+  | 3 -> "multiply pipe"
+  | _ -> "?"
+
+let to_chrome_json (r : Sim.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let comma () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  (* track metadata *)
+  List.iter
+    (fun tid ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"%s\"}}"
+           tid (track_name tid)))
+    [ 0; 1; 2; 3 ];
+  List.iter
+    (fun (e : Sim.event) ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\
+            \"dur\":%.3f,\"args\":{\"strip\":%d,\"issue\":%.1f,\
+            \"first_result\":%.1f}}"
+           (escape (Asm.print_instr e.instr))
+           (track_of e) e.start
+           (Float.max 0.001 (e.completion -. e.start))
+           e.strip e.issue e.first_result))
+    r.events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_file path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json r))

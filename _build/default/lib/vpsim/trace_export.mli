@@ -1,0 +1,11 @@
+(** Export a traced simulation as Chrome trace-event JSON
+    (chrome://tracing, Perfetto).  Each vector instruction becomes a
+    complete event on its function pipe's track; scalar instructions go to
+    a scalar-unit track.  Cycle numbers are exported as microseconds so
+    the viewer's timeline reads directly in cycles. *)
+
+val to_chrome_json : Sim.result -> string
+(** Requires a trace ([Sim.run ~trace:true]); an untraced result produces
+    an empty event array. *)
+
+val write_file : string -> Sim.result -> unit

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Convex_isa Convex_machine Convex_memsys Convex_vpsim Cosim Fcc Float Interp Job Lfk List Machine Macs Macs_report Measure Parallel Printf Sim Store String

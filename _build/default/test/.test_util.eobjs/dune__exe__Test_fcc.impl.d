@@ -1,0 +1,1 @@
+test/test_fcc.ml: Alcotest Array Asm Convex_isa Convex_vpsim Data Fcc Float Hashtbl Instr Ir Kernel Kernels Lfk List Printf Program QCheck QCheck_alcotest Reference Reg Test_gen

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Convex_machine Convex_memsys Convex_vpsim Counts Fcc Float Hierarchy Lazy Lfk List Macs Macs_bound Macs_report Printf Units

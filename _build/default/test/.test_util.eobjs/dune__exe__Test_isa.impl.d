@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Convex_isa Instr List Printf Program QCheck QCheck_alcotest Reg Test_gen

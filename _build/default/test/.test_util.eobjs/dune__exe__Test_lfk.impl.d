@@ -1,0 +1,1 @@
+test/test_lfk.ml: Alcotest Array Convex_vpsim Data Ir Kernel Kernels Lfk List Printf QCheck QCheck_alcotest Reference Test_gen

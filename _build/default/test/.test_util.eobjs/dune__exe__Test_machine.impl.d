@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Convex_isa Convex_machine Format Instr List Machine Mem_params Pipe Reg String Timing

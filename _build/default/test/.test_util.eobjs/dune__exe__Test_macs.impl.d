@@ -1,0 +1,1 @@
+test/test_macs.ml: Alcotest Convex_isa Convex_machine Convex_vpsim Fcc Format Instr Lfk List Machine Macs Pipe Printf Program QCheck QCheck_alcotest Reg String Test_gen

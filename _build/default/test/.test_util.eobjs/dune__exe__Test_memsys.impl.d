@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Contention Convex_isa Convex_machine Convex_memsys Gen Layout List Mem_params Memory Printf QCheck QCheck_alcotest

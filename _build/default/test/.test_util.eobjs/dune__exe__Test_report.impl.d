@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Convex_memsys Convex_vpsim Float Lazy Lfk List Macs Macs_report Printf String

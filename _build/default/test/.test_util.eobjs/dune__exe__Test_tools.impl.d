@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Convex_isa Convex_machine Convex_vpsim Fcc Filename Float Instr Lazy Lfk List Machine Macs Macs_report Printf Program Reg String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Chart Csv Filename Float Gen List Macs_util QCheck QCheck_alcotest Stats String Sys Table

@@ -1,0 +1,1 @@
+test/test_vpsim.ml: Alcotest Array Calibrate Convex_isa Convex_machine Convex_vpsim Float Instr Interp Job List Machine Measure Printf Program QCheck QCheck_alcotest Reg Sim Store Test_gen Timing

@@ -1,0 +1,8 @@
+; smoke-test listing for `macs_cli bound`
+sample:
+  smovvl
+  vld    v0, A[0:1]
+  vmul   v1, v0, s0
+  vadd   v2, v1, v3
+  vst    B[0:1], v2
+  sbr

@@ -1,0 +1,180 @@
+(* Shared QCheck generators for the test suites. *)
+
+open Convex_isa
+
+let vreg_gen = QCheck.Gen.map Reg.v (QCheck.Gen.int_range 0 7)
+let sreg_gen = QCheck.Gen.map Reg.s (QCheck.Gen.int_range 0 7)
+
+let mem_gen : Instr.mem QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* array = oneofl [ "A"; "B"; "C" ] in
+  let* offset = int_range 0 16 in
+  let* stride = oneofl [ 1; 1; 1; 2; 5 ] in
+  return { Instr.array; offset; stride }
+
+let vsrc_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun r -> Instr.Vr r) vreg_gen;
+      map (fun r -> Instr.Sr r) sreg_gen;
+    ]
+
+let vbinop_gen =
+  (* divides are rare, as in real code, to keep simulated times small *)
+  QCheck.Gen.frequency
+    [
+      (4, QCheck.Gen.return Instr.Add);
+      (3, QCheck.Gen.return Instr.Sub);
+      (4, QCheck.Gen.return Instr.Mul);
+      (1, QCheck.Gen.return Instr.Div);
+    ]
+
+let vector_instr_gen : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, map2 (fun dst src -> Instr.Vld { dst; src }) vreg_gen mem_gen);
+      (2, map2 (fun src dst -> Instr.Vst { src; dst }) vreg_gen mem_gen);
+      ( 5,
+        let* op = vbinop_gen in
+        let* dst = vreg_gen in
+        let* src1 = vsrc_gen in
+        let* src2 = vsrc_gen in
+        return (Instr.Vbin { op; dst; src1; src2 }) );
+      (1, map2 (fun dst src -> Instr.Vneg { dst; src }) vreg_gen vreg_gen);
+      (1, map2 (fun dst src -> Instr.Vsqrt { dst; src }) vreg_gen vreg_gen);
+      ( 1,
+        let* dst = vreg_gen in
+        let* base = mem_gen in
+        let* index = vreg_gen in
+        return (Instr.Vgather { dst; base; index }) );
+      ( 1,
+        let* src = vreg_gen in
+        let* base = mem_gen in
+        let* index = vreg_gen in
+        return (Instr.Vscatter { src; base; index }) );
+      ( 1,
+        let* op = oneofl [ Instr.Lt; Instr.Le; Instr.Eq; Instr.Ne ] in
+        let* src1 = vreg_gen in
+        let* src2 = vsrc_gen in
+        return (Instr.Vcmp { op; src1; src2 }) );
+      ( 1,
+        let* dst = vreg_gen in
+        let* src_true = vsrc_gen in
+        let* src_false = vsrc_gen in
+        return (Instr.Vmerge { dst; src_true; src_false }) );
+      (1, map2 (fun dst src -> Instr.Vsum { dst; src }) sreg_gen vreg_gen);
+    ]
+
+let scalar_instr_gen : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map2 (fun dst src -> Instr.Sld { dst; src }) sreg_gen mem_gen);
+      (1, map2 (fun src dst -> Instr.Sst { src; dst }) sreg_gen mem_gen);
+      ( 2,
+        let* op = vbinop_gen in
+        let* dst = sreg_gen in
+        let* src1 = sreg_gen in
+        let* src2 = sreg_gen in
+        return (Instr.Sbin { op; dst; src1; src2 }) );
+      (2, map (fun name -> Instr.Sop { name }) (oneofl [ "add.a"; "lt.s" ]));
+      (1, return Instr.Smovvl);
+      (1, return Instr.Sbranch);
+    ]
+
+let instr_gen =
+  QCheck.Gen.frequency [ (4, vector_instr_gen); (1, scalar_instr_gen) ]
+
+let body_gen =
+  QCheck.Gen.(list_size (int_range 1 14) instr_gen)
+
+let vector_body_gen =
+  QCheck.Gen.(list_size (int_range 1 12) vector_instr_gen)
+
+let instr_arbitrary = QCheck.make ~print:Instr.show instr_gen
+
+let body_arbitrary =
+  QCheck.make
+    ~print:(fun is -> String.concat "\n" (List.map Instr.show is))
+    body_gen
+
+let vector_body_arbitrary =
+  QCheck.make
+    ~print:(fun is -> String.concat "\n" (List.map Instr.show is))
+    vector_body_gen
+
+(* ---- random loop-IR kernels for compiler round trips ---- *)
+
+let expr_gen ~depth : Lfk.Ir.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ref_gen =
+    let* array = oneofl [ "P"; "Q"; "R" ] in
+    let* offset = int_range 0 4 in
+    return { Lfk.Ir.array; scale = 1; offset }
+  in
+  let leaf =
+    frequency
+      [
+        (4, map (fun r -> Lfk.Ir.Load r) ref_gen);
+        (1, map (fun s -> Lfk.Ir.Scalar s) (oneofl [ "c1"; "c2" ]));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 3,
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              oneofl
+                [ Lfk.Ir.Add (a, b); Lfk.Ir.Sub (a, b); Lfk.Ir.Mul (a, b) ]
+            );
+          ])
+    depth
+
+let rec has_load = function
+  | Lfk.Ir.Load _ -> true
+  | Lfk.Ir.Scalar _ | Lfk.Ir.Temp _ -> false
+  | Lfk.Ir.Add (a, b) | Lfk.Ir.Sub (a, b) | Lfk.Ir.Mul (a, b)
+  | Lfk.Ir.Div (a, b) ->
+      has_load a || has_load b
+  | Lfk.Ir.Neg a | Lfk.Ir.Sqrt a -> has_load a
+  | Lfk.Ir.Gather { index; _ } -> has_load index
+  | Lfk.Ir.Select { a; b; if_true; if_false; _ } ->
+      has_load a || has_load b || has_load if_true || has_load if_false
+
+let kernel_gen : Lfk.Kernel.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* e0 = expr_gen ~depth:3 in
+  (* the compiler stores vector values; anchor scalar-only expressions on
+     a load so the store is vector-valued *)
+  let e =
+    if has_load e0 then e0
+    else Lfk.Ir.Mul (e0, Lfk.Ir.Load { array = "P"; scale = 1; offset = 0 })
+  in
+  let* n = int_range 5 300 in
+  return
+    {
+      Lfk.Kernel.id = 999;
+      name = "random";
+      description = "generated";
+      fortran = "";
+      body = [ Lfk.Ir.Store ({ array = "OUT"; scale = 1; offset = 0 }, e) ];
+      acc = None;
+      scalars = [ ("c1", 0.5); ("c2", 0.25) ];
+      arrays = [ ("P", 512); ("Q", 512); ("R", 512); ("OUT", 512) ];
+      aliases = [];
+      segments = [ { base = 0; length = n; shifts = [] } ];
+      outer_ops = 0;
+    }
+
+let kernel_arbitrary =
+  QCheck.make
+    ~print:(fun (k : Lfk.Kernel.t) ->
+      String.concat "\n" (List.map Lfk.Ir.show_stmt k.body))
+    kernel_gen

@@ -1,0 +1,311 @@
+(* Tests for convex_isa: registers, instruction classification, programs,
+   assembly printing and parsing. *)
+
+open Convex_isa
+
+let instr = Alcotest.testable Instr.pp Instr.equal
+
+(* ---- Reg ---- *)
+
+let test_reg_ranges () =
+  Alcotest.check_raises "v8" (Invalid_argument "Reg.v: index 8 out of range")
+    (fun () -> ignore (Reg.v 8));
+  Alcotest.check_raises "v-1" (Invalid_argument "Reg.v: index -1 out of range")
+    (fun () -> ignore (Reg.v (-1)));
+  Alcotest.(check int) "v7 index" 7 (Reg.v_index (Reg.v 7));
+  Alcotest.(check int) "s0 index" 0 (Reg.s_index (Reg.s 0));
+  Alcotest.(check int) "a3 index" 3 (Reg.a_index (Reg.a 3))
+
+let test_register_pairs () =
+  (* the paper's pairs: {v0,v4} {v1,v5} {v2,v6} {v3,v7} *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "pair v%d/v%d" a b)
+        (Reg.pair_id (Reg.v a))
+        (Reg.pair_id (Reg.v b)))
+    [ (0, 4); (1, 5); (2, 6); (3, 7) ];
+  let ids = List.sort_uniq compare (List.map Reg.pair_id Reg.all_v) in
+  Alcotest.(check (list int)) "four pairs" [ 0; 1; 2; 3 ] ids
+
+let test_reg_show () =
+  Alcotest.(check string) "v3" "v3" (Reg.show_v (Reg.v 3));
+  Alcotest.(check string) "s5" "s5" (Reg.show_s (Reg.s 5));
+  Alcotest.(check string) "a1" "a1" (Reg.show_a (Reg.a 1))
+
+(* ---- Instr classification ---- *)
+
+let ld = Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1 } }
+let st = Instr.Vst { src = Reg.v 1; dst = { array = "A"; offset = 0; stride = 1 } }
+let add = Instr.Vbin { op = Add; dst = Reg.v 2; src1 = Vr (Reg.v 0); src2 = Vr (Reg.v 1) }
+let mul_s = Instr.Vbin { op = Mul; dst = Reg.v 3; src1 = Vr (Reg.v 2); src2 = Sr (Reg.s 1) }
+let vsum = Instr.Vsum { dst = Reg.s 6; src = Reg.v 2 }
+let sld = Instr.Sld { dst = Reg.s 3; src = { array = "C"; offset = 4; stride = 0 } }
+let sbin = Instr.Sbin { op = Add; dst = Reg.s 7; src1 = Reg.s 7; src2 = Reg.s 6 }
+
+let test_vclass () =
+  let check i cls =
+    Alcotest.(check bool) (Instr.show i) true (Instr.vclass_of i = cls)
+  in
+  check ld (Some Instr.Cld);
+  check st (Some Instr.Cst);
+  check add (Some Instr.Cadd);
+  check mul_s (Some Instr.Cmul);
+  check vsum (Some Instr.Csum);
+  check sld None;
+  check sbin None;
+  check Instr.Smovvl None
+
+let test_vclass_sub_div_neg () =
+  let sub = Instr.Vbin { op = Sub; dst = Reg.v 0; src1 = Vr (Reg.v 1); src2 = Vr (Reg.v 2) } in
+  let div = Instr.Vbin { op = Div; dst = Reg.v 0; src1 = Vr (Reg.v 1); src2 = Vr (Reg.v 2) } in
+  let neg = Instr.Vneg { dst = Reg.v 0; src = Reg.v 1 } in
+  let sqrt_i = Instr.Vsqrt { dst = Reg.v 0; src = Reg.v 1 } in
+  Alcotest.(check bool) "sub" true (Instr.vclass_of sub = Some Instr.Csub);
+  Alcotest.(check bool) "div" true (Instr.vclass_of div = Some Instr.Cdiv);
+  Alcotest.(check bool) "neg" true (Instr.vclass_of neg = Some Instr.Cneg);
+  Alcotest.(check bool) "sqrt" true
+    (Instr.vclass_of sqrt_i = Some Instr.Csqrt);
+  Alcotest.(check bool) "sqrt is fp" true (Instr.is_vector_fp sqrt_i);
+  Alcotest.(check int) "sqrt flop" 1 (Instr.flop_count sqrt_i)
+
+let test_memory_classification () =
+  Alcotest.(check bool) "vld mem" true (Instr.is_vector_memory ld);
+  Alcotest.(check bool) "vst mem" true (Instr.is_vector_memory st);
+  Alcotest.(check bool) "add not mem" false (Instr.is_memory add);
+  Alcotest.(check bool) "sld scalar mem" true (Instr.is_scalar_memory sld);
+  Alcotest.(check bool) "sld not vector mem" false (Instr.is_vector_memory sld);
+  Alcotest.(check bool) "sld is mem" true (Instr.is_memory sld)
+
+let test_fp_classification () =
+  Alcotest.(check bool) "add fp" true (Instr.is_vector_fp add);
+  Alcotest.(check bool) "vsum fp" true (Instr.is_vector_fp vsum);
+  Alcotest.(check bool) "ld not fp" false (Instr.is_vector_fp ld);
+  Alcotest.(check bool) "sbin not vector fp" false (Instr.is_vector_fp sbin)
+
+let test_reads_writes () =
+  Alcotest.(check int) "ld reads none" 0 (List.length (Instr.reads_v ld));
+  Alcotest.(check (list int)) "ld writes v0" [ 0 ]
+    (List.map Reg.v_index (Instr.writes_v ld));
+  Alcotest.(check (list int)) "st reads v1" [ 1 ]
+    (List.map Reg.v_index (Instr.reads_v st));
+  Alcotest.(check (list int)) "add reads v0 v1" [ 0; 1 ]
+    (List.map Reg.v_index (Instr.reads_v add));
+  Alcotest.(check (list int)) "mul_s reads v2 only" [ 2 ]
+    (List.map Reg.v_index (Instr.reads_v mul_s));
+  Alcotest.(check (list int)) "mul_s reads s1" [ 1 ]
+    (List.map Reg.s_index (Instr.reads_s mul_s));
+  Alcotest.(check (list int)) "vsum writes s6" [ 6 ]
+    (List.map Reg.s_index (Instr.writes_s vsum));
+  Alcotest.(check (list int)) "sbin reads s7 s6" [ 7; 6 ]
+    (List.map Reg.s_index (Instr.reads_s sbin))
+
+let test_duplicate_reads_preserved () =
+  (* an instruction reading v2 twice performs two pair reads *)
+  let both = Instr.Vbin { op = Add; dst = Reg.v 0; src1 = Vr (Reg.v 2); src2 = Vr (Reg.v 2) } in
+  Alcotest.(check (list int)) "two reads" [ 2; 2 ]
+    (List.map Reg.v_index (Instr.reads_v both))
+
+let test_flop_count () =
+  Alcotest.(check int) "add" 1 (Instr.flop_count add);
+  Alcotest.(check int) "vsum" 1 (Instr.flop_count vsum);
+  Alcotest.(check int) "ld" 0 (Instr.flop_count ld);
+  Alcotest.(check int) "neg not counted" 0
+    (Instr.flop_count (Instr.Vneg { dst = Reg.v 0; src = Reg.v 1 }))
+
+let test_mem_ref () =
+  (match Instr.mem_ref ld with
+  | Some m -> Alcotest.(check string) "array" "A" m.Instr.array
+  | None -> Alcotest.fail "expected mem ref");
+  Alcotest.(check bool) "add none" true (Instr.mem_ref add = None)
+
+(* ---- Program ---- *)
+
+let program = Program.make ~name:"p" [ Instr.Smovvl; ld; mul_s; st; Instr.Sbranch ]
+
+let test_program_basics () =
+  Alcotest.(check string) "name" "p" (Program.name program);
+  Alcotest.(check int) "length" 5 (Program.length program);
+  Alcotest.(check int) "vector" 3 (List.length (Program.vector_instrs program));
+  Alcotest.(check int) "scalar" 2 (List.length (Program.scalar_instrs program));
+  Alcotest.(check int) "loads" 1
+    (Program.count (function Instr.Vld _ -> true | _ -> false) program)
+
+let test_program_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Program.make: empty body")
+    (fun () -> ignore (Program.make ~name:"e" []))
+
+let test_program_arrays () =
+  Alcotest.(check (list string)) "arrays" [ "A" ] (Program.arrays program)
+
+let test_live_in () =
+  (* v0 written by ld before mul reads it; st reads v3 written by mul;
+     but a program reading v9?  use a body reading v5 unwritten *)
+  let body =
+    [
+      Instr.Vbin { op = Add; dst = Reg.v 0; src1 = Vr (Reg.v 5); src2 = Vr (Reg.v 6) };
+      Instr.Vbin { op = Mul; dst = Reg.v 1; src1 = Vr (Reg.v 0); src2 = Vr (Reg.v 5) };
+    ]
+  in
+  let p = Program.make ~name:"live" body in
+  Alcotest.(check (list int)) "live-in v5 v6" [ 5; 6 ]
+    (List.map Reg.v_index (Program.live_in_v p))
+
+let test_live_in_s () =
+  let p = Program.make ~name:"lives" [ sbin ] in
+  Alcotest.(check (list int)) "live-in s7 s6" [ 7; 6 ]
+    (List.map Reg.s_index (Program.live_in_s p))
+
+let test_map_body_guard () =
+  Alcotest.check_raises "emptied"
+    (Invalid_argument "Program.map_body: transform emptied body") (fun () ->
+      ignore (Program.map_body (fun _ -> []) program))
+
+(* ---- Asm ---- *)
+
+let test_print_instr () =
+  Alcotest.(check string) "vld" "vld    v0, A[0:1]" (Asm.print_instr ld);
+  Alcotest.(check string) "vst" "vst    A[0:1], v1" (Asm.print_instr st);
+  Alcotest.(check string) "vadd" "vadd   v2, v0, v1" (Asm.print_instr add);
+  Alcotest.(check string) "vmul scalar" "vmul   v3, v2, s1"
+    (Asm.print_instr mul_s);
+  Alcotest.(check string) "vsum" "vsum   s6, v2" (Asm.print_instr vsum);
+  Alcotest.(check string) "sld" "sld    s3, C[4:0]" (Asm.print_instr sld);
+  Alcotest.(check string) "sadd" "sadd   s7, s7, s6" (Asm.print_instr sbin);
+  Alcotest.(check string) "smovvl" "smovvl" (Asm.print_instr Instr.Smovvl)
+
+let test_parse_instr () =
+  let check_parse text expected =
+    match Asm.parse_instr text with
+    | Ok i -> Alcotest.check instr text expected i
+    | Error e -> Alcotest.failf "parse %S failed: %s" text e
+  in
+  check_parse "vld v0, A[0:1]" ld;
+  check_parse "  vadd   v2, v0, v1  ; comment" add;
+  check_parse "vmul v3, v2, s1" mul_s;
+  check_parse "vsum s6, v2" vsum;
+  check_parse "sadd s7, s7, s6" sbin;
+  check_parse "sbr" Instr.Sbranch;
+  check_parse "vld v0, A[-3:2]"
+    (Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = -3; stride = 2 } })
+
+let test_parse_errors () =
+  let is_err text =
+    match Asm.parse_instr text with
+    | Error _ -> ()
+    | Ok i -> Alcotest.failf "expected error for %S, got %s" text (Instr.show i)
+  in
+  is_err "vld v9, A[0:1]";
+  is_err "vld v0";
+  is_err "frobnicate v0, v1";
+  is_err "vadd v0, v1";
+  is_err "vld v0, A[0]";
+  is_err "";
+  is_err "; only a comment"
+
+let test_parse_program () =
+  let text = Asm.print_program program in
+  match Asm.parse_program text with
+  | Ok p -> Alcotest.(check bool) "roundtrip" true (Program.equal p program)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_program_errors () =
+  (match Asm.parse_program "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty program accepted");
+  (match Asm.parse_program "noheader\n  vld v0, A[0:1]\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing colon accepted");
+  match Asm.parse_program "p:\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no instructions accepted"
+
+let test_parse_program_exn () =
+  let p = Asm.parse_program_exn "t:\n  vld v0, A[0:1]\n" in
+  Alcotest.(check int) "one instr" 1 (Program.length p);
+  Alcotest.check_raises "failure"
+    (Failure "expected \"name:\" header, got \"junk\"") (fun () ->
+      ignore (Asm.parse_program_exn "junk"))
+
+let test_program_rename () =
+  let p2 = Program.rename "other" program in
+  Alcotest.(check string) "renamed" "other" (Program.name p2);
+  Alcotest.(check int) "body kept" (Program.length program)
+    (Program.length p2)
+
+(* ---- qcheck: printer/parser round trip ---- *)
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"asm print/parse round trip"
+    Test_gen.instr_arbitrary (fun i ->
+      match Asm.parse_instr (Asm.print_instr i) with
+      | Ok i' -> Instr.equal i i'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"program print/parse round trip"
+    Test_gen.body_arbitrary (fun body ->
+      let p = Program.make ~name:"qp" body in
+      match Asm.parse_program (Asm.print_program p) with
+      | Ok p' -> Program.equal p p'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let prop_vector_xor_scalar =
+  QCheck.Test.make ~count:500 ~name:"instruction is vector xor scalar"
+    Test_gen.instr_arbitrary (fun i ->
+      Instr.is_vector i <> Instr.is_scalar i)
+
+let prop_writes_at_most_one =
+  QCheck.Test.make ~count:500 ~name:"at most one vector write per instr"
+    Test_gen.instr_arbitrary (fun i -> List.length (Instr.writes_v i) <= 1)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_asm_roundtrip; prop_program_roundtrip; prop_vector_xor_scalar;
+      prop_writes_at_most_one;
+    ]
+
+let () =
+  Alcotest.run "convex_isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "index ranges" `Quick test_reg_ranges;
+          Alcotest.test_case "register pairs" `Quick test_register_pairs;
+          Alcotest.test_case "show" `Quick test_reg_show;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "vclass" `Quick test_vclass;
+          Alcotest.test_case "vclass sub/div/neg" `Quick test_vclass_sub_div_neg;
+          Alcotest.test_case "memory classes" `Quick test_memory_classification;
+          Alcotest.test_case "fp classes" `Quick test_fp_classification;
+          Alcotest.test_case "reads/writes" `Quick test_reads_writes;
+          Alcotest.test_case "duplicate reads" `Quick
+            test_duplicate_reads_preserved;
+          Alcotest.test_case "flop count" `Quick test_flop_count;
+          Alcotest.test_case "mem ref" `Quick test_mem_ref;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "basics" `Quick test_program_basics;
+          Alcotest.test_case "empty rejected" `Quick test_program_empty;
+          Alcotest.test_case "arrays" `Quick test_program_arrays;
+          Alcotest.test_case "live-in vector" `Quick test_live_in;
+          Alcotest.test_case "live-in scalar" `Quick test_live_in_s;
+          Alcotest.test_case "map_body guard" `Quick test_map_body_guard;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "print" `Quick test_print_instr;
+          Alcotest.test_case "parse" `Quick test_parse_instr;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "program roundtrip" `Quick test_parse_program;
+          Alcotest.test_case "program errors" `Quick test_parse_program_errors;
+          Alcotest.test_case "parse_program_exn" `Quick
+            test_parse_program_exn;
+          Alcotest.test_case "program rename" `Quick test_program_rename;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,341 @@
+(* Tests for the lfk library: IR analysis, kernel well-formedness, the
+   Table 2 workload counts, data determinism, and reference semantics. *)
+
+open Lfk
+
+let r array ?(scale = 1) offset = { Ir.array; scale; offset }
+
+(* ---- Ir: operation counting ---- *)
+
+let test_op_counts () =
+  let e =
+    Ir.Add (Ir.Mul (Ir.Scalar "q", Ir.Load (r "A" 0)), Ir.Load (r "B" 0))
+  in
+  let fa, fm = Ir.op_counts [ Ir.Store (r "C" 0, e) ] in
+  Alcotest.(check int) "adds" 1 fa;
+  Alcotest.(check int) "muls" 1 fm
+
+let test_reduce_counts_one_add () =
+  let fa, fm =
+    Ir.op_counts
+      [ Ir.Reduce { neg = true; rhs = Ir.Mul (Ir.Load (r "A" 0), Ir.Load (r "B" 0)) } ]
+  in
+  Alcotest.(check int) "reduce adds 1" 1 fa;
+  Alcotest.(check int) "mul" 1 fm
+
+let test_neg_not_a_flop () =
+  let fa, fm = Ir.op_counts [ Ir.Store (r "C" 0, Ir.Neg (Ir.Load (r "A" 0))) ] in
+  Alcotest.(check int) "no adds" 0 fa;
+  Alcotest.(check int) "no muls" 0 fm
+
+let test_div_counts_as_mul () =
+  let fa, fm =
+    Ir.op_counts
+      [ Ir.Store (r "C" 0, Ir.Div (Ir.Load (r "A" 0), Ir.Load (r "B" 0))) ]
+  in
+  Alcotest.(check int) "div on multiply pipe" 1 fm;
+  Alcotest.(check int) "no adds" 0 fa
+
+(* ---- Ir: load analysis ---- *)
+
+let test_load_refs_dedup () =
+  let e = Ir.Add (Ir.Load (r "A" 0), Ir.Load (r "A" 0)) in
+  Alcotest.(check int) "identical refs count once" 1
+    (List.length (Ir.load_refs [ Ir.Store (r "C" 0, e) ]))
+
+let test_ma_coalesces_shifted () =
+  (* zx(k+10) and zx(k+11): one stream under perfect index analysis *)
+  let e = Ir.Add (Ir.Load (r "ZX" 10), Ir.Load (r "ZX" 11)) in
+  Alcotest.(check int) "one stream" 1
+    (Ir.ma_load_count [ Ir.Store (r "C" 0, e) ])
+
+let test_ma_keeps_parity_classes () =
+  (* stride 2: x(k) and x(k+1) are different streams, x(k-1)/x(k+1) the
+     same (the LFK2 structure) *)
+  let e =
+    Ir.Add
+      ( Ir.Load (r ~scale:2 "X" 0),
+        Ir.Add (Ir.Load (r ~scale:2 "X" 1), Ir.Load (r ~scale:2 "X" 2)) )
+  in
+  Alcotest.(check int) "two parity classes" 2
+    (Ir.ma_load_count [ Ir.Store (r "C" 0, e) ])
+
+let test_ma_window_splits_far_columns () =
+  (* columns 101 words apart do not coalesce (the LFK9 structure) *)
+  let e = Ir.Add (Ir.Load (r "PX" 0), Ir.Load (r "PX" 101)) in
+  Alcotest.(check int) "two streams" 2
+    (Ir.ma_load_count [ Ir.Store (r "C" 0, e) ])
+
+let test_store_count () =
+  Alcotest.(check int) "stores" 2
+    (Ir.ma_store_count
+       [
+         Ir.Store (r "A" 0, Ir.Load (r "B" 0));
+         Ir.Store (r "C" 0, Ir.Load (r "B" 0));
+       ])
+
+let test_scalars_and_temps () =
+  let body =
+    [
+      Ir.Let ("t", Ir.Mul (Ir.Scalar "q", Ir.Load (r "A" 0)));
+      Ir.Store (r "B" 0, Ir.Add (Ir.Temp "t", Ir.Scalar "w"));
+    ]
+  in
+  Alcotest.(check (list string)) "scalars" [ "q"; "w" ] (Ir.scalars body);
+  Alcotest.(check (list string)) "temps" [ "t" ] (Ir.temps body)
+
+(* ---- Ir: validation ---- *)
+
+let test_validate_ok () =
+  match Ir.validate (Kernels.find 10).body with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_validate_unbound_temp () =
+  match Ir.validate [ Ir.Store (r "A" 0, Ir.Temp "ghost") ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unbound temp accepted"
+
+let test_validate_double_bind () =
+  let body =
+    [
+      Ir.Let ("t", Ir.Load (r "A" 0));
+      Ir.Let ("t", Ir.Load (r "B" 0));
+      Ir.Store (r "C" 0, Ir.Temp "t");
+    ]
+  in
+  match Ir.validate body with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double binding accepted"
+
+let test_validate_two_reduces () =
+  let red = Ir.Reduce { neg = false; rhs = Ir.Load (r "A" 0) } in
+  match Ir.validate [ red; red ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "two reduces accepted"
+
+let test_validate_zero_scale () =
+  match Ir.validate [ Ir.Store (r "A" 0, Ir.Load (r ~scale:0 "B" 3)) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero-scale load accepted"
+
+(* ---- Kernels: structure and Table 2 ---- *)
+
+let test_all_kernels_validate () =
+  List.iter
+    (fun k ->
+      match Kernel.validate k with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" k.Kernel.name e)
+    Kernels.all
+
+let test_kernel_ids () =
+  Alcotest.(check (list int)) "paper order" [ 1; 2; 3; 4; 6; 7; 8; 9; 10; 12 ]
+    (List.map (fun k -> k.Kernel.id) Kernels.all)
+
+let test_find () =
+  Alcotest.(check string) "lfk7" "lfk7" (Kernels.find 7).Kernel.name;
+  Alcotest.(check string) "lfk5 now in scalar set" "lfk5"
+    (Kernels.find 5).Kernel.name;
+  Alcotest.check_raises "lfk13 absent" Not_found (fun () ->
+      ignore (Kernels.find 13))
+
+(* the reconstructed Table 2 workloads: (id, f_a, f_m, loads, stores, flops) *)
+let table2 =
+  [
+    (1, 2, 3, 2, 1, 5);
+    (2, 2, 2, 4, 1, 4);
+    (3, 1, 1, 2, 0, 2);
+    (4, 1, 1, 2, 0, 2);
+    (6, 1, 1, 2, 0, 2);
+    (7, 8, 8, 3, 1, 16);
+    (8, 21, 15, 9, 6, 36);
+    (9, 9, 8, 10, 1, 17);
+    (10, 9, 0, 10, 10, 9);
+    (12, 1, 0, 1, 1, 1);
+  ]
+
+let test_table2_ma_counts () =
+  List.iter
+    (fun (id, fa, fm, l, s, flops) ->
+      let k = Kernels.find id in
+      let fa', fm' = Ir.op_counts k.body in
+      Alcotest.(check int) (Printf.sprintf "lfk%d f_a" id) fa fa';
+      Alcotest.(check int) (Printf.sprintf "lfk%d f_m" id) fm fm';
+      Alcotest.(check int) (Printf.sprintf "lfk%d loads" id) l
+        (Ir.ma_load_count k.body);
+      Alcotest.(check int) (Printf.sprintf "lfk%d stores" id) s
+        (Ir.ma_store_count k.body);
+      Alcotest.(check int) (Printf.sprintf "lfk%d flops" id) flops
+        (Kernel.flops k))
+    table2
+
+let test_total_elements () =
+  Alcotest.(check int) "lfk1" 1001 (Kernel.total_elements (Kernels.find 1));
+  Alcotest.(check int) "lfk2 passes" 97 (Kernel.total_elements (Kernels.find 2));
+  Alcotest.(check int) "lfk4" 600 (Kernel.total_elements (Kernels.find 4));
+  Alcotest.(check int) "lfk6 triangle" 2016
+    (Kernel.total_elements (Kernels.find 6));
+  Alcotest.(check int) "lfk8" 198 (Kernel.total_elements (Kernels.find 8))
+
+let test_lfk2_segments_halve () =
+  let lens = List.map (fun s -> s.Kernel.length) (Kernels.find 2).segments in
+  Alcotest.(check (list int)) "halving" [ 50; 25; 12; 6; 3; 1 ] lens
+
+let test_reductions () =
+  List.iter
+    (fun (id, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lfk%d reduction" id)
+        expect
+        (Kernel.has_reduction (Kernels.find id)))
+    [ (1, false); (3, true); (4, true); (6, true); (10, false) ]
+
+let test_aliases_declared () =
+  let k2 = Kernels.find 2 in
+  Alcotest.(check (list string)) "lfk2 aliases" [ "XS" ]
+    (List.map fst k2.aliases);
+  Alcotest.(check bool) "XS in names" true
+    (List.mem "XS" (Kernel.all_array_names k2))
+
+(* ---- Data ---- *)
+
+let test_data_deterministic () =
+  Alcotest.(check (float 1e-15)) "same value" (Data.value "X" 7)
+    (Data.value "X" 7);
+  Alcotest.(check bool) "different arrays differ" true
+    (Data.value "X" 7 <> Data.value "Y" 7)
+
+let test_data_positive_small () =
+  for i = 0 to 2000 do
+    let x = Data.value "ZX" i in
+    if x <= 0.0 || x > 0.2 then
+      Alcotest.failf "value %d out of range: %f" i x
+  done
+
+let test_store_of_aliases () =
+  let store = Data.store_of (Kernels.find 2) in
+  let x = Convex_vpsim.Store.get store "X" in
+  let xs = Convex_vpsim.Store.get store "XS" in
+  Alcotest.(check bool) "same storage" true (x == xs)
+
+(* ---- Reference implementations ---- *)
+
+let test_reference_lfk12_by_hand () =
+  let k = Kernels.find 12 in
+  let store = Data.store_of k in
+  Reference.run k store;
+  let x = Convex_vpsim.Store.get store "X" in
+  Alcotest.(check (float 1e-15)) "x0"
+    (Data.value "Y" 1 -. Data.value "Y" 0)
+    x.(0)
+
+let test_reference_lfk3_by_hand () =
+  let k = Kernels.find 3 in
+  let store = Data.store_of k in
+  Reference.run k store;
+  let expect = ref 0.0 in
+  for i = 0 to 1000 do
+    expect := !expect +. (Data.value "Z" i *. Data.value "X" i)
+  done;
+  Alcotest.(check (float 1e-9)) "inner product" !expect
+    (Convex_vpsim.Store.get store "Q").(0)
+
+let test_reference_unknown_kernel () =
+  let bogus = { (Kernels.find 1) with Kernel.id = 13 } in
+  Alcotest.check_raises "lfk13"
+    (Invalid_argument "Reference.run: no kernel 13") (fun () ->
+      Reference.run bogus (Data.store_of bogus))
+
+let test_output_arrays () =
+  Alcotest.(check (list string)) "lfk3 writes Q" [ "Q" ]
+    (Reference.output_arrays (Kernels.find 3));
+  Alcotest.(check int) "lfk8 writes six" 6
+    (List.length (Reference.output_arrays (Kernels.find 8)))
+
+(* ---- qcheck ---- *)
+
+let prop_ma_le_refs =
+  QCheck.Test.make ~count:200
+    ~name:"MA load count never exceeds distinct refs"
+    Test_gen.kernel_arbitrary (fun k ->
+      Ir.ma_load_count k.Kernel.body
+      <= List.length (Ir.load_refs k.Kernel.body))
+
+let prop_flops_sum =
+  QCheck.Test.make ~count:200 ~name:"flops = f_a + f_m"
+    Test_gen.kernel_arbitrary (fun k ->
+      let fa, fm = Ir.op_counts k.Kernel.body in
+      Ir.flops k.Kernel.body = fa + fm)
+
+let prop_generated_kernels_validate =
+  QCheck.Test.make ~count:200 ~name:"generated kernels validate"
+    Test_gen.kernel_arbitrary (fun k ->
+      match Kernel.validate k with Ok () -> true | Error _ -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ma_le_refs; prop_flops_sum; prop_generated_kernels_validate ]
+
+let () =
+  Alcotest.run "lfk"
+    [
+      ( "ir-ops",
+        [
+          Alcotest.test_case "op counts" `Quick test_op_counts;
+          Alcotest.test_case "reduce adds one" `Quick
+            test_reduce_counts_one_add;
+          Alcotest.test_case "neg is free" `Quick test_neg_not_a_flop;
+          Alcotest.test_case "div on mul pipe" `Quick test_div_counts_as_mul;
+        ] );
+      ( "ir-loads",
+        [
+          Alcotest.test_case "dedup identical" `Quick test_load_refs_dedup;
+          Alcotest.test_case "coalesce shifted" `Quick
+            test_ma_coalesces_shifted;
+          Alcotest.test_case "parity classes" `Quick
+            test_ma_keeps_parity_classes;
+          Alcotest.test_case "window splits columns" `Quick
+            test_ma_window_splits_far_columns;
+          Alcotest.test_case "store count" `Quick test_store_count;
+          Alcotest.test_case "scalars and temps" `Quick
+            test_scalars_and_temps;
+        ] );
+      ( "ir-validate",
+        [
+          Alcotest.test_case "lfk10 ok" `Quick test_validate_ok;
+          Alcotest.test_case "unbound temp" `Quick test_validate_unbound_temp;
+          Alcotest.test_case "double bind" `Quick test_validate_double_bind;
+          Alcotest.test_case "two reduces" `Quick test_validate_two_reduces;
+          Alcotest.test_case "zero scale" `Quick test_validate_zero_scale;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "all validate" `Quick test_all_kernels_validate;
+          Alcotest.test_case "paper order" `Quick test_kernel_ids;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "Table 2 MA counts" `Quick test_table2_ma_counts;
+          Alcotest.test_case "total elements" `Quick test_total_elements;
+          Alcotest.test_case "lfk2 halving segments" `Quick
+            test_lfk2_segments_halve;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "aliases" `Quick test_aliases_declared;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "deterministic" `Quick test_data_deterministic;
+          Alcotest.test_case "positive and small" `Quick
+            test_data_positive_small;
+          Alcotest.test_case "store aliasing" `Quick test_store_of_aliases;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "lfk12 by hand" `Quick
+            test_reference_lfk12_by_hand;
+          Alcotest.test_case "lfk3 by hand" `Quick test_reference_lfk3_by_hand;
+          Alcotest.test_case "unknown kernel" `Quick
+            test_reference_unknown_kernel;
+          Alcotest.test_case "output arrays" `Quick test_output_arrays;
+        ] );
+      ("properties", qcheck_tests);
+    ]

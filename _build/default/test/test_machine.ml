@@ -1,0 +1,165 @@
+(* Tests for convex_machine: pipe mapping, the Table 1 timing values,
+   memory parameters, and the machine presets. *)
+
+open Convex_isa
+open Convex_machine
+
+(* ---- Pipe ---- *)
+
+let test_pipe_mapping () =
+  let check cls pipe =
+    Alcotest.(check string)
+      (Instr.show_vclass cls) (Pipe.name pipe)
+      (Pipe.name (Pipe.of_vclass cls))
+  in
+  check Instr.Cld Pipe.Load_store;
+  check Instr.Cst Pipe.Load_store;
+  check Instr.Cadd Pipe.Add_unit;
+  check Instr.Csub Pipe.Add_unit;
+  check Instr.Csum Pipe.Add_unit;
+  check Instr.Cneg Pipe.Add_unit;
+  check Instr.Cmul Pipe.Multiply_unit;
+  check Instr.Cdiv Pipe.Multiply_unit;
+  check Instr.Csqrt Pipe.Multiply_unit
+
+let test_pipe_of_instr () =
+  let ld = Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1 } } in
+  Alcotest.(check bool) "ld lsu" true (Pipe.of_instr ld = Some Pipe.Load_store);
+  Alcotest.(check bool) "scalar none" true (Pipe.of_instr Instr.Smovvl = None)
+
+let test_pipe_indices () =
+  Alcotest.(check (list int)) "indices" [ 0; 1; 2 ]
+    (List.map Pipe.index Pipe.all);
+  Alcotest.(check int) "count" 3 Pipe.count
+
+(* ---- Timing: the paper's Table 1 ---- *)
+
+let test_table1_values () =
+  let check cls (x, y, z, b) =
+    let p = Timing.get Timing.c240 cls in
+    Alcotest.(check int) (Instr.show_vclass cls ^ " X") x p.Timing.x;
+    Alcotest.(check int) (Instr.show_vclass cls ^ " Y") y p.y;
+    Alcotest.(check (float 1e-9)) (Instr.show_vclass cls ^ " Z") z p.z;
+    Alcotest.(check int) (Instr.show_vclass cls ^ " B") b p.b
+  in
+  check Instr.Cld (2, 10, 1.0, 2);
+  check Instr.Cst (2, 10, 1.0, 4);
+  check Instr.Cadd (2, 10, 1.0, 1);
+  check Instr.Csub (2, 10, 1.0, 1);
+  check Instr.Cmul (2, 12, 1.0, 1);
+  check Instr.Cdiv (2, 72, 4.0, 21);
+  (* square root assumed equal to divide: same iterative unit *)
+  check Instr.Csqrt (2, 72, 4.0, 21);
+  check Instr.Csum (2, 10, 1.35, 0);
+  check Instr.Cneg (2, 10, 1.0, 1)
+
+let test_zero_bubbles () =
+  let t = Timing.zero_bubbles Timing.c240 in
+  List.iter
+    (fun cls ->
+      Alcotest.(check int) "B=0" 0 (Timing.get t cls).Timing.b;
+      (* everything else untouched *)
+      Alcotest.(check int) "Y same" (Timing.get Timing.c240 cls).Timing.y
+        (Timing.get t cls).Timing.y)
+    Instr.all_vclasses
+
+let test_timing_map_make () =
+  let t = Timing.make (fun _ -> { Timing.x = 1; y = 2; z = 3.0; b = 4 }) in
+  Alcotest.(check int) "tabulated" 4 (Timing.get t Instr.Cdiv).Timing.b;
+  let t2 = Timing.map (fun _ p -> { p with Timing.x = 9 }) t in
+  Alcotest.(check int) "mapped" 9 (Timing.get t2 Instr.Cld).Timing.x;
+  Alcotest.(check bool) "equal reflexive" true (Timing.equal t t)
+
+(* ---- Mem_params ---- *)
+
+let test_mem_params () =
+  let m = Mem_params.c240 in
+  Alcotest.(check int) "banks" 32 m.Mem_params.banks;
+  Alcotest.(check int) "word" 8 m.word_bytes;
+  Alcotest.(check int) "bank busy" 8 m.bank_busy_cycles;
+  Alcotest.(check int) "refresh period" 400 m.refresh_period;
+  Alcotest.(check int) "refresh duration" 8 m.refresh_duration;
+  Alcotest.(check (float 1e-9)) "refresh factor 1.02" 1.02
+    (Mem_params.refresh_factor m)
+
+let test_no_refresh () =
+  let m = Mem_params.no_refresh Mem_params.c240 in
+  Alcotest.(check (float 1e-9)) "factor 1.0" 1.0 (Mem_params.refresh_factor m)
+
+(* ---- Machine ---- *)
+
+let test_c240 () =
+  let m = Machine.c240 in
+  Alcotest.(check (float 1e-9)) "25 MHz" 25.0 m.Machine.clock_mhz;
+  Alcotest.(check (float 1e-9)) "40 ns" 40.0 (Machine.clock_period_ns m);
+  Alcotest.(check int) "VL 128" 128 m.max_vl;
+  Alcotest.(check int) "pair reads" 2 m.pair_read_limit;
+  Alcotest.(check int) "pair writes" 1 m.pair_write_limit;
+  Alcotest.(check int) "one lsu" 1 (Machine.pipe_count m Pipe.Load_store)
+
+let test_mflops () =
+  (* eq. 4 at the paper's average CPF of 1.080 gives 23.15 MFLOPS *)
+  Alcotest.(check (float 0.01)) "eq 4" 23.15
+    (Machine.mflops_of_cpf Machine.c240 1.080)
+
+let test_variants () =
+  let dual = Machine.dual_load_store Machine.c240 in
+  Alcotest.(check int) "dual lsu" 2 (Machine.pipe_count dual Pipe.Load_store);
+  Alcotest.(check int) "adds still 1" 1 (Machine.pipe_count dual Pipe.Add_unit);
+  let nb = Machine.no_bubbles Machine.c240 in
+  Alcotest.(check int) "no bubbles" 0
+    (Timing.get nb.Machine.timing Instr.Cst).Timing.b;
+  let nr = Machine.no_refresh Machine.c240 in
+  Alcotest.(check (float 1e-9)) "no refresh" 1.0
+    (Mem_params.refresh_factor nr.Machine.memory)
+
+let test_ideal () =
+  let m = Machine.ideal in
+  Alcotest.(check (float 1e-9)) "div z=1" 1.0
+    (Timing.get m.Machine.timing Instr.Cdiv).Timing.z;
+  Alcotest.(check int) "div b=0" 0
+    (Timing.get m.Machine.timing Instr.Cdiv).Timing.b
+
+let test_pp_smoke () =
+  (* the pretty-printers render without raising and mention key facts *)
+  let s = Format.asprintf "%a" Machine.pp Machine.c240 in
+  Alcotest.(check bool) "mentions name" true
+    (String.length s > 50);
+  let t = Format.asprintf "%a" Timing.pp Timing.c240 in
+  Alcotest.(check bool) "mentions classes" true (String.length t > 50)
+
+let test_machine_equal () =
+  Alcotest.(check bool) "reflexive" true (Machine.equal Machine.c240 Machine.c240);
+  Alcotest.(check bool) "variant differs" false
+    (Machine.equal Machine.c240 (Machine.no_bubbles Machine.c240))
+
+let () =
+  Alcotest.run "convex_machine"
+    [
+      ( "pipe",
+        [
+          Alcotest.test_case "class mapping" `Quick test_pipe_mapping;
+          Alcotest.test_case "of_instr" `Quick test_pipe_of_instr;
+          Alcotest.test_case "indices" `Quick test_pipe_indices;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "Table 1 values" `Quick test_table1_values;
+          Alcotest.test_case "zero bubbles" `Quick test_zero_bubbles;
+          Alcotest.test_case "map/make" `Quick test_timing_map_make;
+        ] );
+      ( "mem_params",
+        [
+          Alcotest.test_case "C-240 parameters" `Quick test_mem_params;
+          Alcotest.test_case "no refresh" `Quick test_no_refresh;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "c240" `Quick test_c240;
+          Alcotest.test_case "mflops eq 4" `Quick test_mflops;
+          Alcotest.test_case "variants" `Quick test_variants;
+          Alcotest.test_case "ideal" `Quick test_ideal;
+          Alcotest.test_case "equality" `Quick test_machine_equal;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Robustness and edge-case tests: fuzzing the assembly parser, scheduler
+   properties over random kernels, interpreter strip-size invariance,
+   simulator corner cases, the register-eviction path in the compiler,
+   and the Hockney fit. *)
+
+open Convex_isa
+open Convex_machine
+open Convex_vpsim
+
+let machine = Machine.c240
+
+(* ---- parser fuzzing ---- *)
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"parse_instr never raises"
+    QCheck.(string_gen_of_size Gen.(int_range 0 60) Gen.printable)
+    (fun text ->
+      match Asm.parse_instr text with Ok _ | Error _ -> true)
+
+let prop_parse_program_never_raises =
+  QCheck.Test.make ~count:500 ~name:"parse_program never raises"
+    QCheck.(string_gen_of_size Gen.(int_range 0 200) Gen.printable)
+    (fun text ->
+      match Asm.parse_program text with Ok _ | Error _ -> true)
+
+let prop_parse_mutated_listing =
+  (* corrupt one byte of a valid listing: parser must not raise *)
+  QCheck.Test.make ~count:300 ~name:"mutated listings do not crash"
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos, byte) ->
+      let listing =
+        Fcc.Compiler.listing (Fcc.Compiler.compile (Lfk.Kernels.find 1))
+      in
+      let b = Bytes.of_string listing in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Asm.parse_program (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
+(* ---- scheduler properties over random kernels ---- *)
+
+let prop_pack_permutation_random =
+  QCheck.Test.make ~count:200 ~name:"pack is a permutation (random kernels)"
+    Test_gen.kernel_arbitrary (fun k ->
+      let body =
+        Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
+      in
+      let packed = Fcc.Schedule.pack ~machine body in
+      List.sort compare (List.map Instr.show body)
+      = List.sort compare (List.map Instr.show packed))
+
+let prop_pack_never_more_chimes =
+  QCheck.Test.make ~count:200 ~name:"pack never adds chimes (random kernels)"
+    Test_gen.kernel_arbitrary (fun k ->
+      let body =
+        Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
+      in
+      let packed = Fcc.Schedule.pack ~machine body in
+      Fcc.Schedule.chime_count ~machine packed
+      <= Fcc.Schedule.chime_count ~machine body)
+
+let prop_packed_functional_random =
+  QCheck.Test.make ~count:150
+    ~name:"packed compilation is functionally equivalent (random kernels)"
+    Test_gen.kernel_arbitrary (fun k ->
+      let plain = Fcc.Compiler.run_interp (Fcc.Compiler.compile k) in
+      let packed =
+        Fcc.Compiler.run_interp
+          (Fcc.Compiler.compile ~opt:Fcc.Opt_level.packed k)
+      in
+      let a = Store.get plain "OUT" and b = Store.get packed "OUT" in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-12) a b)
+
+(* ---- interpreter strip-size invariance ---- *)
+
+let prop_interp_strip_invariant =
+  QCheck.Test.make ~count:150
+    ~name:"interpreter results independent of strip size"
+    QCheck.(pair Test_gen.kernel_arbitrary (QCheck.make Gen.(int_range 1 128)))
+    (fun (k, strip) ->
+      let c = Fcc.Compiler.compile k in
+      let run max_vl =
+        let store = Fcc.Compiler.initial_store c in
+        let (_ : float array) =
+          Interp.run ~max_vl ~sregs:c.Fcc.Compiler.sregs ~store
+            c.Fcc.Compiler.job
+        in
+        Store.get store "OUT"
+      in
+      let full = run 128 and small = run strip in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-12) full small)
+
+let test_interp_strip_invariance_reductions () =
+  (* reductions re-associate across strips: results agree to float noise *)
+  let k = Lfk.Kernels.find 3 in
+  let c = Fcc.Compiler.compile k in
+  let run max_vl =
+    let store = Fcc.Compiler.initial_store c in
+    let (_ : float array) =
+      Interp.run ~max_vl ~sregs:c.sregs ~store c.job
+    in
+    (Store.get store "Q").(0)
+  in
+  let a = run 128 and b = run 37 in
+  Alcotest.(check bool) "tolerance" true
+    (Float.abs (a -. b) <= 1e-9 *. Float.abs a)
+
+(* ---- simulator corner cases ---- *)
+
+let single_ld n =
+  Job.make ~name:"edge"
+    ~body:[ Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1 } } ]
+    ~segments:[ Job.segment n ]
+    ()
+
+let test_sim_single_element () =
+  let r = Sim.run ~machine:(Machine.no_refresh machine) (single_ld 1) in
+  (* X + Y + Z*1: enter at 2, complete at 2 + 10 + 1 *)
+  Alcotest.(check (float 0.001)) "13 cycles" 13.0 r.Sim.stats.cycles;
+  Alcotest.(check int) "one element" 1 r.Sim.stats.elements
+
+let test_sim_129_elements_two_strips () =
+  let r = Sim.run ~machine:(Machine.no_refresh machine) (single_ld 129) in
+  Alcotest.(check int) "two strips" 2 r.Sim.stats.strips;
+  (* second strip is a single element tailgating the first *)
+  Alcotest.(check bool) "barely above one strip" true
+    (r.Sim.stats.cycles < 160.0)
+
+let test_sim_huge_stride () =
+  let body =
+    [ Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1024 } } ]
+  in
+  let job = Job.make ~name:"wide" ~body ~segments:[ Job.segment 64 ] () in
+  let layout = Convex_memsys.Layout.build [ ("A", 70_000) ] in
+  let r = Sim.run ~machine:(Machine.no_refresh machine) ~layout job in
+  (* stride 1024 = same bank every time: one access per 8 cycles *)
+  Alcotest.(check bool) "throttled to bank rate" true
+    (r.Sim.stats.cycles >= 8.0 *. 63.0)
+
+let test_sim_negative_offset () =
+  let body =
+    [ Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = -4; stride = 1 } } ]
+  in
+  let job =
+    Job.make ~name:"neg" ~body ~segments:[ Job.segment ~base:10 32 ] ()
+  in
+  let r = Sim.run ~machine:(Machine.no_refresh machine) job in
+  Alcotest.(check bool) "runs" true (Float.is_finite r.Sim.stats.cycles)
+
+let test_sim_ideal_machine_faster () =
+  let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
+  let base = Sim.run c.job in
+  let ideal = Sim.run ~machine:Machine.ideal c.job in
+  Alcotest.(check bool) "ideal faster" true
+    (ideal.Sim.stats.cycles < base.Sim.stats.cycles)
+
+let test_sim_empty_trace_by_default () =
+  let r = Sim.run (single_ld 8) in
+  Alcotest.(check int) "no events" 0 (List.length r.Sim.events)
+
+let test_sim_prologue_epilogue_timing () =
+  (* segment prologue/epilogue instructions are part of the run *)
+  let seg =
+    Job.segment
+      ~prologue:[ Instr.Sop { name = "outer" }; Instr.Sop { name = "outer" } ]
+      ~epilogue:[ Instr.Sop { name = "outer" } ]
+      64
+  in
+  let body = [ Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1 } } ] in
+  let with_pe = Job.make ~name:"pe" ~body ~segments:[ seg ] () in
+  let without = Job.make ~name:"np" ~body ~segments:[ Job.segment 64 ] () in
+  let m = Machine.no_refresh machine in
+  let a = Sim.run ~machine:m with_pe and b = Sim.run ~machine:m without in
+  Alcotest.(check bool) "prologue costs cycles" true
+    (a.Sim.stats.cycles >= b.Sim.stats.cycles)
+
+(* ---- compiler register-eviction path ---- *)
+
+let deep_kernel =
+  (* a sum of ten two-use products: every load is cached with remaining
+     uses while seven more values go live, forcing cache eviction and
+     rematerialising reloads *)
+  let r i = { Lfk.Ir.array = "P"; scale = 1; offset = i } in
+  let term i =
+    Lfk.Ir.Mul (Lfk.Ir.Load (r i), Lfk.Ir.Load (r ((i + 1) mod 10)))
+  in
+  let rec chain i = if i = 9 then term 9 else Lfk.Ir.Add (term i, chain (i + 1)) in
+  {
+    Lfk.Kernel.id = 998;
+    name = "deep";
+    description = "register pressure";
+    fortran = "";
+    body = [ Lfk.Ir.Store ({ array = "OUT"; scale = 1; offset = 0 }, chain 0) ];
+    acc = None;
+    scalars = [];
+    arrays = [ ("P", 256); ("OUT", 256) ];
+    aliases = [];
+    segments = [ { base = 0; length = 100; shifts = [] } ];
+    outer_ops = 0;
+  }
+
+let test_eviction_reloads () =
+  let c = Fcc.Compiler.compile deep_kernel in
+  let loads =
+    Program.count (function Instr.Vld _ -> true | _ -> false) c.program
+  in
+  (* ten distinct references; eviction forces at least one reload *)
+  Alcotest.(check bool)
+    (Printf.sprintf "loads %d > 10" loads)
+    true (loads >= 10);
+  (* and the result is still correct *)
+  let got = Fcc.Compiler.run_interp c in
+  let store = Fcc.Compiler.initial_store c in
+  let p = Store.get store "P" in
+  let expect = ref 0.0 in
+  for i = 0 to 9 do
+    expect := !expect +. (p.(i) *. p.((i + 1) mod 10))
+  done;
+  Alcotest.(check (float 1e-12)) "value" !expect (Store.get got "OUT").(0)
+
+let test_register_pressure_raised_in_scalar_mode () =
+  (* scalar mode has no rematerialisation; enough live temps raise *)
+  let r i = { Lfk.Ir.array = "P"; scale = 1; offset = i } in
+  let lets =
+    List.init 9 (fun i ->
+        Lfk.Ir.Let (Printf.sprintf "t%d" i, Lfk.Ir.Load (r i)))
+  in
+  let rec sum i =
+    if i = 8 then Lfk.Ir.Temp "t8"
+    else Lfk.Ir.Add (Lfk.Ir.Temp (Printf.sprintf "t%d" i), sum (i + 1))
+  in
+  let k =
+    {
+      deep_kernel with
+      Lfk.Kernel.id = 997;
+      body = lets @ [ Lfk.Ir.Store ({ array = "OUT"; scale = 1; offset = 0 }, sum 0) ];
+    }
+  in
+  try
+    ignore (Fcc.Compiler.compile ~force_scalar:true k);
+    Alcotest.fail "expected Register_pressure"
+  with Fcc.Compiler.Register_pressure _ -> ()
+
+(* ---- Hockney fit ---- *)
+
+let test_hockney_lfk1 () =
+  let h = Macs.Hockney.measure (Lfk.Kernels.find 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "r_inf %.1f near MACS rate" h.r_inf_mflops)
+    true
+    (let macs = Macs.Hockney.macs_rate_mflops (Lfk.Kernels.find 1) in
+     Float.abs (h.r_inf_mflops -. macs) /. macs < 0.10);
+  Alcotest.(check bool) "n_half positive and below VL" true
+    (h.n_half > 0.0 && h.n_half < 64.0);
+  Alcotest.(check int) "eight samples" 8 (List.length h.samples)
+
+let test_hockney_monotone_samples () =
+  let h = Macs.Hockney.measure (Lfk.Kernels.find 7) in
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cycles grow with n" true (mono h.samples)
+
+let test_hockney_guards () =
+  Alcotest.check_raises "length range"
+    (Invalid_argument "Hockney.measure: length out of [1; max VL]")
+    (fun () ->
+      ignore (Macs.Hockney.measure ~lengths:[ 0 ] (Lfk.Kernels.find 1)))
+
+let test_hockney_scalar_kernels_no_startup () =
+  (* scalar loops have no vector pipeline to fill: n_half near zero *)
+  let h = Macs.Hockney.measure Lfk.Kernels.lfk5 in
+  Alcotest.(check bool) "tiny n_half" true (Float.abs h.n_half < 2.0)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_parse_never_raises; prop_parse_program_never_raises;
+      prop_parse_mutated_listing; prop_pack_permutation_random;
+      prop_pack_never_more_chimes; prop_packed_functional_random;
+      prop_interp_strip_invariant;
+    ]
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ("fuzz-and-properties", qcheck_tests);
+      ( "interp",
+        [
+          Alcotest.test_case "reduction strip tolerance" `Quick
+            test_interp_strip_invariance_reductions;
+        ] );
+      ( "sim-edges",
+        [
+          Alcotest.test_case "single element" `Quick test_sim_single_element;
+          Alcotest.test_case "129 elements" `Quick
+            test_sim_129_elements_two_strips;
+          Alcotest.test_case "huge stride" `Quick test_sim_huge_stride;
+          Alcotest.test_case "negative offset" `Quick test_sim_negative_offset;
+          Alcotest.test_case "ideal machine" `Quick
+            test_sim_ideal_machine_faster;
+          Alcotest.test_case "trace off by default" `Quick
+            test_sim_empty_trace_by_default;
+          Alcotest.test_case "prologue/epilogue" `Quick
+            test_sim_prologue_epilogue_timing;
+        ] );
+      ( "compiler-pressure",
+        [
+          Alcotest.test_case "eviction reloads" `Quick test_eviction_reloads;
+          Alcotest.test_case "scalar-mode pressure raises" `Quick
+            test_register_pressure_raised_in_scalar_mode;
+        ] );
+      ( "hockney",
+        [
+          Alcotest.test_case "lfk1 fit" `Quick test_hockney_lfk1;
+          Alcotest.test_case "monotone samples" `Quick
+            test_hockney_monotone_samples;
+          Alcotest.test_case "guards" `Quick test_hockney_guards;
+          Alcotest.test_case "scalar kernels" `Quick
+            test_hockney_scalar_kernels_no_startup;
+        ] );
+    ]
