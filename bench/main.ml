@@ -132,9 +132,9 @@ let stage_tests () =
     Test.make ~name:"macs_bound_lfk8"
       (Staged.stage (fun () -> Macs.Macs_bound.compute ~machine body8));
     Test.make ~name:"simulate_lfk1"
-      (Staged.stage (fun () -> Convex_vpsim.Sim.run ~machine c1.job));
+      (Staged.stage (fun () -> Convex_vpsim.Sim.run_exn ~machine c1.job));
     Test.make ~name:"simulate_lfk8"
-      (Staged.stage (fun () -> Convex_vpsim.Sim.run ~machine c8.job));
+      (Staged.stage (fun () -> Convex_vpsim.Sim.run_exn ~machine c8.job));
     Test.make ~name:"hierarchy_lfk1"
       (Staged.stage (fun () -> Macs.Hierarchy.of_compiled c1));
   ]

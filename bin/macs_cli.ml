@@ -50,6 +50,25 @@ let opt_arg =
     & info [ "opt" ] ~docv:"LEVEL"
         ~doc:"Compiler level: v61 (default), ideal, loads-first, packed.")
 
+let fault_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Convex_fault.Fault.parse s)
+  in
+  let print fmt (f : Convex_fault.Fault.t) = Convex_fault.Fault.pp fmt f in
+  Arg.conv (parse, print)
+
+let fault_doc =
+  "Fault plan: a preset ("
+  ^ String.concat ", "
+      (List.map (fun (n, _, _) -> n) Convex_fault.Fault.presets)
+  ^ ") or a clause spec such as 'seed=7;degrade-bank=0*4;jitter=6'."
+
+let faults_arg =
+  Arg.(
+    value
+    & opt fault_conv Convex_fault.Fault.none
+    & info [ "faults" ] ~docv:"SPEC" ~doc:fault_doc)
+
 let kernel_arg =
   Arg.(
     value
@@ -80,7 +99,7 @@ let analyze_cmd =
           let c = Fcc.Compiler.compile ~opt k in
           let b = Macs.Scalar_bound.of_compiled c in
           let m =
-            Convex_vpsim.Measure.run ~machine
+            Convex_vpsim.Measure.run_exn ~machine
               ~flops_per_iteration:c.flops_per_iteration c.job
           in
           Format.printf "%s (scalar mode: %a)@.%a@.measured %a@.@."
@@ -187,31 +206,40 @@ let simulate_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.")
   in
-  let run machine kernel trace =
+  let run machine kernel faults trace =
     List.iter
       (fun k ->
         let c = Fcc.Compiler.compile k in
-        let r = Convex_vpsim.Sim.run ~machine ~trace c.job in
-        let s = r.stats in
-        Printf.printf
-          "%s: %.0f cycles, %.3f CPL, %.3f CPF (%d strips, %d memory \
-           accesses, %d bank-conflict stalls, %d refresh stalls, %d port \
-           stalls)\n"
-          k.name s.cycles
-          (Convex_vpsim.Sim.cpl r)
-          (Convex_vpsim.Sim.cpf r
-             ~flops_per_iteration:c.flops_per_iteration)
-          s.strips s.mem_accesses s.bank_conflict_stalls s.refresh_stalls
-          s.port_stalls;
-        if trace then
-          List.iter
-            (fun e -> Format.printf "  %a@." Convex_vpsim.Sim.pp_event e)
-            r.events)
+        let guard =
+          if Convex_fault.Fault.is_none faults then
+            Convex_vpsim.Sim.default_guard
+          else 50_000
+        in
+        match Convex_vpsim.Sim.run ~machine ~faults ~guard ~trace c.job with
+        | Error e ->
+            Printf.printf "%s: FAILED %s\n" k.name
+              (Macs_util.Macs_error.to_string e)
+        | Ok r ->
+            let s = r.stats in
+            Printf.printf
+              "%s: %.0f cycles, %.3f CPL, %.3f CPF (%d strips, %d memory \
+               accesses, %d bank-conflict stalls, %d refresh stalls, %d \
+               port stalls, %d fault stalls)\n"
+              k.name s.cycles
+              (Convex_vpsim.Sim.cpl r)
+              (Convex_vpsim.Sim.cpf r
+                 ~flops_per_iteration:c.flops_per_iteration)
+              s.strips s.mem_accesses s.bank_conflict_stalls s.refresh_stalls
+              s.port_stalls s.fault_stalls;
+            if trace then
+              List.iter
+                (fun e -> Format.printf "  %a@." Convex_vpsim.Sim.pp_event e)
+                r.events)
       (kernels_of kernel)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a kernel on the cycle-level simulator")
-    Term.(const run $ machine_arg $ kernel_arg $ trace)
+    Term.(const run $ machine_arg $ kernel_arg $ faults_arg $ trace)
 
 let calibrate_cmd =
   let run () = print_endline (Macs_report.Tables.table1 ()) in
@@ -380,7 +408,7 @@ let trace_cmd =
           [ { seg with Convex_vpsim.Job.vl = elements } ];
       }
     in
-    let r = Convex_vpsim.Sim.run ~machine ~trace:true job in
+    let r = Convex_vpsim.Sim.run_exn ~machine ~trace:true job in
     Convex_vpsim.Trace_export.write_file out r;
     Printf.printf "wrote %s (%d events; open in chrome://tracing)\n" out
       (List.length r.Convex_vpsim.Sim.events)
@@ -402,14 +430,43 @@ let advise_cmd =
     Term.(const run $ machine_arg $ kernel_arg)
 
 let suite_cmd =
-  let run machine opt =
-    print_string (Macs_report.Suite.render (Macs_report.Suite.run ~machine ~opt ()))
+  let run machine opt faults =
+    print_string
+      (Macs_report.Suite.render (Macs_report.Suite.run ~machine ~opt ~faults ()))
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
          "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification")
-    Term.(const run $ machine_arg $ opt_arg)
+    Term.(const run $ machine_arg $ opt_arg $ faults_arg)
+
+let resilience_cmd =
+  let plans =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "faults" ] ~docv:"SPEC" ~doc:(fault_doc ^ " Repeatable."))
+  in
+  let run machine opt plans =
+    let plans =
+      match plans with
+      | [] ->
+          (* default scenario: two derated bank modules *)
+          [ Result.get_ok (Convex_fault.Fault.parse "bank-degraded") ]
+      | ps -> ps
+    in
+    List.iteri
+      (fun i plan ->
+        if i > 0 then print_newline ();
+        print_string (Macs_report.Resilience.render
+                        (Macs_report.Resilience.run ~machine ~opt plan)))
+      plans
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Measure each vector kernel healthy vs. under a fault plan:           slowdowns, MACS bound-gap shifts, and the \xc2\xa74.2 contention           probes on degraded banks")
+    Term.(const run $ machine_arg $ opt_arg $ plans)
 
 let report_cmd =
   let out =
@@ -442,5 +499,6 @@ let () =
           [
             analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
             calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
-            advise_cmd; suite_cmd; bound_cmd; trace_cmd; report_cmd;
+            advise_cmd; suite_cmd; resilience_cmd; bound_cmd; trace_cmd;
+            report_cmd;
           ]))

@@ -59,7 +59,9 @@ let show kernel =
     kernel.Lfk.Kernel.description;
   (match Lfk.Kernel.validate kernel with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e ->
+      Printf.eprintf "invalid kernel %s: %s\n" kernel.Lfk.Kernel.name e;
+      exit 1);
   let compiled = Fcc.Compiler.compile kernel in
   print_string (Fcc.Compiler.listing compiled);
   let h = Macs.Hierarchy.of_compiled compiled in

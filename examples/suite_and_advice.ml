@@ -13,37 +13,47 @@ let () =
   print_string (Macs_report.Suite.render suite);
   print_newline ();
 
+  (* kernels that completed, with their measurements; on the healthy
+     machine that is all of them *)
+  let measured =
+    List.filter_map
+      (fun (r : Macs_report.Suite.row) ->
+        match r.outcome with Ok p -> Some (r, p) | Error _ -> None)
+      suite.rows
+  in
+
   (* advice for the kernels furthest from peak *)
   let worst =
-    suite.rows
-    |> List.sort (fun (a : Macs_report.Suite.row) b ->
-           Float.compare b.cpf a.cpf)
+    measured
+    |> List.sort
+         (fun ((_ : Macs_report.Suite.row), (a : Macs_report.Suite.perf))
+              (_, b) -> Float.compare b.cpf a.cpf)
     |> List.filteri (fun i _ -> i < 3)
   in
   print_endline "advice for the three slowest kernels:";
   print_newline ();
   List.iter
-    (fun (r : Macs_report.Suite.row) ->
+    (fun ((r : Macs_report.Suite.row), _) ->
       print_string (Macs.Advisor.report r.kernel))
     worst;
 
   (* and the parallel-throughput picture for the fastest one *)
   print_newline ();
-  let best =
+  let best, _ =
     List.fold_left
-      (fun acc (r : Macs_report.Suite.row) ->
+      (fun acc ((_, p) as cand) ->
         match acc with
-        | Some (b : Macs_report.Suite.row) when b.cpf <= r.cpf -> acc
-        | _ -> Some r)
-      None suite.rows
+        | Some (_, (b : Macs_report.Suite.perf)) when b.cpf <= p.Macs_report.Suite.cpf -> acc
+        | _ -> Some cand)
+      None measured
     |> Option.get
   in
-  let c = Fcc.Compiler.compile best.kernel in
+  let c = Fcc.Compiler.compile best.Macs_report.Suite.kernel in
   let par =
-    Convex_vpsim.Parallel.run
+    Convex_vpsim.Parallel.run_exn
       (Convex_vpsim.Parallel.replicate
          (c.Fcc.Compiler.job, c.Fcc.Compiler.flops_per_iteration)
          4)
   in
   Format.printf "four copies of the fastest kernel (%s):@.%a@."
-    best.kernel.name Convex_vpsim.Parallel.pp par
+    best.Macs_report.Suite.kernel.name Convex_vpsim.Parallel.pp par

@@ -102,7 +102,7 @@ let scalar_advice ~machine (k : Lfk.Kernel.t) =
   (* the only lever for a carried recurrence is algorithmic *)
   let c = Fcc.Compiler.compile k in
   let m =
-    Convex_vpsim.Measure.run ~machine
+    Convex_vpsim.Measure.run_exn ~machine
       ~flops_per_iteration:c.flops_per_iteration c.job
   in
   let bound = Scalar_bound.of_compiled c in

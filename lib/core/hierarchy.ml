@@ -55,7 +55,7 @@ let of_compiled ?(machine = Machine.c240) ?contention (c : Fcc.Compiler.t) =
   let t_macs_m = Macs_bound.m_only ~machine body in
   let layout = layout_of c in
   let measure job =
-    Measure.run ~machine ~layout ?contention ~flops_per_iteration:flops job
+    Measure.run_exn ~machine ~layout ?contention ~flops_per_iteration:flops job
   in
   let t_p = measure c.job in
   let t_a = measure (Ax.a_process c.job) in

@@ -32,7 +32,7 @@ let measure ?(machine = Machine.c240) ?(lengths = default_lengths)
             ~segments:[ Job.segment ~shifts n ]
             ()
         in
-        let r = Sim.run ~machine:machine_nr job in
+        let r = Sim.run_exn ~machine:machine_nr job in
         (n, r.Sim.stats.cycles))
       lengths
   in

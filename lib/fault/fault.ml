@@ -1,0 +1,292 @@
+open Convex_machine
+
+type bank_degrade = { bank : int; extra_busy : int }
+type bank_stuck = { bank : int; from_cycle : int; until_cycle : int option }
+type scrub = { bank : int; period : int; duration : int }
+type pipe_slow = { pipe : Pipe.t; z_factor : float; extra_startup : int }
+type port_spike = { period : int; duration : int }
+
+type t = {
+  name : string;
+  seed : int;
+  degraded : bank_degrade list;
+  stuck : bank_stuck list;
+  scrubs : scrub list;
+  refresh_jitter : int;
+  slow_pipes : pipe_slow list;
+  port_spikes : port_spike list;
+}
+
+let none =
+  {
+    name = "none";
+    seed = 0x5eed;
+    degraded = [];
+    stuck = [];
+    scrubs = [];
+    refresh_jitter = 0;
+    slow_pipes = [];
+    port_spikes = [];
+  }
+
+let is_none t =
+  t.degraded = [] && t.stuck = [] && t.scrubs = [] && t.refresh_jitter = 0
+  && t.slow_pipes = [] && t.port_spikes = []
+
+(* ---- queries ---- *)
+
+let bank_extra_busy t ~bank =
+  List.fold_left
+    (fun acc (d : bank_degrade) -> if d.bank = bank then acc + d.extra_busy else acc)
+    0 t.degraded
+
+let bank_blocked t ~bank ~cycle =
+  List.exists
+    (fun (s : bank_stuck) ->
+      s.bank = bank && cycle >= s.from_cycle
+      && match s.until_cycle with None -> true | Some u -> cycle < u)
+    t.stuck
+  || List.exists
+       (fun (s : scrub) ->
+         s.bank = bank && s.duration > 0 && s.period > 0
+         && cycle mod s.period >= s.period - s.duration)
+       t.scrubs
+
+(* splitmix64 finalizer over (seed, k); deterministic and stateless, the
+   same construction Contention uses for port steals *)
+let mix seed k =
+  let z = Int64.of_int ((seed * 0x2545f49) lxor k) in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let refresh_extension t ~period ~cycle =
+  if t.refresh_jitter <= 0 || period <= 0 || period = max_int then 0
+  else
+    let k = cycle / period in
+    Int64.to_int
+      (Int64.rem
+         (Int64.shift_right_logical (mix t.seed k) 11)
+         (Int64.of_int (t.refresh_jitter + 1)))
+
+let port_blocked t ~cycle =
+  List.exists
+    (fun (s : port_spike) ->
+      s.duration > 0 && s.period > 0
+      && cycle mod s.period >= s.period - s.duration)
+    t.port_spikes
+
+let pipe_z_factor t pipe =
+  List.fold_left
+    (fun acc (p : pipe_slow) ->
+      if Pipe.equal p.pipe pipe then acc *. p.z_factor else acc)
+    1.0 t.slow_pipes
+
+let pipe_extra_startup t pipe =
+  List.fold_left
+    (fun acc (p : pipe_slow) ->
+      if Pipe.equal p.pipe pipe then acc + p.extra_startup else acc)
+    0 t.slow_pipes
+
+let steal_fraction t =
+  let f =
+    List.fold_left
+      (fun acc (s : port_spike) ->
+        if s.period > 0 then
+          acc +. (float_of_int s.duration /. float_of_int s.period)
+        else acc)
+      0.0 t.port_spikes
+  in
+  Float.min 0.95 f
+
+(* ---- parsing ---- *)
+
+let ( let* ) = Result.bind
+
+let int_clause what tok =
+  match int_of_string_opt tok with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "%s: expected nonnegative integer, got %S" what tok)
+
+let split2 sep what tok =
+  match String.index_opt tok sep with
+  | Some i ->
+      Ok
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> Error (Printf.sprintf "%s: expected %C in %S" what sep tok)
+
+let parse_clause acc clause =
+  match String.index_opt clause '=' with
+  | None -> Error (Printf.sprintf "clause %S has no '='" clause)
+  | Some i ->
+      let key = String.sub clause 0 i in
+      let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+      (match key with
+      | "seed" ->
+          let* seed = int_clause "seed" v in
+          Ok { acc with seed }
+      | "degrade-bank" ->
+          let* b, f = split2 '*' "degrade-bank" v in
+          let* bank = int_clause "degrade-bank" b in
+          let* factor = int_clause "degrade-bank" f in
+          if factor < 1 then Error "degrade-bank: factor must be >= 1"
+          else
+            Ok
+              {
+                acc with
+                degraded =
+                  { bank; extra_busy = (factor - 1) * 8 } :: acc.degraded;
+              }
+      | "stuck-bank" ->
+          let* b, window = split2 '@' "stuck-bank" v in
+          let* bank = int_clause "stuck-bank" b in
+          let* lo, hi = split2 '-' "stuck-bank" window in
+          let* from_cycle = int_clause "stuck-bank" lo in
+          let* until_cycle =
+            if hi = "" then Ok None
+            else
+              let* u = int_clause "stuck-bank" hi in
+              if u <= from_cycle then Error "stuck-bank: empty window"
+              else Ok (Some u)
+          in
+          Ok
+            { acc with stuck = { bank; from_cycle; until_cycle } :: acc.stuck }
+      | "scrub" ->
+          let* b, rest = split2 '/' "scrub" v in
+          let* p, d = split2 '*' "scrub" rest in
+          let* bank = int_clause "scrub" b in
+          let* period = int_clause "scrub" p in
+          let* duration = int_clause "scrub" d in
+          if period <= 0 || duration <= 0 || duration >= period then
+            Error "scrub: need 0 < duration < period"
+          else Ok { acc with scrubs = { bank; period; duration } :: acc.scrubs }
+      | "jitter" ->
+          let* refresh_jitter = int_clause "jitter" v in
+          Ok { acc with refresh_jitter }
+      | "slow-pipe" ->
+          let* p, f = split2 '*' "slow-pipe" v in
+          let* pipe =
+            match Pipe.of_name p with
+            | Some pipe -> Ok pipe
+            | None -> Error (Printf.sprintf "slow-pipe: unknown pipe %S" p)
+          in
+          let* z_factor =
+            match float_of_string_opt f with
+            | Some z when z >= 1.0 -> Ok z
+            | _ -> Error (Printf.sprintf "slow-pipe: factor %S not >= 1" f)
+          in
+          Ok
+            {
+              acc with
+              slow_pipes =
+                { pipe; z_factor; extra_startup = 0 } :: acc.slow_pipes;
+            }
+      | "port-spike" ->
+          let* d, p = split2 '/' "port-spike" v in
+          let* duration = int_clause "port-spike" d in
+          let* period = int_clause "port-spike" p in
+          if period <= 0 || duration <= 0 || duration >= period then
+            Error "port-spike: need 0 < duration < period"
+          else
+            Ok { acc with port_spikes = { period; duration } :: acc.port_spikes }
+      | other -> Error (Printf.sprintf "unknown fault clause %S" other))
+
+let presets =
+  let p name description spec =
+    match
+      List.fold_left
+        (fun acc clause -> Result.bind acc (fun a -> parse_clause a clause))
+        (Ok { none with name })
+        (String.split_on_char ';' spec)
+    with
+    | Ok plan -> (name, description, plan)
+    | Error e -> invalid_arg (Printf.sprintf "Fault.presets: %s: %s" name e)
+  in
+  [
+    p "bank-degraded" "banks 0 and 1 at 4x busy time (derated modules)"
+      "degrade-bank=0*4;degrade-bank=1*4";
+    p "dead-bank" "bank 0 dead from cycle 0 (runs touching it stall out)"
+      "stuck-bank=0@0-";
+    p "ecc-scrub" "bank 3 scrubbed 24 cycles every 600"
+      "scrub=3/600*24";
+    p "jittery-refresh" "refresh windows extended by up to 12 cycles"
+      "jitter=12";
+    p "slow-multiply" "multiply pipe streaming at half rate"
+      "slow-pipe=mul*2";
+    p "port-storm" "port stolen 32 cycles in every 200"
+      "port-spike=32/200";
+    p "brownout"
+      "combined mild degradation: slow bank, jitter, port spikes, slow add"
+      "degrade-bank=5*2;jitter=6;port-spike=16/400;slow-pipe=add*1.25";
+  ]
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" || spec = "none" then Ok none
+  else
+    match List.find_opt (fun (n, _, _) -> n = spec) presets with
+    | Some (_, _, plan) -> Ok plan
+    | None ->
+        if not (String.contains spec '=') then
+          Error
+            (Printf.sprintf
+               "unknown fault preset %S (available: %s, or clause syntax \
+                key=value;...)"
+               spec
+               (String.concat ", " (List.map (fun (n, _, _) -> n) presets)))
+        else
+          List.fold_left
+            (fun acc clause ->
+              Result.bind acc (fun a ->
+                  parse_clause a (String.trim clause)))
+            (Ok { none with name = spec })
+            (String.split_on_char ';' spec)
+
+let pp fmt t =
+  if is_none t then Format.fprintf fmt "no faults"
+  else begin
+    Format.fprintf fmt "@[<v>fault plan %S (seed %#x):" t.name t.seed;
+    List.iter
+      (fun (d : bank_degrade) ->
+        Format.fprintf fmt "@,  bank %d: +%d busy cycles" d.bank d.extra_busy)
+      t.degraded;
+    List.iter
+      (fun (s : bank_stuck) ->
+        Format.fprintf fmt "@,  bank %d: stuck from cycle %d%s" s.bank
+          s.from_cycle
+          (match s.until_cycle with
+          | Some u -> Printf.sprintf " to %d" u
+          | None -> " onward"))
+      t.stuck;
+    List.iter
+      (fun (s : scrub) ->
+        Format.fprintf fmt "@,  bank %d: ECC scrub %d cycles every %d" s.bank
+          s.duration s.period)
+      t.scrubs;
+    if t.refresh_jitter > 0 then
+      Format.fprintf fmt "@,  refresh jitter: up to +%d cycles per window"
+        t.refresh_jitter;
+    List.iter
+      (fun (p : pipe_slow) ->
+        Format.fprintf fmt "@,  pipe %s: %.2fx per-element rate%s"
+          (Pipe.name p.pipe) p.z_factor
+          (if p.extra_startup > 0 then
+             Printf.sprintf ", +%d startup" p.extra_startup
+           else ""))
+      t.slow_pipes;
+    List.iter
+      (fun (s : port_spike) ->
+        Format.fprintf fmt "@,  port: stolen %d cycles in every %d" s.duration
+          s.period)
+      t.port_spikes;
+    Format.fprintf fmt "@]"
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,101 @@
+open Convex_machine
+
+(** Deterministic, seedable fault plans for the simulated C-240.
+
+    A plan describes how a degraded machine deviates from the healthy one:
+    memory banks running slow or stuck dead, transient ECC-scrub stalls,
+    jitter on the refresh window, function pipes streaming below rate, and
+    periodic port-steal spikes.  The simulator ({!Convex_vpsim.Sim}), the
+    bank model ({!Convex_memsys.Memory}), the trace-replay co-simulator and
+    the parallel-mode model all accept a plan through an optional [?faults]
+    hook; with no plan (or {!none}) they behave exactly as before.
+
+    Plans are pure data: every stochastic choice (refresh jitter) is a hash
+    of the plan seed and the cycle, so the same plan always produces the
+    same faulted run — fault injection composes with the test suite's
+    determinism properties rather than fighting them. *)
+
+type bank_degrade = { bank : int; extra_busy : int }
+(** Bank [bank] holds its busy line [extra_busy] cycles longer per access
+    (a slow, derated module). *)
+
+type bank_stuck = { bank : int; from_cycle : int; until_cycle : int option }
+(** Bank [bank] rejects every access in [\[from_cycle, until_cycle)];
+    [None] means the bank never recovers (a dead module — runs touching it
+    stall out). *)
+
+type scrub = { bank : int; period : int; duration : int }
+(** Transient ECC scrubbing: every [period] cycles, bank [bank] is
+    unavailable for [duration] cycles. *)
+
+type pipe_slow = { pipe : Pipe.t; z_factor : float; extra_startup : int }
+(** Function pipe [pipe] streams at [z *. z_factor] cycles per element and
+    pays [extra_startup] extra issue cycles (a derated or half-disabled
+    pipe). *)
+
+type port_spike = { period : int; duration : int }
+(** Every [period] cycles the CPU's memory port is stolen for [duration]
+    consecutive cycles (bursty cross-CPU traffic, DMA, diagnostics). *)
+
+type t = {
+  name : string;
+  seed : int;
+  degraded : bank_degrade list;
+  stuck : bank_stuck list;
+  scrubs : scrub list;
+  refresh_jitter : int;
+      (** each refresh window is extended by a per-period pseudorandom
+          amount in [\[0, refresh_jitter\]] cycles *)
+  slow_pipes : pipe_slow list;
+  port_spikes : port_spike list;
+}
+
+val none : t
+(** The empty plan: injects nothing. *)
+
+val is_none : t -> bool
+
+(* ---- queries consumed by the injection hooks ---- *)
+
+val bank_extra_busy : t -> bank:int -> int
+val bank_blocked : t -> bank:int -> cycle:int -> bool
+(** Stuck windows and ECC-scrub windows combined. *)
+
+val refresh_extension : t -> period:int -> cycle:int -> int
+(** Extra cycles added to the refresh window of the period containing
+    [cycle]; deterministic in [(seed, cycle / period)]. *)
+
+val port_blocked : t -> cycle:int -> bool
+val pipe_z_factor : t -> Pipe.t -> float
+val pipe_extra_startup : t -> Pipe.t -> int
+
+val steal_fraction : t -> float
+(** Fraction of cycles lost to port spikes ([duration /. period] summed,
+    capped below 1) — the boost {!Convex_vpsim.Parallel} feeds into its
+    calibrated contention model. *)
+
+(* ---- construction ---- *)
+
+val parse : string -> (t, string) result
+(** Parse a fault spec: either a preset name (see {!presets}) or a
+    semicolon-separated clause list.  Clauses:
+
+    - [seed=N]
+    - [degrade-bank=B*F] — bank [B] busy time multiplied by integer [F]
+    - [stuck-bank=B\@LO-HI] — bank [B] dead for cycles [LO..HI];
+      [stuck-bank=B\@LO-] means dead forever from [LO]
+    - [scrub=B/P*D] — bank [B] scrubbed [D] cycles every [P]
+    - [jitter=J] — refresh windows extended by up to [J] cycles
+    - [slow-pipe=NAME*F] — pipe [NAME] ({!Pipe.of_name}) slowed by float
+      factor [F]
+    - [port-spike=D/P] — port stolen [D] cycles every [P]
+
+    Example: ["seed=7;degrade-bank=0*4;jitter=6;slow-pipe=mul*1.5"]. *)
+
+val presets : (string * string * t) list
+(** [(name, description, plan)] for the stock scenarios: [bank-degraded],
+    [dead-bank], [ecc-scrub], [jittery-refresh], [slow-multiply],
+    [port-storm], [brownout]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

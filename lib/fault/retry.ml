@@ -1,0 +1,19 @@
+open Macs_util
+
+let guard_scales = [ 1; 4 ]
+
+let retryable = function
+  | Macs_error.Livelock _ | Macs_error.Stall_out _ -> true
+  | Macs_error.Dependence_cycle _ | Macs_error.Parse_failure _ -> false
+
+let with_relaxed_guard f =
+  let rec go = function
+    | [] -> assert false
+    | [ scale ] -> f ~guard_scale:scale
+    | scale :: rest -> (
+        match f ~guard_scale:scale with
+        | Ok _ as ok -> ok
+        | Error e when retryable e -> go rest
+        | Error _ as err -> err)
+  in
+  go guard_scales

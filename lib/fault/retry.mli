@@ -1,0 +1,19 @@
+(** Bounded retry-with-relaxed-guard policy.
+
+    The simulator's livelock guards are budgets, not proofs: a heavily
+    faulted but still-progressing run can trip them spuriously.  Suite
+    runners therefore retry a failed run a bounded number of times with a
+    progressively relaxed guard before accepting the diagnostic — a genuine
+    stall-out (dead bank) fails every attempt and is reported; a slow but
+    live run completes on a later attempt. *)
+
+val guard_scales : int list
+(** Multipliers applied to the default guard budget on successive
+    attempts; currently [[1; 4]]. *)
+
+val with_relaxed_guard :
+  (guard_scale:int -> ('a, Macs_util.Macs_error.t) result) ->
+  ('a, Macs_util.Macs_error.t) result
+(** Run the thunk once per entry of {!guard_scales}, stopping at the first
+    [Ok].  Only [Livelock] and [Stall_out] errors are retried; any other
+    error (or the last attempt's error) is returned as-is. *)

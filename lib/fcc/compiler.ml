@@ -779,8 +779,15 @@ let compile ?(opt = Opt_level.v61) ?(force_scalar = false) (k : Kernel.t) =
         let lowered = lower_body opt scal k in
         let lowered =
           match opt.Opt_level.schedule with
-          | Opt_level.Packed ->
-              Schedule.pack ~machine:Convex_machine.Machine.c240 lowered
+          | Opt_level.Packed -> (
+              (* an unpackable body (cyclic dependence graph, scheduler
+                 no-progress) compiles in lowering order rather than
+                 aborting the whole kernel *)
+              match
+                Schedule.pack ~machine:Convex_machine.Machine.c240 lowered
+              with
+              | Ok packed -> packed
+              | Error _ -> lowered)
           | Opt_level.Depth_first | Opt_level.Loads_first -> lowered
         in
         ( (Instr.Smovvl :: lowered) @ loop_tail,

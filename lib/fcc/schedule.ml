@@ -1,5 +1,6 @@
 open Convex_isa
 open Convex_machine
+open Macs_util
 
 (* ------------------------------------------------------------------ *)
 (* The compiler's model of the chime rules (mirrors the hardware rules
@@ -167,7 +168,7 @@ let build_deps instrs =
 let pack ~machine instrs =
   let arr, preds = build_deps instrs in
   let n = Array.length arr in
-  if n = 0 then []
+  if n = 0 then Ok []
   else begin
     let pending = Array.make n 0 in
     Array.iteri
@@ -196,28 +197,48 @@ let pack ~machine instrs =
       List.iter (fun s -> pending.(s) <- pending.(s) - 1) succs.(j);
       out := arr.(j) :: !out
     in
+    let scheduled_count () =
+      Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 scheduled
+    in
     let steps = ref 0 in
-    while List.exists (fun s -> not s) (Array.to_list scheduled) do
+    let error = ref None in
+    while
+      !error = None
+      && List.exists (fun s -> not s) (Array.to_list scheduled)
+    do
       incr steps;
-      if !steps > n * (n + 2) then failwith "Schedule.pack: no progress";
-      let candidates = ready () in
-      (match candidates with
-      | [] -> failwith "Schedule.pack: dependence cycle"
-      | _ ->
-          (* prefer the first (original order) candidate that fits the
-             open chime without closing it; otherwise take the first
-             candidate outright *)
-          let fitting =
-            List.find_opt
-              (fun j ->
-                Instr.is_vector arr.(j) && fits ~machine st arr.(j)
-                && st.members <> [])
-              candidates
-          in
-          let choice =
-            match fitting with Some j -> j | None -> List.hd candidates
-          in
-          emit choice)
+      if !steps > n * (n + 2) then
+        error :=
+          Some
+            (Macs_error.livelock ~site:"Schedule.pack" ~cycle:!steps
+               ~pending:(n - scheduled_count ()) ())
+      else
+        let candidates = ready () in
+        match candidates with
+        | [] ->
+            (* every unscheduled instruction still waits on a predecessor:
+               the dependence graph has a cycle *)
+            error :=
+              Some
+                (Macs_error.dependence_cycle ~site:"Schedule.pack"
+                   ~scheduled:(scheduled_count ()) ~total:n)
+        | _ ->
+            (* prefer the first (original order) candidate that fits the
+               open chime without closing it; otherwise take the first
+               candidate outright *)
+            let fitting =
+              List.find_opt
+                (fun j ->
+                  Instr.is_vector arr.(j) && fits ~machine st arr.(j)
+                  && st.members <> [])
+                candidates
+            in
+            let choice =
+              match fitting with Some j -> j | None -> List.hd candidates
+            in
+            emit choice
     done;
-    List.rev !out
+    match !error with Some e -> Error e | None -> Ok (List.rev !out)
   end
+
+let pack_exn ~machine instrs = Macs_error.of_result (pack ~machine instrs)

@@ -17,8 +17,19 @@ open Convex_machine
     by original program order, so an already well-packed schedule (LFK1)
     comes out unchanged. *)
 
-val pack : machine:Machine.t -> Instr.t list -> Instr.t list
-(** Reorder a loop body.  The result is a permutation of the input. *)
+val pack :
+  machine:Machine.t ->
+  Instr.t list ->
+  (Instr.t list, Macs_util.Macs_error.t) Stdlib.result
+(** Reorder a loop body.  On success the result is a permutation of the
+    input.  A body whose dependence graph is cyclic (possible only for
+    hand-built bodies; lowering never produces one) yields
+    [Error (Dependence_cycle _)]; a scheduler that stops making progress
+    yields [Error (Livelock _)].  Callers that cannot proceed unpacked
+    should fall back to the original order. *)
+
+val pack_exn : machine:Machine.t -> Instr.t list -> Instr.t list
+(** Like {!pack}; raises {!Macs_util.Macs_error.Error} on failure. *)
 
 val chime_count : machine:Machine.t -> Instr.t list -> int
 (** Number of chimes the compiler's model assigns to a body — the cost

@@ -259,4 +259,8 @@ let parse_program text =
       | _ -> Error (Printf.sprintf "expected \"name:\" header, got %S" header))
 
 let parse_program_exn text =
-  match parse_program text with Ok p -> p | Error e -> failwith e
+  match parse_program text with
+  | Ok p -> p
+  | Error e ->
+      Macs_util.Macs_error.raise_error
+        (Macs_util.Macs_error.parse_failure ~site:"Asm.parse_program" e)

@@ -41,4 +41,6 @@ val parse_program : string -> (Program.t, string) result
     lines.  Blank lines and comment-only lines are skipped. *)
 
 val parse_program_exn : string -> Program.t
-(** Like {!parse_program}; raises [Failure] with the message on error. *)
+(** Like {!parse_program}; raises
+    [Macs_util.Macs_error.Error (Parse_failure _)] carrying the message
+    on error. *)

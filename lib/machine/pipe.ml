@@ -18,3 +18,9 @@ let name = function
   | Load_store -> "load/store"
   | Add_unit -> "add"
   | Multiply_unit -> "multiply"
+
+let of_name = function
+  | "load/store" | "load-store" | "ld" | "lsu" -> Some Load_store
+  | "add" -> Some Add_unit
+  | "multiply" | "mul" -> Some Multiply_unit
+  | _ -> None

@@ -18,6 +18,12 @@ val of_instr : Instr.t -> t option
 (** [None] for scalar instructions. *)
 
 val name : t -> string
+
+val of_name : string -> t option
+(** Inverse of {!name}, accepting the short aliases used in fault specs:
+    ["load/store"]/["load-store"]/["ld"]/["lsu"], ["add"],
+    ["multiply"]/["mul"]. *)
+
 val pp : Format.formatter -> t -> unit
 val show : t -> string
 val equal : t -> t -> bool

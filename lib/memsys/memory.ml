@@ -1,8 +1,10 @@
 open Convex_machine
+open Convex_fault
 
 type t = {
   params : Mem_params.t;
   contention : Contention.t;
+  faults : Fault.t;
   log : (int * int) list ref option;
   bank_free_at : int array;
   port_used : (int, unit) Hashtbl.t;
@@ -14,12 +16,15 @@ type t = {
   mutable conflict_stalls : int;
   mutable refresh_stalls : int;
   mutable port_stalls : int;
+  mutable fault_stalls : int;
 }
 
-let create ?(contention = Contention.none) ?log (params : Mem_params.t) =
+let create ?(contention = Contention.none) ?(faults = Fault.none) ?log
+    (params : Mem_params.t) =
   {
     params;
     contention;
+    faults;
     log;
     bank_free_at = Array.make params.banks 0;
     port_used = Hashtbl.create 4096;
@@ -27,6 +32,7 @@ let create ?(contention = Contention.none) ?log (params : Mem_params.t) =
     conflict_stalls = 0;
     refresh_stalls = 0;
     port_stalls = 0;
+    fault_stalls = 0;
   }
 
 let reset t =
@@ -35,18 +41,27 @@ let reset t =
   t.accesses <- 0;
   t.conflict_stalls <- 0;
   t.refresh_stalls <- 0;
-  t.port_stalls <- 0
+  t.port_stalls <- 0;
+  t.fault_stalls <- 0
 
 (* The refresh window sits at the end of each period so that short runs
    starting at cycle 0 are not unrealistically hit by a refresh on their
-   first access (real runs start at a random refresh phase). *)
+   first access (real runs start at a random refresh phase).  A fault plan
+   with refresh jitter widens the window by a per-period pseudorandom
+   amount. *)
 let refresh_active t ~cycle =
   t.params.refresh_duration > 0
   && t.params.refresh_period <> max_int
-  && cycle mod t.params.refresh_period
-     >= t.params.refresh_period - t.params.refresh_duration
+  &&
+  let duration =
+    t.params.refresh_duration
+    + Fault.refresh_extension t.faults ~period:t.params.refresh_period ~cycle
+  in
+  cycle mod t.params.refresh_period >= t.params.refresh_period - duration
 
-let port_stolen t ~cycle = Contention.sampler t.contention cycle
+let port_stolen t ~cycle =
+  Contention.sampler t.contention cycle
+  || Fault.port_blocked t.faults ~cycle
 
 let bank_of t ~word =
   let b = word mod t.params.banks in
@@ -67,12 +82,18 @@ let try_access t ~cycle ~word =
   end
   else
     let bank = bank_of t ~word in
-    if t.bank_free_at.(bank) > cycle then begin
+    if Fault.bank_blocked t.faults ~bank ~cycle then begin
+      t.fault_stalls <- t.fault_stalls + 1;
+      false
+    end
+    else if t.bank_free_at.(bank) > cycle then begin
       t.conflict_stalls <- t.conflict_stalls + 1;
       false
     end
     else begin
-      t.bank_free_at.(bank) <- cycle + t.params.bank_busy_cycles;
+      t.bank_free_at.(bank) <-
+        cycle + t.params.bank_busy_cycles
+        + Fault.bank_extra_busy t.faults ~bank;
       Hashtbl.replace t.port_used cycle ();
       t.accesses <- t.accesses + 1;
       (match t.log with
@@ -85,3 +106,4 @@ let stats_accesses t = t.accesses
 let stats_conflict_stalls t = t.conflict_stalls
 let stats_refresh_stalls t = t.refresh_stalls
 let stats_port_stalls t = t.port_stalls
+let stats_fault_stalls t = t.fault_stalls

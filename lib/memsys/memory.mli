@@ -15,12 +15,16 @@ type t
 
 val create :
   ?contention:Contention.t ->
+  ?faults:Convex_fault.Fault.t ->
   ?log:(int * int) list ref ->
   Mem_params.t ->
   t
 (** [log], when provided, receives every accepted access as a
     [(cycle, word)] pair (prepended; callers sort).  Used by the
-    co-simulator to capture exact solo access streams. *)
+    co-simulator to capture exact solo access streams.  [faults] (default
+    {!Convex_fault.Fault.none}) injects the plan's memory-level faults:
+    degraded/stuck banks, ECC-scrub windows, refresh jitter and port-steal
+    spikes. *)
 
 val reset : t -> unit
 (** Clear bank state (contention and parameters are kept). *)
@@ -47,3 +51,6 @@ val stats_conflict_stalls : t -> int
 val stats_refresh_stalls : t -> int
 
 val stats_port_stalls : t -> int
+
+val stats_fault_stalls : t -> int
+(** Failed attempts due to an injected bank fault (stuck or scrubbed). *)

@@ -44,7 +44,7 @@ let timeline events total =
 let figure2 () =
   let machine = Convex_machine.Machine.no_refresh Convex_machine.Machine.c240 in
   let run body n =
-    Sim.run ~machine ~trace:true
+    Sim.run_exn ~machine ~trace:true
       (Job.make ~name:"fig2" ~body ~segments:[ Job.segment n ] ())
   in
   let chained = run (fig2_body ~chained:true) 128 in
@@ -112,7 +112,7 @@ let pipeline_trace ?(kernel = 1) () =
       ()
   in
   let machine = Convex_machine.Machine.no_refresh Convex_machine.Machine.c240 in
-  let r = Sim.run ~machine ~trace:true job in
+  let r = Sim.run_exn ~machine ~trace:true job in
   let vector_events =
     List.filter (fun (e : Sim.event) -> Instr.is_vector e.instr) r.events
   in

@@ -1,0 +1,49 @@
+open Convex_machine
+
+(** Resilience report: how the simulated C-240 degrades under an injected
+    fault plan ({!Convex_fault.Fault}).
+
+    For each of the ten vectorized Livermore kernels the report runs the
+    measurement twice — on the healthy machine and under the plan — and
+    sets both against the MACS bound of the compiled schedule: the bound
+    models the ideal machine, so the widening of the measured-over-bound
+    gap is exactly the performance the fault steals.  A kernel that
+    cannot complete under the plan (a permanently stuck bank, say)
+    contributes a structured diagnostic instead of aborting the report.
+
+    A second section replays the paper's §4.2 memory-contention probes
+    (four lockstep copies of LFK1, and four different programs) through
+    the bank co-simulator with the plan active, showing how the 5-10% /
+    ~20% rules of thumb shift when banks degrade. *)
+
+type kernel_row = {
+  kernel : Lfk.Kernel.t;
+  bound_cpl : float;  (** MACS bound, cycles per iteration *)
+  healthy : Convex_vpsim.Measure.t;
+  healthy_gap_pct : float;  (** measured over bound, percent *)
+  faulted :
+    (Convex_vpsim.Measure.t, Macs_util.Macs_error.t) Stdlib.result;
+}
+
+type contention_probe = {
+  label : string;
+  healthy_slowdown : float;  (** co-simulated average slowdown *)
+  faulted_slowdown : (float, Macs_util.Macs_error.t) Stdlib.result;
+}
+
+type t = {
+  machine : Machine.t;
+  faults : Convex_fault.Fault.t;
+  rows : kernel_row list;
+  probes : contention_probe list;
+}
+
+val run :
+  ?machine:Machine.t ->
+  ?opt:Fcc.Opt_level.t ->
+  Convex_fault.Fault.t ->
+  t
+(** Never raises on any fault plan: per-kernel failures are carried in
+    the rows. *)
+
+val render : t -> string

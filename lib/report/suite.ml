@@ -1,9 +1,9 @@
 open Convex_machine
 open Convex_vpsim
+open Convex_fault
+open Macs_util
 
-type row = {
-  kernel : Lfk.Kernel.t;
-  mode : Job.mode;
+type perf = {
   cpl : float;
   cpf : float;
   mflops : float;
@@ -11,8 +11,15 @@ type row = {
   checksum_ok : bool;
 }
 
+type row = {
+  kernel : Lfk.Kernel.t;
+  mode : Job.mode;
+  outcome : (perf, Macs_error.t) Stdlib.result;
+}
+
 type t = {
   machine : Machine.t;
+  faults : Fault.t;
   rows : row list;
   vector_hmean_mflops : float;
   overall_hmean_mflops : float;
@@ -25,54 +32,84 @@ let checksum_of_store (k : Lfk.Kernel.t) store =
     0.0
     (Lfk.Reference.output_arrays k)
 
-let run_kernel machine opt (k : Lfk.Kernel.t) =
+(* Under an active fault plan, legitimate per-access waits stay under a
+   few hundred cycles (degraded banks, scrub windows and port spikes are
+   all short); only a permanently blocked bank spins longer.  A small
+   guard keeps stalled-out kernels cheap to diagnose without risking
+   false positives. *)
+let faulted_guard = 50_000
+
+let run_kernel machine opt faults guard (k : Lfk.Kernel.t) =
   let c = Fcc.Compiler.compile ~opt k in
   let layout = Macs.Hierarchy.layout_of c in
-  let m =
-    Measure.run ~machine ~layout ~flops_per_iteration:c.flops_per_iteration
-      c.job
+  let outcome =
+    Retry.with_relaxed_guard (fun ~guard_scale ->
+        match
+          Measure.run ~machine ~layout ~faults ~guard:(guard * guard_scale)
+            ~flops_per_iteration:c.flops_per_iteration c.job
+        with
+        | Error _ as e -> e
+        | Ok m ->
+            let got = Fcc.Compiler.run_interp c in
+            let want = Lfk.Data.store_of k in
+            Lfk.Reference.run k want;
+            let checksum = checksum_of_store k got in
+            let expected = checksum_of_store k want in
+            let checksum_ok =
+              Float.abs (checksum -. expected)
+              <= 1e-9 *. (Float.abs expected +. 1.0)
+            in
+            Ok
+              {
+                cpl = m.Measure.cpl;
+                cpf = m.Measure.cpf;
+                mflops = m.Measure.mflops;
+                checksum;
+                checksum_ok;
+              })
   in
-  let got = Fcc.Compiler.run_interp c in
-  let want = Lfk.Data.store_of k in
-  Lfk.Reference.run k want;
-  let checksum = checksum_of_store k got in
-  let expected = checksum_of_store k want in
-  let checksum_ok =
-    Float.abs (checksum -. expected)
-    <= 1e-9 *. (Float.abs expected +. 1.0)
-  in
-  {
-    kernel = k;
-    mode = c.mode;
-    cpl = m.Measure.cpl;
-    cpf = m.Measure.cpf;
-    mflops = m.Measure.mflops;
-    checksum;
-    checksum_ok;
-  }
+  { kernel = k; mode = c.mode; outcome }
 
-let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61) () =
+let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
+    ?(faults = Fault.none) ?guard () =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None -> if Fault.is_none faults then Sim.default_guard else faulted_guard
+  in
   let kernels = Lfk.Kernels.all @ Lfk.Kernels.scalar_kernels in
   let kernels =
     List.sort (fun (a : Lfk.Kernel.t) b -> compare a.id b.id) kernels
   in
-  let rows = List.map (run_kernel machine opt) kernels in
+  let rows = List.map (run_kernel machine opt faults guard) kernels in
   let hmean sel =
     let cpfs =
-      rows |> List.filter sel |> List.map (fun r -> r.cpf) |> Array.of_list
+      rows
+      |> List.filter_map (fun r ->
+             match r.outcome with
+             | Ok p when sel r -> Some p.cpf
+             | Ok _ | Error _ -> None)
+      |> Array.of_list
     in
-    Macs.Units.hmean_mflops ~clock_mhz:machine.Machine.clock_mhz
-      ~cpf_values:cpfs
+    if Array.length cpfs = 0 then 0.0
+    else
+      Macs.Units.hmean_mflops ~clock_mhz:machine.Machine.clock_mhz
+        ~cpf_values:cpfs
   in
   {
     machine;
+    faults;
     rows;
     vector_hmean_mflops = hmean (fun r -> r.mode = Job.Vector);
     overall_hmean_mflops = hmean (fun _ -> true);
   }
 
+let failed_rows t =
+  List.filter_map
+    (fun r -> match r.outcome with Error e -> Some (r, e) | Ok _ -> None)
+    t.rows
+
 let render t =
-  let open Macs_util in
   let tbl =
     Table.create
       ~header:
@@ -81,19 +118,55 @@ let render t =
   in
   List.iter
     (fun r ->
-      Table.add_row tbl
-        [
-          Table.cell_int r.kernel.id;
-          (match r.mode with Job.Vector -> "vector" | Job.Scalar -> "scalar");
-          Table.cell_float ~decimals:3 r.cpl;
-          Table.cell_float ~decimals:3 r.cpf;
-          Table.cell_float ~decimals:2 r.mflops;
-          Printf.sprintf "%.6e" r.checksum;
-          (if r.checksum_ok then "ok" else "MISMATCH");
-        ])
+      let mode =
+        match r.mode with Job.Vector -> "vector" | Job.Scalar -> "scalar"
+      in
+      match r.outcome with
+      | Ok p ->
+          Table.add_row tbl
+            [
+              Table.cell_int r.kernel.id;
+              mode;
+              Table.cell_float ~decimals:3 p.cpl;
+              Table.cell_float ~decimals:3 p.cpf;
+              Table.cell_float ~decimals:2 p.mflops;
+              Printf.sprintf "%.6e" p.checksum;
+              (if p.checksum_ok then "ok" else "MISMATCH");
+            ]
+      | Error e ->
+          Table.add_row tbl
+            [
+              Table.cell_int r.kernel.id;
+              mode;
+              "-";
+              "-";
+              "-";
+              Macs_error.kind e;
+              "FAILED";
+            ])
     t.rows;
+  let diagnostics =
+    match failed_rows t with
+    | [] -> ""
+    | failures ->
+        let lines =
+          List.map
+            (fun ((r : row), e) ->
+              Printf.sprintf "  LFK%-2d %s" r.kernel.id (Macs_error.to_string e))
+            failures
+        in
+        Printf.sprintf "\ndiagnostics (%d kernel%s failed):\n%s\n"
+          (List.length failures)
+          (if List.length failures = 1 then "" else "s")
+          (String.concat "\n" lines)
+  in
+  let fault_note =
+    if Fault.is_none t.faults then ""
+    else Printf.sprintf " under fault plan %S" t.faults.Fault.name
+  in
   Printf.sprintf
-    "Livermore suite on the simulated %s\n%s\n\nharmonic-mean MFLOPS: \
-     %.2f over the ten vectorized kernels, %.2f over all twelve\n"
-    t.machine.Machine.name (Table.render tbl) t.vector_hmean_mflops
-    t.overall_hmean_mflops
+    "Livermore suite on the simulated %s%s\n%s\n%s\nharmonic-mean MFLOPS: \
+     %.2f over the ten vectorized kernels, %.2f over all twelve (failed \
+     kernels excluded)\n"
+    t.machine.Machine.name fault_note (Table.render tbl) diagnostics
+    t.vector_hmean_mflops t.overall_hmean_mflops

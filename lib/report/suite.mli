@@ -5,11 +5,14 @@ open Convex_machine
     the original LFK driver reports — per-kernel rates, output checksums
     against the reference implementations, and the harmonic-mean summary.
     This is the "run the whole benchmark" entry point a user of the
-    library reaches for first. *)
+    library reaches for first.
 
-type row = {
-  kernel : Lfk.Kernel.t;
-  mode : Convex_vpsim.Job.mode;
+    The suite degrades gracefully: a kernel whose simulation fails (e.g.
+    stalls out under an injected fault plan) contributes a structured
+    diagnostic row instead of aborting the run, after one bounded retry
+    with a relaxed progress guard ({!Convex_fault.Retry}). *)
+
+type perf = {
   cpl : float;
   cpf : float;
   mflops : float;
@@ -17,14 +20,34 @@ type row = {
   checksum_ok : bool;  (** matches the reference implementation's checksum *)
 }
 
-type t = {
-  machine : Machine.t;
-  rows : row list;
-  vector_hmean_mflops : float;  (** over the ten vectorized kernels *)
-  overall_hmean_mflops : float;  (** over all twelve *)
+type row = {
+  kernel : Lfk.Kernel.t;
+  mode : Convex_vpsim.Job.mode;
+  outcome : (perf, Macs_util.Macs_error.t) Stdlib.result;
+      (** measurement, or the diagnostic that stopped it *)
 }
 
-val run : ?machine:Machine.t -> ?opt:Fcc.Opt_level.t -> unit -> t
+type t = {
+  machine : Machine.t;
+  faults : Convex_fault.Fault.t;
+  rows : row list;
+  vector_hmean_mflops : float;
+      (** over the vectorized kernels that completed *)
+  overall_hmean_mflops : float;  (** over all kernels that completed *)
+}
+
+val run :
+  ?machine:Machine.t ->
+  ?opt:Fcc.Opt_level.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
+  unit ->
+  t
+(** [guard] defaults to {!Convex_vpsim.Sim.default_guard} on a healthy
+    machine and to a much smaller value under an active fault plan, so
+    permanently stalled kernels are diagnosed quickly. *)
+
+val failed_rows : t -> (row * Macs_util.Macs_error.t) list
 
 val render : t -> string
 

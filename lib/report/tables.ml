@@ -295,7 +295,7 @@ let scalar_mode () =
       let c = Fcc.Compiler.compile k in
       let bound = Macs.Scalar_bound.of_compiled c in
       let m =
-        Convex_vpsim.Measure.run ~flops_per_iteration:c.flops_per_iteration
+        Convex_vpsim.Measure.run_exn ~flops_per_iteration:c.flops_per_iteration
           c.job
       in
       Buffer.add_string buf
@@ -312,11 +312,11 @@ let scalar_mode () =
       let v = Fcc.Compiler.compile k in
       let sc = Fcc.Compiler.compile ~force_scalar:true k in
       let mv =
-        Convex_vpsim.Measure.run ~flops_per_iteration:v.flops_per_iteration
+        Convex_vpsim.Measure.run_exn ~flops_per_iteration:v.flops_per_iteration
           v.job
       in
       let ms =
-        Convex_vpsim.Measure.run ~flops_per_iteration:sc.flops_per_iteration
+        Convex_vpsim.Measure.run_exn ~flops_per_iteration:sc.flops_per_iteration
           sc.job
       in
       Buffer.add_string buf
@@ -337,11 +337,11 @@ let parallel_mode () =
     (c.Fcc.Compiler.job, c.Fcc.Compiler.kernel.Lfk.Kernel.name)
   in
   let lockstep =
-    Convex_vpsim.Parallel.run (Convex_vpsim.Parallel.replicate (wl 1) 4)
+    Convex_vpsim.Parallel.run_exn (Convex_vpsim.Parallel.replicate (wl 1) 4)
   in
-  let different = Convex_vpsim.Parallel.run [ wl 1; wl 7; wl 9; wl 10 ] in
-  let co_lockstep = Convex_vpsim.Cosim.run [ cl 1; cl 1; cl 1; cl 1 ] in
-  let co_different = Convex_vpsim.Cosim.run [ cl 1; cl 7; cl 9; cl 10 ] in
+  let different = Convex_vpsim.Parallel.run_exn [ wl 1; wl 7; wl 9; wl 10 ] in
+  let co_lockstep = Convex_vpsim.Cosim.run_exn [ cl 1; cl 1; cl 1; cl 1 ] in
+  let co_different = Convex_vpsim.Cosim.run_exn [ cl 1; cl 7; cl 9; cl 10 ] in
   Format.asprintf
     "Parallel vector mode (extension): four CPUs sharing the memory \
      system@.@.calibrated port-contention model:@.%a@.@.%a@.@.\
@@ -380,7 +380,7 @@ let stride_sweep () =
           ()
       in
       let r =
-        Convex_vpsim.Sim.run ~machine
+        Convex_vpsim.Sim.run_exn ~machine
           ~layout:(Convex_memsys.Layout.build [ ("A", 40000) ])
           job
       in
@@ -419,7 +419,7 @@ let stride_sweep () =
       ()
   in
   let r =
-    Convex_vpsim.Sim.run ~machine
+    Convex_vpsim.Sim.run_exn ~machine
       ~layout:(Convex_memsys.Layout.build [ ("A", 70000); ("B", 4096) ])
       job
   in

@@ -1,0 +1,66 @@
+type t =
+  | Livelock of {
+      site : string;
+      cycle : int;
+      pending : int;
+      word : int option;
+    }
+  | Stall_out of { site : string; cycle : int; pending : int; plan : string }
+  | Dependence_cycle of { site : string; scheduled : int; total : int }
+  | Parse_failure of { site : string; message : string }
+
+exception Error of t
+
+let livelock ~site ~cycle ~pending ?word () =
+  Livelock { site; cycle; pending; word }
+
+let stall_out ~site ~cycle ~pending ~plan =
+  Stall_out { site; cycle; pending; plan }
+
+let dependence_cycle ~site ~scheduled ~total =
+  Dependence_cycle { site; scheduled; total }
+
+let parse_failure ~site message = Parse_failure { site; message }
+
+let kind = function
+  | Livelock _ -> "livelock"
+  | Stall_out _ -> "stall-out"
+  | Dependence_cycle _ -> "dependence-cycle"
+  | Parse_failure _ -> "parse-failure"
+
+let site = function
+  | Livelock { site; _ }
+  | Stall_out { site; _ }
+  | Dependence_cycle { site; _ }
+  | Parse_failure { site; _ } ->
+      site
+
+let to_string = function
+  | Livelock { site; cycle; pending; word } ->
+      Printf.sprintf
+        "livelock at %s: no memory progress by cycle %d (%d pending%s)" site
+        cycle pending
+        (match word with
+        | Some w -> Printf.sprintf ", retrying word %d" w
+        | None -> "")
+  | Stall_out { site; cycle; pending; plan } ->
+      Printf.sprintf
+        "stall-out at %s: no progress by cycle %d under fault plan %S (%d \
+         pending)"
+        site cycle plan pending
+  | Dependence_cycle { site; scheduled; total } ->
+      Printf.sprintf
+        "dependence cycle at %s: %d of %d instructions scheduled before no \
+         candidate was ready"
+        site scheduled total
+  | Parse_failure { site; message } ->
+      Printf.sprintf "parse failure at %s: %s" site message
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let raise_error t = raise (Error t)
+let of_result = function Ok v -> v | Error e -> raise_error e
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Printf.sprintf "Macs_error.Error(%s)" (to_string t))
+    | _ -> None)

@@ -1,0 +1,62 @@
+(** Structured error channel for the MACS toolchain.
+
+    Internal failure guards used to [failwith], killing a whole experiment
+    suite on one bad kernel.  Every recoverable failure is instead described
+    by a value of {!t}, threaded as a [result] through the fallible entry
+    points ([Sim.run], [Cosim.replay], [Schedule.pack], [Measure.run]), so
+    suite runners can degrade to a diagnostic row and keep going.  Each
+    variant carries enough context (cycle number, pending accesses, fault
+    plan) to tell a livelocked simulation from a fault-induced stall-out or
+    a scheduler cycle without re-running anything. *)
+
+type t =
+  | Livelock of {
+      site : string;  (** e.g. ["Sim.run"] or ["Cosim.replay"] *)
+      cycle : int;  (** cycle at which the guard tripped *)
+      pending : int;  (** in-flight instructions / undrained accesses *)
+      word : int option;  (** the word address being retried, if one *)
+    }
+      (** A progress guard tripped on a healthy machine: the simulation
+          stopped accepting memory accesses (or the replay stopped draining
+          streams) for an implausibly long window. *)
+  | Stall_out of {
+      site : string;
+      cycle : int;
+      pending : int;
+      plan : string;  (** name of the active fault plan *)
+    }
+      (** Same guard, but under an active fault plan: the injected faults
+          (e.g. a stuck bank) starved the run of progress. *)
+  | Dependence_cycle of {
+      site : string;
+      scheduled : int;  (** instructions placed before the cycle was hit *)
+      total : int;
+    }  (** The list scheduler found no ready instruction. *)
+  | Parse_failure of { site : string; message : string }
+
+exception Error of t
+
+val livelock : site:string -> cycle:int -> pending:int -> ?word:int -> unit -> t
+val stall_out : site:string -> cycle:int -> pending:int -> plan:string -> t
+val dependence_cycle : site:string -> scheduled:int -> total:int -> t
+val parse_failure : site:string -> string -> t
+
+val kind : t -> string
+(** Short machine-readable tag: ["livelock"], ["stall-out"],
+    ["dependence-cycle"], ["parse-failure"]. *)
+
+val site : t -> string
+
+val to_string : t -> string
+(** One-line diagnostic, e.g.
+    ["stall-out at Sim.run: no progress by cycle 1000213 under fault plan \
+      \"dead-bank\" (3 pending)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val raise_error : t -> 'a
+(** [raise (Error t)]. *)
+
+val of_result : ('a, t) result -> 'a
+(** Unwrap, raising {!Error} on [Error].  The conventional body of a
+    [*_exn] entry point. *)

@@ -23,7 +23,7 @@ let run_cycles machine body ~elements =
   let job =
     Job.make ~name:"calibration" ~body ~segments:[ Job.segment elements ] ()
   in
-  (Sim.run ~machine job).stats.cycles
+  (Sim.run_exn ~machine job).stats.cycles
 
 let single_run_cycles ?(machine = Machine.c240) cls ~vl =
   if vl < 1 || vl > machine.max_vl then

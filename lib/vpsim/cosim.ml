@@ -1,4 +1,6 @@
 open Convex_machine
+open Convex_fault
+open Macs_util
 
 type access = { cycle : int; word : int }
 
@@ -11,9 +13,9 @@ type stream = {
 type cpu_outcome = { stream : stream; delay : int; slowdown : float }
 type t = { cpus : cpu_outcome list; average_slowdown : float }
 
-let stream_of_job ?(machine = Machine.c240) ~name job =
+let stream_of_job ?(machine = Machine.c240) ?faults ~name job =
   let log = ref [] in
-  let r = Sim.run ~machine ~access_log:log job in
+  let r = Sim.run_exn ~machine ?faults ~access_log:log job in
   let accesses =
     !log
     |> List.rev_map (fun (cycle, word) -> { cycle; word })
@@ -26,7 +28,7 @@ let stream_of_job ?(machine = Machine.c240) ~name job =
 let cpu_word_offset i = i * 509
 
 let replay ?(machine = Machine.c240) ?(stagger = 3) ?(equalize = true)
-    streams =
+    ?(faults = Fault.none) streams =
   if streams = [] then invalid_arg "Cosim.replay: no streams";
   if List.length streams > 4 then
     invalid_arg "Cosim.replay: the C-240 has four CPUs";
@@ -74,58 +76,87 @@ let replay ?(machine = Machine.c240) ?(stagger = 3) ?(equalize = true)
   let total = remaining () in
   let t = ref 0 in
   let guard = ref 0 in
-  while remaining () > 0 do
-    incr guard;
-    if !guard > 100 * (total + 1000) then failwith "Cosim.replay: livelock";
-    (* rotate priority so no CPU systematically wins ties *)
-    for k = 0 to n - 1 do
-      let i = (k + !t) mod n in
-      if idx.(i) < Array.length pending.(i) then begin
-        let a = pending.(i).(idx.(i)) in
-        let due = a.cycle + delay.(i) in
-        if due <= !t then begin
-          let bank =
-            let b = (a.word + cpu_word_offset i) mod mp.Mem_params.banks in
-            if b < 0 then b + mp.Mem_params.banks else b
-          in
-          if banks.(bank) <= !t then begin
-            banks.(bank) <- !t + mp.Mem_params.bank_busy_cycles;
-            idx.(i) <- idx.(i) + 1;
-            (* an access accepted later than desired slips the stream *)
-            if due < !t then delay.(i) <- delay.(i) + (!t - due)
+  let replay_all () =
+    while remaining () > 0 do
+      incr guard;
+      if !guard > 100 * (total + 1000) then
+        Macs_error.raise_error
+          (if Fault.is_none faults then
+             Macs_error.livelock ~site:"Cosim.replay" ~cycle:!t
+               ~pending:(remaining ()) ()
+           else
+             Macs_error.stall_out ~site:"Cosim.replay" ~cycle:!t
+               ~pending:(remaining ()) ~plan:faults.Fault.name);
+      (* rotate priority so no CPU systematically wins ties *)
+      for k = 0 to n - 1 do
+        let i = (k + !t) mod n in
+        if idx.(i) < Array.length pending.(i) then begin
+          let a = pending.(i).(idx.(i)) in
+          let due = a.cycle + delay.(i) in
+          if due <= !t then begin
+            let bank =
+              let b = (a.word + cpu_word_offset i) mod mp.Mem_params.banks in
+              if b < 0 then b + mp.Mem_params.banks else b
+            in
+            if
+              banks.(bank) <= !t
+              && (not (Fault.bank_blocked faults ~bank ~cycle:!t))
+              && not (Fault.port_blocked faults ~cycle:!t)
+            then begin
+              banks.(bank) <-
+                !t + mp.Mem_params.bank_busy_cycles
+                + Fault.bank_extra_busy faults ~bank;
+              idx.(i) <- idx.(i) + 1;
+              (* an access accepted later than desired slips the stream *)
+              if due < !t then delay.(i) <- delay.(i) + (!t - due)
+            end
+            else
+              (* rejected: the whole remaining stream slips a cycle *)
+              delay.(i) <- delay.(i) + 1
           end
-          else
-            (* rejected: the whole remaining stream slips a cycle *)
-            delay.(i) <- delay.(i) + 1
         end
-      end
-    done;
-    incr t
-  done;
-  let outcomes =
-    List.mapi
-      (fun i s ->
-        (* the slip accumulated over all repetitions, averaged back to one *)
-        let d = (delay.(i) - base_delay.(i)) / repeats.(i) in
-        {
-          stream = s;
-          delay = d;
-          slowdown =
-            (s.solo_cycles +. float_of_int d) /. Float.max 1.0 s.solo_cycles;
-        })
-      streams
+      done;
+      incr t
+    done
   in
-  let average_slowdown =
-    List.fold_left (fun acc o -> acc +. o.slowdown) 0.0 outcomes
-    /. float_of_int n
-  in
-  { cpus = outcomes; average_slowdown }
+  match replay_all () with
+  | exception Macs_error.Error e -> Error e
+  | () ->
+      let outcomes =
+        List.mapi
+          (fun i s ->
+            (* the slip accumulated over all repetitions, averaged back to
+               one *)
+            let d = (delay.(i) - base_delay.(i)) / repeats.(i) in
+            {
+              stream = s;
+              delay = d;
+              slowdown =
+                (s.solo_cycles +. float_of_int d)
+                /. Float.max 1.0 s.solo_cycles;
+            })
+          streams
+      in
+      let average_slowdown =
+        List.fold_left (fun acc o -> acc +. o.slowdown) 0.0 outcomes
+        /. float_of_int n
+      in
+      Ok { cpus = outcomes; average_slowdown }
 
-let run ?machine ?stagger workloads =
-  replay ?machine ?stagger
-    (List.map
-       (fun (job, name) -> stream_of_job ?machine ~name job)
-       workloads)
+let replay_exn ?machine ?stagger ?equalize ?faults streams =
+  Macs_error.of_result (replay ?machine ?stagger ?equalize ?faults streams)
+
+let run ?machine ?stagger ?faults workloads =
+  match
+    List.map
+      (fun (job, name) -> stream_of_job ?machine ?faults ~name job)
+      workloads
+  with
+  | exception Macs_error.Error e -> Error e
+  | streams -> replay ?machine ?stagger ?faults streams
+
+let run_exn ?machine ?stagger ?faults workloads =
+  Macs_error.of_result (run ?machine ?stagger ?faults workloads)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>co-simulated %d CPUs, average slowdown %.2fx"

@@ -33,23 +33,61 @@ type cpu_outcome = {
 type t = { cpus : cpu_outcome list; average_slowdown : float }
 
 val stream_of_job :
-  ?machine:Machine.t -> name:string -> Job.t -> stream
+  ?machine:Machine.t ->
+  ?faults:Convex_fault.Fault.t ->
+  name:string ->
+  Job.t ->
+  stream
 (** Solo-run the job (traced) and reconstruct its memory-access stream:
     each vector memory instruction contributes one access per element
     starting at its observed start cycle; scalar accesses contribute one.
-    Bank addresses come from the same layout the run used. *)
+    Bank addresses come from the same layout the run used.  [faults]
+    applies the plan to the solo run; raises
+    {!Macs_util.Macs_error.Error} if the solo run stalls out under it. *)
 
 val replay :
-  ?machine:Machine.t -> ?stagger:int -> ?equalize:bool -> stream list -> t
+  ?machine:Machine.t ->
+  ?stagger:int ->
+  ?equalize:bool ->
+  ?faults:Convex_fault.Fault.t ->
+  stream list ->
+  (t, Macs_util.Macs_error.t) Stdlib.result
 (** Replay up to four streams against shared banks.  [stagger] offsets
     CPU [i]'s start by [i * stagger] cycles (default 3 — processes never
     start on the same cycle).  [equalize] (default true) repeats shorter
     streams until they cover the longest, modeling a machine that stays
-    loaded; per-CPU slip is then averaged back to one repetition.  Raises
-    [Invalid_argument] on an empty list or more than four streams. *)
+    loaded; per-CPU slip is then averaged back to one repetition.
+    [faults] injects bank degradation, stuck/scrubbed banks and port
+    spikes into the shared-bank replay; a plan that blocks some access
+    forever yields [Error (Stall_out _)] once the progress guard trips.
+    Raises [Invalid_argument] on an empty list or more than four streams
+    (contract violations, not runtime outcomes). *)
+
+val replay_exn :
+  ?machine:Machine.t ->
+  ?stagger:int ->
+  ?equalize:bool ->
+  ?faults:Convex_fault.Fault.t ->
+  stream list ->
+  t
+(** Like {!replay}; raises {!Macs_util.Macs_error.Error} on failure. *)
 
 val run :
-  ?machine:Machine.t -> ?stagger:int -> (Job.t * string) list -> t
-(** [stream_of_job] each workload, then [replay]. *)
+  ?machine:Machine.t ->
+  ?stagger:int ->
+  ?faults:Convex_fault.Fault.t ->
+  (Job.t * string) list ->
+  (t, Macs_util.Macs_error.t) Stdlib.result
+(** [stream_of_job] each workload, then [replay].  [faults] applies to
+    both the solo trace runs and the shared replay; any stall-out is
+    returned as [Error], never raised. *)
+
+val run_exn :
+  ?machine:Machine.t ->
+  ?stagger:int ->
+  ?faults:Convex_fault.Fault.t ->
+  (Job.t * string) list ->
+  t
+(** Like {!run}; raises {!Macs_util.Macs_error.Error} on failure. *)
 
 val pp : Format.formatter -> t -> unit

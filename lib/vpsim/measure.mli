@@ -16,9 +16,25 @@ val run :
   ?machine:Machine.t ->
   ?layout:Layout.t ->
   ?contention:Contention.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
+  flops_per_iteration:int ->
+  Job.t ->
+  (t, Macs_util.Macs_error.t) Stdlib.result
+(** Simulate and convert to the paper's units.  Simulation failures
+    (livelock, fault-induced stall-out) come back as [Error].  Raises
+    [Invalid_argument] if [flops_per_iteration <= 0] — a caller bug, not
+    a runtime outcome. *)
+
+val run_exn :
+  ?machine:Machine.t ->
+  ?layout:Layout.t ->
+  ?contention:Contention.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
   flops_per_iteration:int ->
   Job.t ->
   t
-(** Raises [Invalid_argument] if [flops_per_iteration <= 0]. *)
+(** Like {!run}; raises {!Macs_util.Macs_error.Error} on failure. *)
 
 val pp : Format.formatter -> t -> unit

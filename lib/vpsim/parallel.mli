@@ -33,12 +33,25 @@ type t = {
 val run :
   ?machine:Machine.t ->
   ?lockstep:bool ->
+  ?faults:Convex_fault.Fault.t ->
   (Job.t * int) list ->
-  t
+  (t, Macs_util.Macs_error.t) Stdlib.result
 (** [run workloads] simulates each [(job, flops)] on its own CPU.
     [lockstep] defaults to detecting it: true iff all jobs share a name.
-    Raises [Invalid_argument] on an empty list or more than four
-    workloads (the C-240 has four CPUs). *)
+    [faults] applies to the contended pass only (the solo pass stays
+    healthy so slowdowns are measured against a clean baseline); a
+    port-steal plan additionally raises the effective steal probability.
+    Simulation failures under the plan come back as [Error].  Raises
+    [Invalid_argument] on an empty list or more than four workloads (the
+    C-240 has four CPUs). *)
+
+val run_exn :
+  ?machine:Machine.t ->
+  ?lockstep:bool ->
+  ?faults:Convex_fault.Fault.t ->
+  (Job.t * int) list ->
+  t
+(** Like {!run}; raises {!Macs_util.Macs_error.Error} on failure. *)
 
 val replicate : Job.t * int -> int -> (Job.t * int) list
 (** [replicate w p] is [p] copies of the workload — the

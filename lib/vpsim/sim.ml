@@ -1,6 +1,8 @@
 open Convex_isa
 open Convex_machine
 open Convex_memsys
+open Convex_fault
+open Macs_util
 
 type event = {
   instr : Instr.t;
@@ -20,6 +22,7 @@ type stats = {
   bank_conflict_stalls : int;
   refresh_stalls : int;
   port_stalls : int;
+  fault_stalls : int;
   pipe_busy : (string * float) list;
 }
 
@@ -54,14 +57,20 @@ let enter_at w e =
   let n = Array.length w.enter in
   w.enter.(min e (n - 1))
 
+(* default spin budget of the memory-progress guard, in cycles per access *)
+let default_guard = 1_000_000
+
 let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
-    ?access_log ?(trace = false) (job : Job.t) =
+    ?(faults = Fault.none) ?(guard = default_guard) ?access_log
+    ?(trace = false) (job : Job.t) =
   let layout =
     match layout with
     | Some l -> l
     | None -> Layout.build (List.map (fun a -> (a, 8192)) (Job.arrays job))
   in
-  let memory = Memory.create ~contention ?log:access_log machine.memory in
+  let memory =
+    Memory.create ~contention ~faults ?log:access_log machine.memory
+  in
   (* function unit instances: load/store units first, then add, then
      multiply *)
   let lsu_n = machine.pipes.load_store in
@@ -107,11 +116,18 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
 
   let acquire_mem ~earliest ~word =
     let c = ref (int_of_float (Float.ceil earliest)) in
-    let guard = ref 0 in
+    let spins = ref 0 in
     while not (Memory.try_access memory ~cycle:!c ~word) do
       incr c;
-      incr guard;
-      if !guard > 1_000_000 then failwith "Sim: memory livelock"
+      incr spins;
+      if !spins > guard then
+        Macs_error.raise_error
+          (if Fault.is_none faults then
+             Macs_error.livelock ~site:"Sim.run" ~cycle:!c
+               ~pending:(List.length !active) ~word ()
+           else
+             Macs_error.stall_out ~site:"Sim.run" ~cycle:!c
+               ~pending:(List.length !active) ~plan:faults.Fault.name)
     done;
     float_of_int !c
   in
@@ -166,8 +182,19 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
   (* ---- vector instructions ---- *)
   let exec_vector (seg : Job.segment) ~base_index ~strip ~vl i =
     let cls = Option.get (Instr.vclass_of i) in
-    let p = Timing.get machine.timing cls in
     let pipe = Pipe.of_vclass cls in
+    let p = Timing.get machine.timing cls in
+    (* a slowed function pipe streams below rate and pays extra issue
+       cycles; the healthy path must not pay for the check *)
+    let p =
+      if Fault.is_none faults then p
+      else
+        {
+          p with
+          Timing.x = p.x + Fault.pipe_extra_startup faults pipe;
+          z = p.z *. Fault.pipe_z_factor faults pipe;
+        }
+    in
     (* choose the least-busy unit instance of the pipe *)
     let u =
       List.fold_left
@@ -394,47 +421,58 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     else exec_scalar seg ~base_index ~strip i
   in
 
-  List.iter
-    (fun (seg : Job.segment) ->
-      let pro_vl = min seg.vl machine.max_vl in
-      List.iter (exec_instr seg ~base_index:seg.base ~strip:!strips ~vl:pro_vl)
-        seg.prologue;
-      let step = match job.mode with
-        | Job.Vector -> machine.max_vl
-        | Job.Scalar -> 1
-      in
-      let remaining = ref seg.vl in
-      let base = ref seg.base in
-      while !remaining > 0 do
-        let vl = min step !remaining in
-        List.iter (exec_instr seg ~base_index:!base ~strip:!strips ~vl)
-          job.body;
-        incr strips;
-        base := !base + vl;
-        remaining := !remaining - vl
-      done;
-      List.iter
-        (exec_instr seg ~base_index:seg.base ~strip:(!strips - 1) ~vl:pro_vl)
-        seg.epilogue)
-    job.segments;
-
-  let stats =
-    {
-      cycles = !finish;
-      elements = Job.total_elements job;
-      instructions = !instructions;
-      strips = !strips;
-      mem_accesses = Memory.stats_accesses memory;
-      bank_conflict_stalls = Memory.stats_conflict_stalls memory;
-      refresh_stalls = Memory.stats_refresh_stalls memory;
-      port_stalls = Memory.stats_port_stalls memory;
-      pipe_busy =
-        List.map
-          (fun pipe -> (Pipe.name pipe, pipe_busy.(Pipe.index pipe)))
-          Pipe.all;
-    }
+  let execute () =
+    List.iter
+      (fun (seg : Job.segment) ->
+        let pro_vl = min seg.vl machine.max_vl in
+        List.iter
+          (exec_instr seg ~base_index:seg.base ~strip:!strips ~vl:pro_vl)
+          seg.prologue;
+        let step = match job.mode with
+          | Job.Vector -> machine.max_vl
+          | Job.Scalar -> 1
+        in
+        let remaining = ref seg.vl in
+        let base = ref seg.base in
+        while !remaining > 0 do
+          let vl = min step !remaining in
+          List.iter (exec_instr seg ~base_index:!base ~strip:!strips ~vl)
+            job.body;
+          incr strips;
+          base := !base + vl;
+          remaining := !remaining - vl
+        done;
+        List.iter
+          (exec_instr seg ~base_index:seg.base ~strip:(!strips - 1) ~vl:pro_vl)
+          seg.epilogue)
+      job.segments
   in
-  { stats; events = List.rev !events }
+  match execute () with
+  | exception Macs_error.Error e -> Error e
+  | () ->
+      let stats =
+        {
+          cycles = !finish;
+          elements = Job.total_elements job;
+          instructions = !instructions;
+          strips = !strips;
+          mem_accesses = Memory.stats_accesses memory;
+          bank_conflict_stalls = Memory.stats_conflict_stalls memory;
+          refresh_stalls = Memory.stats_refresh_stalls memory;
+          port_stalls = Memory.stats_port_stalls memory;
+          fault_stalls = Memory.stats_fault_stalls memory;
+          pipe_busy =
+            List.map
+              (fun pipe -> (Pipe.name pipe, pipe_busy.(Pipe.index pipe)))
+              Pipe.all;
+        }
+      in
+      Ok { stats; events = List.rev !events }
+
+let run_exn ?machine ?layout ?contention ?faults ?guard ?access_log ?trace job
+    =
+  Macs_error.of_result
+    (run ?machine ?layout ?contention ?faults ?guard ?access_log ?trace job)
 
 let cpl r = r.stats.cycles /. float_of_int r.stats.elements
 

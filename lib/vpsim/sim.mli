@@ -44,6 +44,8 @@ type stats = {
   bank_conflict_stalls : int;
   refresh_stalls : int;
   port_stalls : int;
+  fault_stalls : int;
+      (** failed access attempts due to an injected bank fault *)
   pipe_busy : (string * float) list;
       (** measured cycles each function pipe spent streaming elements,
           keyed by {!Convex_machine.Pipe.name} (summed over unit
@@ -54,17 +56,41 @@ type result = { stats : stats; events : event list }
 (** [events] is empty unless the run was traced, and lists instructions in
     issue order. *)
 
+val default_guard : int
+(** Default memory-progress guard: spin cycles allowed per access before
+    the run is declared livelocked (currently 1,000,000). *)
+
 val run :
   ?machine:Machine.t ->
   ?layout:Layout.t ->
   ?contention:Contention.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
+  ?access_log:(int * int) list ref ->
+  ?trace:bool ->
+  Job.t ->
+  (result, Macs_util.Macs_error.t) Stdlib.result
+(** Simulate a job to completion.  [machine] defaults to {!Machine.c240};
+    [layout] defaults to [Layout.build] over the job's arrays;
+    [contention] to none; [faults] to {!Convex_fault.Fault.none}; [trace]
+    to [false].  Returns [Error (Livelock _)] when an access makes no
+    progress for [guard] consecutive cycles on a healthy machine, and
+    [Error (Stall_out _)] when the same guard trips under an active fault
+    plan (e.g. a stuck bank); it never raises on any fault plan. *)
+
+val run_exn :
+  ?machine:Machine.t ->
+  ?layout:Layout.t ->
+  ?contention:Contention.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
   ?access_log:(int * int) list ref ->
   ?trace:bool ->
   Job.t ->
   result
-(** Simulate a job to completion.  [machine] defaults to {!Machine.c240};
-    [layout] defaults to [Layout.build] over the job's arrays;
-    [contention] to none; [trace] to [false]. *)
+(** Like {!run}; raises {!Macs_util.Macs_error.Error} on failure.  The
+    convenience for contexts (calibration, paper tables on the healthy
+    machine) where a livelock is a programming error, not an outcome. *)
 
 val cpl : result -> float
 (** Cycles per (original scalar) inner-loop iteration:

@@ -104,8 +104,8 @@ let test_vectorization_speedup () =
   let k = Lfk.Kernels.find 1 in
   let v = Fcc.Compiler.compile k in
   let sc = Fcc.Compiler.compile ~force_scalar:true k in
-  let mv = Measure.run ~flops_per_iteration:5 v.job in
-  let ms = Measure.run ~flops_per_iteration:5 sc.job in
+  let mv = Measure.run_exn ~flops_per_iteration:5 v.job in
+  let ms = Measure.run_exn ~flops_per_iteration:5 sc.job in
   let speedup = ms.Measure.cpl /. mv.Measure.cpl in
   Alcotest.(check bool)
     (Printf.sprintf "speedup %.1f in 3-20x" speedup)
@@ -114,7 +114,7 @@ let test_vectorization_speedup () =
 
 let test_scalar_job_counts_elements () =
   let c = Fcc.Compiler.compile Lfk.Kernels.lfk11 in
-  let r = Sim.run c.job in
+  let r = Sim.run_exn c.job in
   (* one body execution per element *)
   Alcotest.(check int) "strips = elements" r.Sim.stats.elements
     r.Sim.stats.strips
@@ -137,7 +137,7 @@ let test_scalar_bound_below_measured () =
       let c = Fcc.Compiler.compile k in
       let b = Macs.Scalar_bound.of_compiled c in
       let m =
-        Measure.run ~flops_per_iteration:c.flops_per_iteration c.job
+        Measure.run_exn ~flops_per_iteration:c.flops_per_iteration c.job
       in
       Alcotest.(check bool) (k.name ^ " bound <= measured") true
         (b.cpl <= m.Measure.cpl +. 0.01);
@@ -185,7 +185,7 @@ let test_dbound_matches_simulator () =
         Job.make ~name:"s" ~body ~segments:[ Job.segment 1024 ] ()
       in
       let r =
-        Sim.run ~machine:m
+        Sim.run_exn ~machine:m
           ~layout:(Convex_memsys.Layout.build [ ("A", 40000) ])
           job
       in
@@ -239,7 +239,7 @@ let workload id =
   (c.Fcc.Compiler.job, c.Fcc.Compiler.flops_per_iteration)
 
 let test_parallel_lockstep_band () =
-  let r = Parallel.run (Parallel.replicate (workload 1) 4) in
+  let r = Parallel.run_exn (Parallel.replicate (workload 1) 4) in
   Alcotest.(check bool) "detected lockstep" true r.lockstep;
   Alcotest.(check bool)
     (Printf.sprintf "lockstep %.2f in 1.03-1.15" r.average_slowdown)
@@ -247,31 +247,31 @@ let test_parallel_lockstep_band () =
     (r.average_slowdown > 1.03 && r.average_slowdown < 1.15)
 
 let test_parallel_different_band () =
-  let r = Parallel.run [ workload 1; workload 7; workload 9; workload 10 ] in
+  let r = Parallel.run_exn [ workload 1; workload 7; workload 9; workload 10 ] in
   Alcotest.(check bool) "not lockstep" false r.lockstep;
   Alcotest.(check bool)
     (Printf.sprintf "different %.2f in 1.12-1.35" r.average_slowdown)
     true
     (r.average_slowdown > 1.12 && r.average_slowdown < 1.35);
   (* lockstep must beat different programs *)
-  let ls = Parallel.run (Parallel.replicate (workload 1) 4) in
+  let ls = Parallel.run_exn (Parallel.replicate (workload 1) 4) in
   Alcotest.(check bool) "lockstep cheaper" true
     (ls.average_slowdown < r.average_slowdown)
 
 let test_parallel_single_cpu_free () =
-  let r = Parallel.run [ workload 1 ] in
+  let r = Parallel.run_exn [ workload 1 ] in
   Alcotest.(check (float 1e-9)) "no contention alone" 1.0
     r.average_slowdown
 
 let test_parallel_guards () =
   Alcotest.check_raises "empty" (Invalid_argument "Parallel.run: no workloads")
-    (fun () -> ignore (Parallel.run []));
+    (fun () -> ignore (Parallel.run_exn []));
   Alcotest.check_raises "five"
     (Invalid_argument "Parallel.run: the C-240 has four CPUs") (fun () ->
-      ignore (Parallel.run (Parallel.replicate (workload 1) 5)))
+      ignore (Parallel.run_exn (Parallel.replicate (workload 1) 5)))
 
 let test_parallel_slowdowns_at_least_one () =
-  let r = Parallel.run [ workload 1; workload 12 ] in
+  let r = Parallel.run_exn [ workload 1; workload 12 ] in
   List.iter
     (fun (c : Parallel.cpu) ->
       Alcotest.(check bool) "slowdown >= 1" true (c.slowdown >= 0.999))
@@ -310,7 +310,7 @@ let test_gather_rate_closed_form () =
     ]
   in
   let job = Job.make ~name:"g" ~body ~segments:[ Job.segment 2048 ] () in
-  let r = Sim.run ~machine:m job in
+  let r = Sim.run_exn ~machine:m job in
   let sim_rate = 2048.0 /. r.Sim.stats.cycles in
   let model = Macs.Dbound.gather_rate ~machine:m in
   Alcotest.(check bool)
@@ -448,7 +448,7 @@ let test_merge_register_dependence_timing () =
   in
   let job = Job.make ~name:"vm" ~body ~segments:[ Job.segment 128 ] () in
   let machine_nr = Machine.no_refresh machine in
-  let r = Sim.run ~machine:machine_nr ~trace:true job in
+  let r = Sim.run_exn ~machine:machine_nr ~trace:true job in
   match r.Sim.events with
   | [ cmp; merge ] ->
       Alcotest.(check bool) "merge chains on the mask" true
@@ -476,11 +476,11 @@ let test_cosim_stream_capture () =
   Alcotest.(check bool) "strictly ordered" true (ordered s.Cosim.accesses)
 
 let test_cosim_single_cpu_free () =
-  let r = Cosim.run [ costream 1 ] in
+  let r = Cosim.run_exn [ costream 1 ] in
   Alcotest.(check (float 1e-9)) "alone costs nothing" 1.0 r.average_slowdown
 
 let test_cosim_four_cpus_band () =
-  let r = Cosim.run [ costream 1; costream 1; costream 1; costream 1 ] in
+  let r = Cosim.run_exn [ costream 1; costream 1; costream 1; costream 1 ] in
   Alcotest.(check bool)
     (Printf.sprintf "lockstep replay %.2f in 1.02-1.25" r.average_slowdown)
     true
@@ -492,8 +492,8 @@ let test_cosim_four_cpus_band () =
     r.cpus
 
 let test_cosim_more_cpus_more_contention () =
-  let two = Cosim.run [ costream 1; costream 1 ] in
-  let four = Cosim.run [ costream 1; costream 1; costream 1; costream 1 ] in
+  let two = Cosim.run_exn [ costream 1; costream 1 ] in
+  let four = Cosim.run_exn [ costream 1; costream 1; costream 1; costream 1 ] in
   Alcotest.(check bool) "four worse than two" true
     (four.average_slowdown >= two.average_slowdown)
 

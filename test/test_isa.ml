@@ -223,9 +223,14 @@ let test_parse_program_errors () =
 let test_parse_program_exn () =
   let p = Asm.parse_program_exn "t:\n  vld v0, A[0:1]\n" in
   Alcotest.(check int) "one instr" 1 (Program.length p);
-  Alcotest.check_raises "failure"
-    (Failure "expected \"name:\" header, got \"junk\"") (fun () ->
-      ignore (Asm.parse_program_exn "junk"))
+  match Asm.parse_program_exn "junk" with
+  | exception Macs_util.Macs_error.Error e ->
+      Alcotest.(check string) "kind" "parse-failure"
+        (Macs_util.Macs_error.kind e);
+      Alcotest.(check string) "site" "Asm.parse_program"
+        (Macs_util.Macs_error.site e)
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "junk parsed"
 
 let test_program_rename () =
   let p2 = Program.rename "other" program in

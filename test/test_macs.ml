@@ -520,7 +520,7 @@ let prop_sim_at_least_mac_bound =
         float_of_int (Macs.Counts.t_bound (Macs.Counts.mac_of_instrs body))
       in
       let m =
-        Convex_vpsim.Measure.run ~machine ~flops_per_iteration:1 c.job
+        Convex_vpsim.Measure.run_exn ~machine ~flops_per_iteration:1 c.job
       in
       m.Convex_vpsim.Measure.cpl >= mac *. 0.999)
 

@@ -1,13 +1,20 @@
 (* Robustness and edge-case tests: fuzzing the assembly parser, scheduler
    properties over random kernels, interpreter strip-size invariance,
-   simulator corner cases, the register-eviction path in the compiler,
-   and the Hockney fit. *)
+   simulator corner cases, fault injection and the structured error
+   channel, the register-eviction path in the compiler, and the Hockney
+   fit. *)
 
 open Convex_isa
 open Convex_machine
+open Convex_fault
 open Convex_vpsim
 
 let machine = Machine.c240
+
+let plan spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
 
 (* ---- parser fuzzing ---- *)
 
@@ -44,7 +51,7 @@ let prop_pack_permutation_random =
       let body =
         Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
       in
-      let packed = Fcc.Schedule.pack ~machine body in
+      let packed = Fcc.Schedule.pack_exn ~machine body in
       List.sort compare (List.map Instr.show body)
       = List.sort compare (List.map Instr.show packed))
 
@@ -54,7 +61,7 @@ let prop_pack_never_more_chimes =
       let body =
         Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
       in
-      let packed = Fcc.Schedule.pack ~machine body in
+      let packed = Fcc.Schedule.pack_exn ~machine body in
       Fcc.Schedule.chime_count ~machine packed
       <= Fcc.Schedule.chime_count ~machine body)
 
@@ -113,13 +120,13 @@ let single_ld n =
     ()
 
 let test_sim_single_element () =
-  let r = Sim.run ~machine:(Machine.no_refresh machine) (single_ld 1) in
+  let r = Sim.run_exn ~machine:(Machine.no_refresh machine) (single_ld 1) in
   (* X + Y + Z*1: enter at 2, complete at 2 + 10 + 1 *)
   Alcotest.(check (float 0.001)) "13 cycles" 13.0 r.Sim.stats.cycles;
   Alcotest.(check int) "one element" 1 r.Sim.stats.elements
 
 let test_sim_129_elements_two_strips () =
-  let r = Sim.run ~machine:(Machine.no_refresh machine) (single_ld 129) in
+  let r = Sim.run_exn ~machine:(Machine.no_refresh machine) (single_ld 129) in
   Alcotest.(check int) "two strips" 2 r.Sim.stats.strips;
   (* second strip is a single element tailgating the first *)
   Alcotest.(check bool) "barely above one strip" true
@@ -131,7 +138,7 @@ let test_sim_huge_stride () =
   in
   let job = Job.make ~name:"wide" ~body ~segments:[ Job.segment 64 ] () in
   let layout = Convex_memsys.Layout.build [ ("A", 70_000) ] in
-  let r = Sim.run ~machine:(Machine.no_refresh machine) ~layout job in
+  let r = Sim.run_exn ~machine:(Machine.no_refresh machine) ~layout job in
   (* stride 1024 = same bank every time: one access per 8 cycles *)
   Alcotest.(check bool) "throttled to bank rate" true
     (r.Sim.stats.cycles >= 8.0 *. 63.0)
@@ -143,18 +150,18 @@ let test_sim_negative_offset () =
   let job =
     Job.make ~name:"neg" ~body ~segments:[ Job.segment ~base:10 32 ] ()
   in
-  let r = Sim.run ~machine:(Machine.no_refresh machine) job in
+  let r = Sim.run_exn ~machine:(Machine.no_refresh machine) job in
   Alcotest.(check bool) "runs" true (Float.is_finite r.Sim.stats.cycles)
 
 let test_sim_ideal_machine_faster () =
   let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
-  let base = Sim.run c.job in
-  let ideal = Sim.run ~machine:Machine.ideal c.job in
+  let base = Sim.run_exn c.job in
+  let ideal = Sim.run_exn ~machine:Machine.ideal c.job in
   Alcotest.(check bool) "ideal faster" true
     (ideal.Sim.stats.cycles < base.Sim.stats.cycles)
 
 let test_sim_empty_trace_by_default () =
-  let r = Sim.run (single_ld 8) in
+  let r = Sim.run_exn (single_ld 8) in
   Alcotest.(check int) "no events" 0 (List.length r.Sim.events)
 
 let test_sim_prologue_epilogue_timing () =
@@ -169,9 +176,169 @@ let test_sim_prologue_epilogue_timing () =
   let with_pe = Job.make ~name:"pe" ~body ~segments:[ seg ] () in
   let without = Job.make ~name:"np" ~body ~segments:[ Job.segment 64 ] () in
   let m = Machine.no_refresh machine in
-  let a = Sim.run ~machine:m with_pe and b = Sim.run ~machine:m without in
+  let a = Sim.run_exn ~machine:m with_pe and b = Sim.run_exn ~machine:m without in
   Alcotest.(check bool) "prologue costs cycles" true
     (a.Sim.stats.cycles >= b.Sim.stats.cycles)
+
+(* ---- fault injection and the structured error channel ---- *)
+
+(* (a) plans are pure data: the same plan gives the same faulted run *)
+let prop_fault_deterministic =
+  QCheck.Test.make ~count:60 ~name:"faulted runs are deterministic"
+    Test_gen.body_arbitrary (fun body ->
+      let p = plan "seed=41;degrade-bank=0*3;jitter=9;port-spike=16/300" in
+      let run () =
+        match
+          Sim.run ~faults:p
+            (Job.make ~name:"f" ~body ~segments:[ Job.segment 200 ] ())
+        with
+        | Ok r -> r.Sim.stats.cycles
+        | Error _ -> Float.nan
+      in
+      let a = run () and b = run () in
+      Float.equal a b || (Float.is_nan a && Float.is_nan b))
+
+(* (b) a single-load streaming job is provably monotone under bank faults:
+   its accesses issue in order down one pipe, so delaying any access can
+   only push the rest later.  (Multi-instruction kernels are NOT monotone
+   in general — delaying one stream can let another through earlier.) *)
+let prop_fault_never_faster_streaming =
+  QCheck.Test.make ~count:60
+    ~name:"faulted single-load streams never run faster"
+    QCheck.(pair (QCheck.make Gen.(int_range 1 32)) (QCheck.make Gen.(int_range 64 512)))
+    (fun (stride, n) ->
+      let body =
+        [ Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride } } ]
+      in
+      let job = Job.make ~name:"mono" ~body ~segments:[ Job.segment n ] () in
+      let layout = Convex_memsys.Layout.build [ ("A", 70_000) ] in
+      let healthy = Sim.run_exn ~layout job in
+      let faulted =
+        Sim.run_exn ~layout
+          ~faults:(plan "degrade-bank=0*4;degrade-bank=1*4;jitter=8")
+          job
+      in
+      faulted.Sim.stats.cycles >= healthy.Sim.stats.cycles -. 1e-6)
+
+(* (c) no fault plan makes the simulator raise: failure is a value *)
+let prop_fault_no_raise =
+  QCheck.Test.make ~count:60 ~name:"fault plans never make Sim.run raise"
+    Test_gen.body_arbitrary (fun body ->
+      let job = Job.make ~name:"nr" ~body ~segments:[ Job.segment 150 ] () in
+      List.for_all
+        (fun spec ->
+          match Sim.run ~faults:(plan spec) ~guard:20_000 job with
+          | Ok _ | Error _ -> true)
+        [ "stuck-bank=0@0-"; "bank-degraded"; "brownout"; "scrub=0/41*40" ])
+
+let prop_fault_cosim_no_raise =
+  QCheck.Test.make ~count:20 ~name:"fault plans never make Cosim.run raise"
+    QCheck.(QCheck.make Gen.(int_range 8 64))
+    (fun n ->
+      let wl = (single_ld n, "edge") in
+      match
+        Cosim.run ~faults:(plan "stuck-bank=0@0-") [ wl; wl ]
+      with
+      | Ok _ | Error _ -> true)
+
+let test_fault_dead_bank_stalls_out () =
+  (* a bank that never recovers turns the guard into a structured
+     stall-out carrying the plan name, not a crash *)
+  let dead = plan "stuck-bank=0@0-" in
+  match Sim.run ~faults:dead ~guard:20_000 (single_ld 64) with
+  | Ok _ -> Alcotest.fail "dead bank should stall the stream out"
+  | Error e -> (
+      Alcotest.(check string) "kind" "stall-out" (Macs_util.Macs_error.kind e);
+      Alcotest.(check string) "site" "Sim.run" (Macs_util.Macs_error.site e);
+      match e with
+      | Macs_util.Macs_error.Stall_out { plan = p; _ } ->
+          Alcotest.(check string) "plan recorded" dead.Fault.name p
+      | _ -> Alcotest.fail "expected Stall_out")
+
+let test_fault_healthy_guard_is_livelock () =
+  (* the same guard on a healthy machine reports Livelock, so a genuine
+     simulator bug is never blamed on a fault plan.  The stream must be
+     long enough to cross a refresh window, the first rejection a healthy
+     unit-stride load ever sees. *)
+  match Sim.run ~guard:0 (single_ld 2048) with
+  | Ok _ -> Alcotest.fail "guard 0 must trip"
+  | Error e ->
+      Alcotest.(check string) "kind" "livelock" (Macs_util.Macs_error.kind e)
+
+let test_fault_degraded_slows_lfk1 () =
+  let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
+  let healthy = Sim.run_exn c.job in
+  let faulted = Sim.run_exn ~faults:(plan "bank-degraded") c.job in
+  Alcotest.(check bool) "slower" true
+    (faulted.Sim.stats.cycles > healthy.Sim.stats.cycles);
+  Alcotest.(check bool) "fault stalls counted" true
+    (faulted.Sim.stats.fault_stalls = 0);
+  (* degraded banks stretch busy time (conflict stalls), they don't
+     block: stuck/scrub plans are what feed fault_stalls *)
+  let scrubbed = Sim.run_exn ~faults:(plan "ecc-scrub") c.job in
+  Alcotest.(check bool) "scrub stalls counted" true
+    (scrubbed.Sim.stats.fault_stalls > 0)
+
+let test_fault_slow_pipe () =
+  let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
+  let healthy = Sim.run_exn c.job in
+  let slow = Sim.run_exn ~faults:(plan "slow-multiply") c.job in
+  Alcotest.(check bool) "slower multiply pipe costs cycles" true
+    (slow.Sim.stats.cycles > healthy.Sim.stats.cycles)
+
+let test_fault_parse_presets () =
+  List.iter
+    (fun (name, _desc, p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "preset %s parses to itself" name)
+        true
+        (match Fault.parse name with
+        | Ok q -> q = { p with Fault.name = q.Fault.name }
+        | Error _ -> false))
+    Fault.presets
+
+let test_fault_parse_clauses () =
+  let p = plan "seed=7;degrade-bank=3*2;stuck-bank=1@100-200;jitter=5" in
+  Alcotest.(check int) "seed" 7 p.Fault.seed;
+  Alcotest.(check int) "degraded extra busy" 8 (Fault.bank_extra_busy p ~bank:3);
+  Alcotest.(check bool) "stuck inside window" true
+    (Fault.bank_blocked p ~bank:1 ~cycle:150);
+  Alcotest.(check bool) "stuck outside window" false
+    (Fault.bank_blocked p ~bank:1 ~cycle:250);
+  Alcotest.(check bool) "bad spec rejected" true
+    (match Fault.parse "degrade-bank=nope" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_suite_degrades_gracefully () =
+  (* acceptance: a deliberately livelocked configuration produces a
+     structured diagnostic row and the rest of the suite completes *)
+  let s = Macs_report.Suite.run ~faults:(plan "dead-bank") () in
+  Alcotest.(check int) "all twelve rows present" 12 (List.length s.rows);
+  let failed = Macs_report.Suite.failed_rows s in
+  Alcotest.(check bool) "vector kernels stall out" true
+    (List.length failed > 0);
+  List.iter
+    (fun ((_ : Macs_report.Suite.row), e) ->
+      Alcotest.(check string) "stall-out rows" "stall-out"
+        (Macs_util.Macs_error.kind e))
+    failed;
+  let text = Macs_report.Suite.render s in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render mentions diagnostics" true
+    (contains ~needle:"diagnostics" text)
+
+let test_parse_failure_is_structured () =
+  match Asm.parse_program_exn "junk" with
+  | exception Macs_util.Macs_error.Error (Macs_util.Macs_error.Parse_failure _)
+    ->
+      ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "junk parsed"
 
 (* ---- compiler register-eviction path ---- *)
 
@@ -278,7 +445,9 @@ let qcheck_tests =
       prop_parse_never_raises; prop_parse_program_never_raises;
       prop_parse_mutated_listing; prop_pack_permutation_random;
       prop_pack_never_more_chimes; prop_packed_functional_random;
-      prop_interp_strip_invariant;
+      prop_interp_strip_invariant; prop_fault_deterministic;
+      prop_fault_never_faster_streaming; prop_fault_no_raise;
+      prop_fault_cosim_no_raise;
     ]
 
 let () =
@@ -303,6 +472,22 @@ let () =
             test_sim_empty_trace_by_default;
           Alcotest.test_case "prologue/epilogue" `Quick
             test_sim_prologue_epilogue_timing;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "dead bank stalls out" `Quick
+            test_fault_dead_bank_stalls_out;
+          Alcotest.test_case "healthy guard is livelock" `Quick
+            test_fault_healthy_guard_is_livelock;
+          Alcotest.test_case "degraded banks slow lfk1" `Quick
+            test_fault_degraded_slows_lfk1;
+          Alcotest.test_case "slow pipe" `Quick test_fault_slow_pipe;
+          Alcotest.test_case "presets parse" `Quick test_fault_parse_presets;
+          Alcotest.test_case "clause grammar" `Quick test_fault_parse_clauses;
+          Alcotest.test_case "suite degrades gracefully" `Quick
+            test_suite_degrades_gracefully;
+          Alcotest.test_case "parse failure structured" `Quick
+            test_parse_failure_is_structured;
         ] );
       ( "compiler-pressure",
         [

@@ -14,7 +14,7 @@ let test_pack_is_permutation () =
     (fun (k : Lfk.Kernel.t) ->
       let c = Fcc.Compiler.compile k in
       let body = Program.body c.program in
-      let packed = Fcc.Schedule.pack ~machine body in
+      let packed = Fcc.Schedule.pack_exn ~machine body in
       let sort l = List.sort compare (List.map Instr.show l) in
       Alcotest.(check (list string))
         (k.name ^ " permutation")
@@ -85,7 +85,7 @@ let test_pack_respects_dependences () =
       Instr.Vst { src = Reg.v 1; dst = { array = "B"; offset = 0; stride = 1 } };
     ]
   in
-  let packed = Fcc.Schedule.pack ~machine body in
+  let packed = Fcc.Schedule.pack_exn ~machine body in
   Alcotest.(check (list string)) "order kept"
     (List.map Instr.show body)
     (List.map Instr.show packed)
@@ -98,7 +98,7 @@ let test_pack_memory_order () =
       Instr.Vld { dst = Reg.v 1; src = { array = "A"; offset = 0; stride = 1 } };
     ]
   in
-  let packed = Fcc.Schedule.pack ~machine body in
+  let packed = Fcc.Schedule.pack_exn ~machine body in
   match packed with
   | [ Instr.Vst _; Instr.Vld _ ] -> ()
   | _ -> Alcotest.fail "store/load order violated"
@@ -178,9 +178,14 @@ let test_suite_checksums_verified () =
   let s = Lazy.force suite in
   List.iter
     (fun (r : Macs_report.Suite.row) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "lfk%d checksum" r.kernel.id)
-        true r.checksum_ok)
+      match r.outcome with
+      | Ok p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lfk%d checksum" r.kernel.id)
+            true p.checksum_ok
+      | Error e ->
+          Alcotest.failf "lfk%d failed on the healthy machine: %s" r.kernel.id
+            (Macs_util.Macs_error.to_string e))
     s.rows
 
 let test_suite_modes () =
@@ -264,7 +269,7 @@ let test_gather16_macd_story () =
   let macs = (Macs.Macs_bound.compute ~machine body).Macs.Macs_bound.cpl in
   let macd = (Macs.Dbound.compute ~machine body).Macs.Dbound.t_macd in
   let m =
-    Convex_vpsim.Measure.run ~machine
+    Convex_vpsim.Measure.run_exn ~machine
       ~flops_per_iteration:c.flops_per_iteration c.job
   in
   Alcotest.(check bool) "MACS misses" true (macs < 2.5);
@@ -278,7 +283,7 @@ let test_rcp_divide_masking () =
      memory chimes *)
   let c = Fcc.Compiler.compile Lfk.Gallery.rcp_update in
   let m =
-    Convex_vpsim.Measure.run ~machine
+    Convex_vpsim.Measure.run_exn ~machine
       ~flops_per_iteration:c.flops_per_iteration c.job
   in
   Alcotest.(check bool) "divide costs" true (m.Convex_vpsim.Measure.cpl > 4.0)
@@ -373,7 +378,7 @@ let test_trace_export_shape () =
       Convex_vpsim.Job.segments = [ Convex_vpsim.Job.segment 128 ];
     }
   in
-  let r = Convex_vpsim.Sim.run ~trace:true job in
+  let r = Convex_vpsim.Sim.run_exn ~trace:true job in
   let json = Convex_vpsim.Trace_export.to_chrome_json r in
   let contains needle =
     let nl = String.length needle and hl = String.length json in
@@ -390,7 +395,7 @@ let test_trace_export_shape () =
 
 let test_trace_export_untraced () =
   let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
-  let r = Convex_vpsim.Sim.run c.job in
+  let r = Convex_vpsim.Sim.run_exn c.job in
   let json = Convex_vpsim.Trace_export.to_chrome_json r in
   (* metadata only, no instruction events *)
   Alcotest.(check bool) "no vld" true
@@ -403,7 +408,7 @@ let test_trace_export_untraced () =
 
 let test_trace_export_file () =
   let c = Fcc.Compiler.compile (Lfk.Kernels.find 12) in
-  let r = Convex_vpsim.Sim.run ~trace:true c.job in
+  let r = Convex_vpsim.Sim.run_exn ~trace:true c.job in
   let path = Filename.temp_file "macs_trace" ".json" in
   Convex_vpsim.Trace_export.write_file path r;
   let ok = Sys.file_exists path in

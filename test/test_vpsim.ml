@@ -19,7 +19,7 @@ let fig2_chained =
   ]
 
 let run ?(machine = no_refresh) ?trace body n =
-  Sim.run ~machine ?trace (Job.make ~name:"t" ~body ~segments:[ Job.segment n ] ())
+  Sim.run_exn ~machine ?trace (Job.make ~name:"t" ~body ~segments:[ Job.segment n ] ())
 
 (* ---- Job ---- *)
 
@@ -130,9 +130,9 @@ let test_strip_mining () =
 
 let test_refresh_slows_memory () =
   let body = [ Instr.Vld { dst = v 0; src = mem "A" 0 1 } ] in
-  let with_r = Sim.run (Job.make ~name:"r" ~body ~segments:[ Job.segment 2048 ] ()) in
+  let with_r = Sim.run_exn (Job.make ~name:"r" ~body ~segments:[ Job.segment 2048 ] ()) in
   let without =
-    Sim.run ~machine:no_refresh
+    Sim.run_exn ~machine:no_refresh
       (Job.make ~name:"nr" ~body ~segments:[ Job.segment 2048 ] ())
   in
   Alcotest.(check bool) "refresh costs cycles" true
@@ -170,7 +170,7 @@ let test_memory_raw_dependence () =
   let j1 =
     Job.make ~name:"dep" ~body:body_store ~segments:[ store_seg ] ()
   in
-  let r1 = Sim.run ~machine:no_refresh j1 in
+  let r1 = Sim.run_exn ~machine:no_refresh j1 in
   (* now a job whose body stores then reloads the same range in the next
      segment *)
   let body =
@@ -182,7 +182,7 @@ let test_memory_raw_dependence () =
   let j2 =
     Job.make ~name:"dep2" ~body ~segments:[ Job.segment 128; Job.segment 128 ] ()
   in
-  let r2 = Sim.run ~machine:no_refresh j2 in
+  let r2 = Sim.run_exn ~machine:no_refresh j2 in
   (* without the dependence the second segment's load could overlap the
      first segment's store stream almost entirely; with it, the load waits
      for completion.  Lower bound: store completes after its last element
@@ -217,7 +217,7 @@ let test_dual_lsu_speeds_up_loads () =
      port take >= 4*VL cycles either way. *)
   let base = run body (128 * 4) in
   let dual =
-    Sim.run
+    Sim.run_exn
       ~machine:(Machine.dual_load_store no_refresh)
       (Job.make ~name:"d" ~body ~segments:[ Job.segment (128 * 4) ] ())
   in
@@ -375,7 +375,7 @@ let test_store_duplicate () =
 
 let test_measure () =
   let j = Job.make ~name:"m" ~body:fig2_chained ~segments:[ Job.segment 128 ] () in
-  let m = Measure.run ~machine:no_refresh ~flops_per_iteration:2 j in
+  let m = Measure.run_exn ~machine:no_refresh ~flops_per_iteration:2 j in
   Alcotest.(check (float 0.001)) "cpl" (162.0 /. 128.0) m.Measure.cpl;
   Alcotest.(check (float 0.001)) "cpf" (162.0 /. 128.0 /. 2.0) m.Measure.cpf;
   Alcotest.(check (float 0.01)) "mflops" (25.0 /. m.Measure.cpf)
@@ -385,7 +385,7 @@ let test_measure_guard () =
   let j = Job.make ~name:"m" ~body:fig2_chained ~segments:[ Job.segment 8 ] () in
   Alcotest.check_raises "flops"
     (Invalid_argument "Measure.run: nonpositive flops_per_iteration")
-    (fun () -> ignore (Measure.run ~flops_per_iteration:0 j))
+    (fun () -> ignore (Measure.run_exn ~flops_per_iteration:0 j))
 
 (* ---- qcheck: simulator sanity on random bodies ---- *)
 
@@ -393,14 +393,14 @@ let prop_sim_terminates_and_positive =
   QCheck.Test.make ~count:100 ~name:"random bodies simulate to finite time"
     Test_gen.body_arbitrary (fun body ->
       let j = Job.make ~name:"q" ~body ~segments:[ Job.segment 64 ] () in
-      let r = Sim.run ~machine:no_refresh j in
+      let r = Sim.run_exn ~machine:no_refresh j in
       Float.is_finite r.Sim.stats.cycles && r.Sim.stats.cycles >= 0.0)
 
 let prop_sim_monotone_in_elements =
   QCheck.Test.make ~count:60 ~name:"more elements never take less time"
     Test_gen.vector_body_arbitrary (fun body ->
       let run n =
-        (Sim.run ~machine:no_refresh
+        (Sim.run_exn ~machine:no_refresh
            (Job.make ~name:"q" ~body ~segments:[ Job.segment n ] ()))
           .Sim.stats.cycles
       in
@@ -410,7 +410,7 @@ let prop_sim_deterministic =
   QCheck.Test.make ~count:60 ~name:"simulation is deterministic"
     Test_gen.body_arbitrary (fun body ->
       let run () =
-        (Sim.run (Job.make ~name:"q" ~body ~segments:[ Job.segment 200 ] ()))
+        (Sim.run_exn (Job.make ~name:"q" ~body ~segments:[ Job.segment 200 ] ()))
           .Sim.stats.cycles
       in
       Float.equal (run ()) (run ()))
