@@ -13,6 +13,8 @@ let machine_of_name = function
       Ok Convex_machine.Machine.(no_refresh c240)
   | "dual-lsu" ->
       Ok Convex_machine.Machine.(dual_load_store c240)
+  | "broken-hierarchy" ->
+      Ok Convex_machine.Machine.(broken_hierarchy c240)
   | s -> Error (Printf.sprintf "unknown machine %S" s)
 
 let opt_of_name = function
@@ -41,7 +43,7 @@ let machine_arg =
     & info [ "machine" ] ~docv:"MACHINE"
         ~doc:
           "Machine variant: c240 (default), ideal, no-bubbles, no-refresh, \
-           dual-lsu.")
+           dual-lsu, broken-hierarchy.")
 
 let opt_arg =
   Arg.(
@@ -430,15 +432,80 @@ let advise_cmd =
     Term.(const run $ machine_arg $ kernel_arg)
 
 let suite_cmd =
-  let run machine opt faults =
-    print_string
-      (Macs_report.Suite.render (Macs_report.Suite.run ~machine ~opt ~faults ()))
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint every completed kernel to $(docv) so an \
+             interrupted run can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay completed rows from the journal (byte-identical) and \
+             continue at the first missing kernel.  Requires --journal.")
+  in
+  let retry_failed =
+    Arg.(
+      value & flag
+      & info [ "retry-failed" ]
+          ~doc:
+            "Re-run only the journal rows that carry diagnostics (failed \
+             or estimated), keeping every measured row.  Implies --resume.")
+  in
+  let budget_cycles =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Watchdog cap on simulated cycles per kernel run; an \
+             over-budget kernel degrades to its analytic estimate.")
+  in
+  let budget_wall =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog cap on host wall-clock seconds per kernel run.")
+  in
+  let run machine opt faults journal resume retry_failed cycles wall =
+    let budget =
+      Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
+    in
+    if (resume || retry_failed) && journal = None then (
+      prerr_endline "macs_cli suite: --resume/--retry-failed need --journal";
+      exit 2);
+    match
+      Convex_harness.Supervisor.run ~machine ~opt ~faults ~budget ?journal
+        ~resume ~retry_failed ()
+    with
+    | Ok { suite; stats } ->
+        print_string (Macs_report.Suite.render suite);
+        if stats.Convex_harness.Supervisor.resumed > 0 then
+          Printf.printf
+            "supervisor: %d row%s replayed from the journal, %d run (%d \
+             estimated)\n"
+            stats.Convex_harness.Supervisor.resumed
+            (if stats.Convex_harness.Supervisor.resumed = 1 then "" else "s")
+            stats.Convex_harness.Supervisor.executed
+            stats.Convex_harness.Supervisor.estimated
+    | Error msg ->
+        prerr_endline ("macs_cli suite: " ^ msg);
+        exit 1
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
-         "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification")
-    Term.(const run $ machine_arg $ opt_arg $ faults_arg)
+         "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification, supervised: watchdog budgets, journal           checkpoint/resume, graceful degradation to analytic estimates")
+    Term.(
+      const run $ machine_arg $ opt_arg $ faults_arg $ journal $ resume
+      $ retry_failed $ budget_cycles $ budget_wall)
 
 let resilience_cmd =
   let plans =
@@ -467,6 +534,31 @@ let resilience_cmd =
        ~doc:
          "Measure each vector kernel healthy vs. under a fault plan:           slowdowns, MACS bound-gap shifts, and the \xc2\xa74.2 contention           probes on degraded banks")
     Term.(const run $ machine_arg $ opt_arg $ plans)
+
+let validate_cmd =
+  let tol =
+    Arg.(
+      value
+      & opt float Macs.Oracle.default_tol
+      & info [ "tol" ] ~docv:"FRAC"
+          ~doc:"Relative tolerance for every bound comparison (default 0.02).")
+  in
+  let run machine opt faults tol =
+    let faults =
+      if Convex_fault.Fault.is_none faults then None else Some faults
+    in
+    let r = Macs.Oracle.validate ~tol ~opt ~machine ?faults () in
+    print_string (Macs.Oracle.render r);
+    if r.Macs.Oracle.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Cross-validate the machine against the bounds hierarchy: checks \
+          M <= MA <= MAC <= MACS <= measured, schedule monotonicity and \
+          eq. 18 on every vectorized kernel; exits non-zero on any \
+          violation")
+    Term.(const run $ machine_arg $ opt_arg $ faults_arg $ tol)
 
 let report_cmd =
   let out =
@@ -500,5 +592,5 @@ let () =
             analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
             calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
             advise_cmd; suite_cmd; resilience_cmd; bound_cmd; trace_cmd;
-            report_cmd;
+            validate_cmd; report_cmd;
           ]))

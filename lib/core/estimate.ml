@@ -1,0 +1,24 @@
+open Convex_machine
+
+type t = { cpl : float; cpf : float; mflops : float; level : string }
+
+let of_compiled ?(machine = Machine.c240) (c : Fcc.Compiler.t) =
+  let flops = c.flops_per_iteration in
+  let body = Convex_isa.Program.body c.program in
+  let cpl, level =
+    match c.mode with
+    | Convex_vpsim.Job.Vector ->
+        ((Macs_bound.compute ~machine body).Macs_bound.cpl, "MACS")
+    | Convex_vpsim.Job.Scalar ->
+        let carried = c.verdict <> Fcc.Vectorizer.Vectorizable in
+        ((Scalar_bound.compute ~carried ~machine body).Scalar_bound.cpl, "scalar")
+  in
+  let cpf = if flops > 0 then cpl /. float_of_int flops else 0.0 in
+  let mflops = if cpf > 0.0 then Machine.mflops_of_cpf machine cpf else 0.0 in
+  { cpl; cpf; mflops; level }
+
+let of_kernel ?machine ?opt k = of_compiled ?machine (Fcc.Compiler.compile ?opt k)
+
+let pp fmt t =
+  Format.fprintf fmt "%s-level estimate: %.3f CPL, %.3f CPF, %.2f MFLOPS"
+    t.level t.cpl t.cpf t.mflops

@@ -1,0 +1,28 @@
+open Convex_machine
+
+(** Analytic performance estimates: the graceful-degradation fallback.
+
+    When a supervised suite run cannot produce a measured time for a
+    kernel — the simulation stalled out under a fault plan, or blew its
+    watchdog budget — the harness substitutes the best purely-analytic
+    number the MACS hierarchy offers instead of aborting the suite: the
+    MACS bound for a vectorized kernel, the scalar bound for a scalar-mode
+    one.  Estimates are optimistic by construction (they are lower
+    bounds), so suite reports tag them [estimated] and exclude them from
+    the measured harmonic means. *)
+
+type t = {
+  cpl : float;
+  cpf : float;
+  mflops : float;
+  level : string;  (** which model produced it: ["MACS"] or ["scalar"] *)
+}
+
+val of_compiled : ?machine:Machine.t -> Fcc.Compiler.t -> t
+(** Estimate from an already-compiled kernel: MACS bound of the compiled
+    body in vector mode, scalar bound (loop-carried aware) in scalar
+    mode.  Never simulates, never fails. *)
+
+val of_kernel : ?machine:Machine.t -> ?opt:Fcc.Opt_level.t -> Lfk.Kernel.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+open Convex_machine
+
+(** Bound-oracle cross-validation: the MACS hierarchy checking itself.
+
+    The hierarchy's defining property (paper Figure 1) is an ordering:
+    every less-informed model bounds every better-informed one from below,
+
+    {v M <= MA <= MAC <= MACS <= measured v}
+
+    and the A/X decomposition obeys eq. 18
+    ([max(t_a, t_x) <= t_p <= t_a + t_x]).  On a consistent machine
+    description these hold by construction; a violation means the preset
+    is inconsistent (e.g. {!Machine.broken_hierarchy}'s doubled pipes),
+    the models have drifted apart, or the simulator is miscounting — all
+    bugs worth catching on every run, which is why the suite harness
+    cross-checks each successful row and [macs_cli validate] exists.
+
+    Violations are plain data ({!violation}); {!to_error} converts one
+    into the structured error channel ({!Macs_util.Macs_error.t}
+    [Oracle_violation]) for suite diagnostics. *)
+
+type violation = {
+  invariant : string;  (** e.g. ["MAC<=MACS"] *)
+  subject : string;  (** kernel or probe name *)
+  detail : string;
+}
+
+val default_tol : float
+(** Relative slack applied to every comparison (2%): bounds are exact but
+    measured times carry strip start-up noise. *)
+
+val to_error : violation -> Macs_util.Macs_error.t
+
+val t_m : machine:Machine.t -> flops:int -> float
+(** The machine-only M bound in CPL: flops over peak FP issue rate. *)
+
+val check_hierarchy : ?tol:float -> Hierarchy.t -> violation list
+(** Full chain [M <= MA <= MAC <= MACS <= measured] plus eq. 18 on an
+    analyzed kernel. *)
+
+val check_row :
+  ?tol:float ->
+  machine:Machine.t ->
+  Fcc.Compiler.t ->
+  measured_cpl:float ->
+  violation list
+(** Simulation-free variant for per-suite-row supervision: recomputes the
+    bounds from the compilation result and checks them against one
+    measured CPL.  Scalar-mode rows check [scalar-bound <= measured]. *)
+
+val check_opt_monotonicity :
+  ?tol:float -> machine:Machine.t -> Lfk.Kernel.t -> violation list
+(** The MACS bound must not grow as the compiler improves: packed
+    scheduling and ideal reuse both bound at or below v61. *)
+
+val check_faulted_never_faster :
+  ?tol:float -> ?machine:Machine.t -> Convex_fault.Fault.t -> violation list
+(** Runs the provably-monotone unit-stride load probe healthy and under
+    the plan; the faulted run finishing faster is a violation.  A probe
+    that stalls out under the plan is a diagnosed outcome, not a
+    violation. *)
+
+(** {1 Whole-machine validation ([macs_cli validate])} *)
+
+type report = {
+  machine : Machine.t;
+  opt : Fcc.Opt_level.t;
+  tol : float;
+  checked : int;  (** kernels examined *)
+  violations : violation list;
+}
+
+val validate :
+  ?tol:float ->
+  ?opt:Fcc.Opt_level.t ->
+  ?machine:Machine.t ->
+  ?faults:Convex_fault.Fault.t ->
+  unit ->
+  report
+(** Check every vectorizable kernel's hierarchy and schedule monotonicity
+    on [machine]; when [faults] is given, also run the faulted-probe
+    check.  An empty [violations] list is a clean bill of health. *)
+
+val render : report -> string
+val pp_violation : Format.formatter -> violation -> unit

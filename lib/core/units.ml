@@ -10,8 +10,14 @@ let mflops ~clock_mhz ~cpf =
   if cpf <= 0.0 then invalid_arg "Units.mflops: nonpositive cpf";
   clock_mhz /. cpf
 
+(* Total on degenerate suites: with no completed kernels (or a degenerate
+   zero CPF from an empty bound) there is no rate to report — 0.0, never
+   NaN or a raise, so an all-failed suite still renders a summary row. *)
 let hmean_mflops ~clock_mhz ~cpf_values =
-  mflops ~clock_mhz ~cpf:(Macs_util.Stats.mean cpf_values)
+  if Array.length cpf_values = 0 then 0.0
+  else
+    let mean_cpf = Macs_util.Stats.mean cpf_values in
+    if mean_cpf <= 0.0 then 0.0 else mflops ~clock_mhz ~cpf:mean_cpf
 
 let percent_of_bound ~bound ~measured =
   if measured <= 0.0 then

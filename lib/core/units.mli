@@ -13,7 +13,9 @@ val cpl_of_cpf : cpf:float -> flops:int -> float
 val mflops : clock_mhz:float -> cpf:float -> float
 
 val hmean_mflops : clock_mhz:float -> cpf_values:float array -> float
-(** [clock / mean cpf]: the harmonic-mean MFLOPS of eq. 4. *)
+(** [clock / mean cpf]: the harmonic-mean MFLOPS of eq. 4.  Total: an
+    empty array or a nonpositive mean CPF yields [0.0] (an all-failed
+    suite has no rate), never NaN and never a raise. *)
 
 val percent_of_bound : bound:float -> measured:float -> float
 (** The paper's "% of bound" columns: [bound / measured] (1.0 when the

@@ -249,6 +249,52 @@ let parse spec =
             (Ok { none with name = spec })
             (String.split_on_char ';' spec)
 
+(* Shortest decimal that parses back to exactly the same float: specs stay
+   human-readable ("1.5", not "0x1.8p+0") without losing round-trip
+   fidelity on awkward factors. *)
+let float_token f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+(* Clause lists are emitted in reverse stored order because [parse_clause]
+   prepends: [parse (to_spec p)] reconstructs each list in [p]'s order. *)
+let to_spec t =
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  emit (Printf.sprintf "seed=%d" t.seed);
+  List.iter
+    (fun (d : bank_degrade) ->
+      emit
+        (Printf.sprintf "degrade-bank=%d*%d" d.bank ((d.extra_busy / 8) + 1)))
+    (List.rev t.degraded);
+  List.iter
+    (fun (s : bank_stuck) ->
+      emit
+        (Printf.sprintf "stuck-bank=%d@%d-%s" s.bank s.from_cycle
+           (match s.until_cycle with
+           | Some u -> string_of_int u
+           | None -> "")))
+    (List.rev t.stuck);
+  List.iter
+    (fun (s : scrub) ->
+      emit (Printf.sprintf "scrub=%d/%d*%d" s.bank s.period s.duration))
+    (List.rev t.scrubs);
+  if t.refresh_jitter > 0 then
+    emit (Printf.sprintf "jitter=%d" t.refresh_jitter);
+  List.iter
+    (fun (p : pipe_slow) ->
+      emit
+        (Printf.sprintf "slow-pipe=%s*%s" (Pipe.name p.pipe)
+           (float_token p.z_factor)))
+    (List.rev t.slow_pipes);
+  List.iter
+    (fun (s : port_spike) ->
+      emit (Printf.sprintf "port-spike=%d/%d" s.duration s.period))
+    (List.rev t.port_spikes);
+  String.concat ";" (List.rev !clauses)
+
+let equal_behaviour a b = { a with name = "" } = { b with name = "" }
+
 let pp fmt t =
   if is_none t then Format.fprintf fmt "no faults"
   else begin

@@ -97,5 +97,20 @@ val presets : (string * string * t) list
     [dead-bank], [ecc-scrub], [jittery-refresh], [slow-multiply],
     [port-storm], [brownout]. *)
 
+val to_spec : t -> string
+(** Print a plan back in the clause syntax {!parse} accepts, such that
+    [parse (to_spec p)] reconstructs [p] exactly up to [name] (the name of
+    a clause-parsed plan is its spec text).  Total for every plan built by
+    {!parse}; plans constructed by hand with a [degrade-bank] extra-busy
+    not on the 8-cycle grid or a [slow-pipe] extra-startup are outside the
+    clause grammar and print their nearest representable form.  This is
+    the printer the suite journal stores plans with, so a resumed run
+    re-parses the identical plan. *)
+
+val equal_behaviour : t -> t -> bool
+(** Structural equality ignoring [name] — two plans injecting the same
+    faults are behaviourally interchangeable.  The [parse]/[to_spec]
+    round-trip property is stated with this equality. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

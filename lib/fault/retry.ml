@@ -4,7 +4,12 @@ let guard_scales = [ 1; 4 ]
 
 let retryable = function
   | Macs_error.Livelock _ | Macs_error.Stall_out _ -> true
-  | Macs_error.Dependence_cycle _ | Macs_error.Parse_failure _ -> false
+  (* a budget is a hard cap, not a tunable guard: retrying an over-budget
+     run would spend the same allowance again.  Oracle violations and the
+     static failures are deterministic — retrying cannot change them. *)
+  | Macs_error.Dependence_cycle _ | Macs_error.Parse_failure _
+  | Macs_error.Budget_exceeded _ | Macs_error.Oracle_violation _ ->
+      false
 
 let with_relaxed_guard f =
   let rec go = function

@@ -16,4 +16,6 @@ val with_relaxed_guard :
   ('a, Macs_util.Macs_error.t) result
 (** Run the thunk once per entry of {!guard_scales}, stopping at the first
     [Ok].  Only [Livelock] and [Stall_out] errors are retried; any other
-    error (or the last attempt's error) is returned as-is. *)
+    error (or the last attempt's error) is returned as-is.  In particular
+    [Budget_exceeded] is never retried: watchdog budgets are hard caps
+    that compose with this policy by cancelling the whole attempt chain. *)

@@ -1,0 +1,36 @@
+open Macs_util
+
+type t = { max_cycles : float option; max_wall_s : float option }
+
+let none = { max_cycles = None; max_wall_s = None }
+let make ?max_cycles ?max_wall_s () = { max_cycles; max_wall_s }
+let is_none b = b.max_cycles = None && b.max_wall_s = None
+
+let watchdog ~site b =
+  if is_none b then None
+  else
+    let started = Clock.now () in
+    Some
+      (fun ~cycle ->
+        match b.max_cycles with
+        | Some cap when cycle > cap ->
+            Some
+              (Macs_error.budget_exceeded ~site ~resource:"simulated-cycles"
+                 ~budget:cap ~spent:cycle)
+        | _ -> (
+            match b.max_wall_s with
+            | Some cap ->
+                let spent = Clock.elapsed ~since:started in
+                if spent > cap then
+                  Some
+                    (Macs_error.budget_exceeded ~site
+                       ~resource:"wall-seconds" ~budget:cap ~spent)
+                else None
+            | None -> None))
+
+let to_string b =
+  match (b.max_cycles, b.max_wall_s) with
+  | None, None -> "unbudgeted"
+  | Some c, None -> Printf.sprintf "%.0f cycles" c
+  | None, Some s -> Printf.sprintf "%.3g wall-seconds" s
+  | Some c, Some s -> Printf.sprintf "%.0f cycles, %.3g wall-seconds" c s

@@ -1,0 +1,31 @@
+(** Per-run watchdog budgets.
+
+    A budget caps what one kernel's simulation may spend — simulated
+    cycles, host wall-clock seconds, or both.  {!watchdog} compiles a
+    budget into the polling closure {!Convex_vpsim.Sim.run} threads
+    through its stepping loop; when a cap is crossed the run is cancelled
+    with a typed [Budget_exceeded] diagnostic
+    ({!Macs_util.Macs_error.t}), which the supervisor treats like any
+    other per-kernel failure: substitute the analytic estimate, never
+    abort the suite.
+
+    Budget checks are deliberately one-sided: a run that finishes under
+    budget is indistinguishable from an unbudgeted one, so budgets never
+    perturb measured numbers. *)
+
+type t = {
+  max_cycles : float option;  (** simulated cycles per kernel run *)
+  max_wall_s : float option;  (** host wall-clock seconds per kernel run *)
+}
+
+val none : t
+val make : ?max_cycles:float -> ?max_wall_s:float -> unit -> t
+val is_none : t -> bool
+
+val watchdog :
+  site:string -> t -> (cycle:float -> Macs_util.Macs_error.t option) option
+(** [watchdog ~site b] is [None] for an empty budget; otherwise a fresh
+    closure whose wall clock starts now.  Create one per run — reusing a
+    closure carries the previous run's start time with it. *)
+
+val to_string : t -> string

@@ -1,0 +1,166 @@
+open Convex_machine
+open Convex_fault
+open Macs_report
+
+type stats = { resumed : int; executed : int; estimated : int }
+type outcome = { suite : Suite.t; stats : stats }
+
+let ( let* ) = Result.bind
+
+let config_mismatch (want : Suite_journal.config)
+    (got : Suite_journal.config) =
+  let diff name w g =
+    if w = g then None else Some (Printf.sprintf "%s %S vs %S" name g w)
+  in
+  List.filter_map Fun.id
+    [
+      diff "machine" want.Suite_journal.machine got.Suite_journal.machine;
+      diff "opt" want.Suite_journal.opt got.Suite_journal.opt;
+      diff "faults" want.Suite_journal.faults got.Suite_journal.faults;
+      diff "guard"
+        (string_of_int want.Suite_journal.guard)
+        (string_of_int got.Suite_journal.guard);
+    ]
+
+(* Substitute the analytic estimate for a row the simulation could not
+   finish: optimistic numbers, the diagnostic kept, the suite intact. *)
+let degrade ~machine ~opt (row : Suite.row) err =
+  let e = Macs.Estimate.of_kernel ~machine ~opt row.Suite.kernel in
+  {
+    row with
+    Suite.outcome =
+      Ok
+        {
+          Suite.cpl = e.Macs.Estimate.cpl;
+          cpf = e.Macs.Estimate.cpf;
+          mflops = e.Macs.Estimate.mflops;
+          checksum = Float.nan;
+          checksum_ok = false;
+        };
+    source = Suite.Estimated err;
+  }
+
+let load_prior ~path ~config ~retry_failed =
+  if not (Sys.file_exists path) then Ok ([], [])
+  else
+    (* the previous writer may have died mid-record: truncate the torn
+       tail so our appends start a fresh line *)
+    let* () = Suite_journal.repair ~path in
+    let* got, rows, violations = Suite_journal.load ~path in
+    match config_mismatch config got with
+    | [] ->
+        let keep =
+          if retry_failed then
+            List.filter
+              (fun (r : Suite.row) ->
+                match (r.Suite.outcome, r.Suite.source) with
+                | Ok _, Suite.Measured -> true
+                | _ -> false)
+              rows
+          else rows
+        in
+        Ok (keep, violations)
+    | diffs ->
+        Error
+          (Printf.sprintf
+             "journal %s was recorded under a different configuration (%s); \
+              refusing to mix incomparable rows — rerun without --resume to \
+              start over"
+             path
+             (String.concat ", " diffs))
+
+let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
+    ?(faults = Fault.none) ?guard ?(budget = Budget.none)
+    ?(oracle_tol = Macs.Oracle.default_tol) ?journal ?(resume = false)
+    ?(retry_failed = false) () =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None ->
+        if Fault.is_none faults then Convex_vpsim.Sim.default_guard
+        else Suite.faulted_guard
+  in
+  let config =
+    Suite_journal.config_of_run ~machine_name:machine.Machine.name ~opt
+      ~faults ~guard
+  in
+  let resume = resume || retry_failed in
+  let* prior_rows, prior_violations =
+    match journal with
+    | Some path when resume -> load_prior ~path ~config ~retry_failed
+    | Some _ | None -> Ok ([], [])
+  in
+  (* Set the journal up so completed work is never journaled twice: a
+     resumed run appends after the existing rows (leaving them
+     byte-identical); a retry rewrites the kept rows through a temp file;
+     a fresh run truncates. *)
+  (match journal with
+  | None -> ()
+  | Some path ->
+      if retry_failed && Sys.file_exists path then (
+        let tmp = path ^ ".tmp" in
+        Suite_journal.write ~path:tmp config ~rows:prior_rows
+          ~violations:prior_violations;
+        Sys.rename tmp path)
+      else if (not resume) || not (Sys.file_exists path) then
+        Suite_journal.start ~path config);
+  let resumed = List.length prior_rows in
+  let executed = ref 0 and estimated = ref 0 in
+  let new_violations = ref [] in
+  let checkpoint_row row =
+    Option.iter (fun path -> Suite_journal.append_row ~path row) journal
+  in
+  let checkpoint_violation v =
+    Option.iter (fun path -> Suite_journal.append_violation ~path v) journal
+  in
+  let run_one (k : Lfk.Kernel.t) =
+    incr executed;
+    let watchdog =
+      Budget.watchdog
+        ~site:(Printf.sprintf "Supervisor(%s)" k.Lfk.Kernel.name)
+        budget
+    in
+    let row = Suite.run_kernel ?watchdog ~machine ~opt ~faults ~guard k in
+    let row =
+      match row.Suite.outcome with
+      | Ok p ->
+          (* cross-check every measured row against the bounds hierarchy *)
+          let vs =
+            Macs.Oracle.check_row ~tol:oracle_tol ~machine
+              (Fcc.Compiler.compile ~opt k)
+              ~measured_cpl:p.Suite.cpl
+          in
+          List.iter
+            (fun v ->
+              new_violations := v :: !new_violations;
+              checkpoint_violation v)
+            vs;
+          row
+      | Error e ->
+          incr estimated;
+          degrade ~machine ~opt row e
+    in
+    checkpoint_row row;
+    row
+  in
+  let rows =
+    List.map
+      (fun (k : Lfk.Kernel.t) ->
+        match
+          List.find_opt
+            (fun (r : Suite.row) ->
+              r.Suite.kernel.Lfk.Kernel.id = k.Lfk.Kernel.id)
+            prior_rows
+        with
+        | Some r -> r
+        | None -> run_one k)
+      (Suite.kernels ())
+  in
+  let violations = prior_violations @ List.rev !new_violations in
+  let suite = Suite.of_rows ~violations ~machine ~faults rows in
+  Ok
+    {
+      suite;
+      stats =
+        { resumed; executed = !executed; estimated = !estimated };
+    }

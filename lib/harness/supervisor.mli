@@ -1,0 +1,54 @@
+open Convex_machine
+
+(** The run supervisor: a Livermore suite run that always finishes.
+
+    [run] wraps {!Macs_report.Suite} with the three robustness layers the
+    bare suite lacks:
+
+    - {b watchdog budgets} ({!Budget}): each kernel's simulation is
+      cancelled with a typed [Budget_exceeded] diagnostic when it
+      overruns its simulated-cycle or wall-clock cap;
+    - {b graceful degradation}: a kernel that fails for any reason —
+      over budget, stalled out under a fault plan, livelocked — gets the
+      analytic estimate ({!Macs.Estimate}) substituted for its measured
+      numbers, tagged [Estimated] and excluded from the measured harmonic
+      means.  The suite result never aborts and never loses the
+      diagnostic;
+    - {b checkpoint/resume} ({!Suite_journal}): with a journal path, the
+      supervisor checkpoints every completed row to disk; a re-run with
+      [~resume:true] replays completed rows byte-identically and picks up
+      at the first missing kernel.  [~retry_failed:true] instead re-runs
+      only the rows that carry diagnostics (failed or estimated), keeping
+      every measured row.
+
+    Every measured row is also cross-checked against the bound oracle
+    ({!Macs.Oracle.check_row}); violations ride along in the suite result
+    and the journal. *)
+
+type stats = {
+  resumed : int;  (** rows replayed from the journal *)
+  executed : int;  (** rows simulated by this invocation *)
+  estimated : int;
+      (** of the executed rows, how many degraded to analytic estimates *)
+}
+
+type outcome = { suite : Macs_report.Suite.t; stats : stats }
+
+val run :
+  ?machine:Machine.t ->
+  ?opt:Fcc.Opt_level.t ->
+  ?faults:Convex_fault.Fault.t ->
+  ?guard:int ->
+  ?budget:Budget.t ->
+  ?oracle_tol:float ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?retry_failed:bool ->
+  unit ->
+  (outcome, string) result
+(** Errors only on journal problems the caller must decide about: an
+    unreadable or corrupt journal, or a resume whose journaled config
+    (machine, opt level, fault plan, guard) differs from the requested
+    run — replaying rows measured under different conditions would
+    silently mix incomparable numbers.  [retry_failed] implies resume.
+    Simulation failures never surface here; they degrade to estimates. *)

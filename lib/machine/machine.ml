@@ -53,6 +53,18 @@ let dual_load_store m =
     pipes = { m.pipes with load_store = 2 };
   }
 
+(* Doubling every function unit lets the schedule-aware MACS bound pack
+   two memory (or FP) operations per chime, dropping it below the MA/MAC
+   counts bounds, which assume one operation per pipe class per cycle —
+   the hierarchy M <= MA <= MAC <= MACS no longer holds.  Kept as a stock
+   preset precisely so the bound oracle has a machine it must reject. *)
+let broken_hierarchy m =
+  {
+    m with
+    name = m.name ^ " (broken hierarchy: doubled pipes)";
+    pipes = { load_store = 2; add_unit = 2; multiply_unit = 2 };
+  }
+
 let clock_period_ns m = 1000.0 /. m.clock_mhz
 let mflops_of_cpf m cpf = m.clock_mhz /. cpf
 

@@ -46,6 +46,14 @@ val dual_load_store : t -> t
 (** Hypothetical variant with two memory pipes (used by an ablation bench;
     only the simulator and chime partitioner consult the pipe counts). *)
 
+val broken_hierarchy : t -> t
+(** Deliberately inconsistent variant: every pipe class doubled, so the
+    schedule-aware MACS bound packs two operations per chime and falls
+    below the single-unit MA/MAC counts bounds — the hierarchy
+    [M <= MA <= MAC <= MACS] is violated by construction.  Exists as the
+    negative fixture for the bound oracle ([macs_cli validate] must exit
+    non-zero on it); never use it for performance numbers. *)
+
 val clock_period_ns : t -> float
 
 val mflops_of_cpf : t -> float -> float

@@ -22,6 +22,7 @@ type t = {
   faults : Fault.t;
   rows : kernel_row list;
   probes : contention_probe list;
+  oracle : Macs.Oracle.violation list;
 }
 
 let gap_pct ~measured ~bound =
@@ -86,7 +87,8 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61) faults =
       probe machine faults ~label:"different (LFK 1,7,9,10)" [ 1; 7; 9; 10 ];
     ]
   in
-  { machine; faults; rows; probes }
+  let oracle = Macs.Oracle.check_faulted_never_faster ~machine faults in
+  { machine; faults; rows; probes; oracle }
 
 let render t =
   let tbl =
@@ -163,6 +165,21 @@ let render t =
         (Printf.sprintf "  %-28s healthy %.2fx -> faulted %s\n" p.label
            p.healthy_slowdown faulted))
     t.probes;
+  (match t.oracle with
+  | [] ->
+      Buffer.add_string buf
+        "\nbound oracle: faulted-never-faster holds on the unit-stride \
+         load probe\n"
+  | vs ->
+      Buffer.add_string buf
+        (Printf.sprintf "\nbound-oracle violations (%d):\n%s\n"
+           (List.length vs)
+           (String.concat "\n"
+              (List.map
+                 (fun (v : Macs.Oracle.violation) ->
+                   Printf.sprintf "  %-22s %s" v.Macs.Oracle.invariant
+                     v.Macs.Oracle.detail)
+                 vs))));
   Buffer.add_string buf
     "\nThe paper's \xc2\xa74.2 rules of thumb (5-10% lockstep, ~20% \
      different programs) hold only on a healthy memory system; degraded \

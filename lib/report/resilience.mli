@@ -36,6 +36,10 @@ type t = {
   faults : Convex_fault.Fault.t;
   rows : kernel_row list;
   probes : contention_probe list;
+  oracle : Macs.Oracle.violation list;
+      (** faulted-never-faster cross-check on the monotone load probe
+          ({!Macs.Oracle.check_faulted_never_faster}); empty when it
+          holds *)
 }
 
 val run :

@@ -11,10 +11,13 @@ type perf = {
   checksum_ok : bool;
 }
 
+type source = Measured | Estimated of Macs_error.t
+
 type row = {
   kernel : Lfk.Kernel.t;
   mode : Job.mode;
   outcome : (perf, Macs_error.t) Stdlib.result;
+  source : source;
 }
 
 type t = {
@@ -23,6 +26,7 @@ type t = {
   rows : row list;
   vector_hmean_mflops : float;
   overall_hmean_mflops : float;
+  violations : Macs.Oracle.violation list;
 }
 
 let checksum_of_store (k : Lfk.Kernel.t) store =
@@ -39,13 +43,19 @@ let checksum_of_store (k : Lfk.Kernel.t) store =
    false positives. *)
 let faulted_guard = 50_000
 
-let run_kernel machine opt faults guard (k : Lfk.Kernel.t) =
+let kernels () =
+  List.sort
+    (fun (a : Lfk.Kernel.t) b -> compare a.id b.id)
+    (Lfk.Kernels.all @ Lfk.Kernels.scalar_kernels)
+
+let run_kernel ?watchdog ~machine ~opt ~faults ~guard (k : Lfk.Kernel.t) =
   let c = Fcc.Compiler.compile ~opt k in
   let layout = Macs.Hierarchy.layout_of c in
   let outcome =
     Retry.with_relaxed_guard (fun ~guard_scale ->
         match
-          Measure.run ~machine ~layout ~faults ~guard:(guard * guard_scale)
+          Measure.run ?watchdog ~machine ~layout ~faults
+            ~guard:(guard * guard_scale)
             ~flops_per_iteration:c.flops_per_iteration c.job
         with
         | Error _ as e -> e
@@ -68,27 +78,16 @@ let run_kernel machine opt faults guard (k : Lfk.Kernel.t) =
                 checksum_ok;
               })
   in
-  { kernel = k; mode = c.mode; outcome }
+  { kernel = k; mode = c.mode; outcome; source = Measured }
 
-let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
-    ?(faults = Fault.none) ?guard () =
-  let guard =
-    match guard with
-    | Some g -> g
-    | None -> if Fault.is_none faults then Sim.default_guard else faulted_guard
-  in
-  let kernels = Lfk.Kernels.all @ Lfk.Kernels.scalar_kernels in
-  let kernels =
-    List.sort (fun (a : Lfk.Kernel.t) b -> compare a.id b.id) kernels
-  in
-  let rows = List.map (run_kernel machine opt faults guard) kernels in
+let of_rows ?(violations = []) ~machine ~faults rows =
   let hmean sel =
     let cpfs =
       rows
       |> List.filter_map (fun r ->
-             match r.outcome with
-             | Ok p when sel r -> Some p.cpf
-             | Ok _ | Error _ -> None)
+             match (r.outcome, r.source) with
+             | Ok p, Measured when sel r -> Some p.cpf
+             | _ -> None)
       |> Array.of_list
     in
     if Array.length cpfs = 0 then 0.0
@@ -102,11 +101,32 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
     rows;
     vector_hmean_mflops = hmean (fun r -> r.mode = Job.Vector);
     overall_hmean_mflops = hmean (fun _ -> true);
+    violations;
   }
+
+let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
+    ?(faults = Fault.none) ?guard () =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None -> if Fault.is_none faults then Sim.default_guard else faulted_guard
+  in
+  let rows =
+    List.map (run_kernel ~machine ~opt ~faults ~guard) (kernels ())
+  in
+  of_rows ~machine ~faults rows
 
 let failed_rows t =
   List.filter_map
     (fun r -> match r.outcome with Error e -> Some (r, e) | Ok _ -> None)
+    t.rows
+
+let estimated_rows t =
+  List.filter_map
+    (fun r ->
+      match (r.outcome, r.source) with
+      | Ok _, Estimated e -> Some (r, e)
+      | _ -> None)
     t.rows
 
 let render t =
@@ -121,8 +141,8 @@ let render t =
       let mode =
         match r.mode with Job.Vector -> "vector" | Job.Scalar -> "scalar"
       in
-      match r.outcome with
-      | Ok p ->
+      match (r.outcome, r.source) with
+      | Ok p, Measured ->
           Table.add_row tbl
             [
               Table.cell_int r.kernel.id;
@@ -133,7 +153,18 @@ let render t =
               Printf.sprintf "%.6e" p.checksum;
               (if p.checksum_ok then "ok" else "MISMATCH");
             ]
-      | Error e ->
+      | Ok p, Estimated _ ->
+          Table.add_row tbl
+            [
+              Table.cell_int r.kernel.id;
+              mode;
+              Table.cell_float ~decimals:3 p.cpl;
+              Table.cell_float ~decimals:3 p.cpf;
+              Table.cell_float ~decimals:2 p.mflops;
+              "-";
+              "estimated";
+            ]
+      | Error e, _ ->
           Table.add_row tbl
             [
               Table.cell_int r.kernel.id;
@@ -145,28 +176,43 @@ let render t =
               "FAILED";
             ])
     t.rows;
-  let diagnostics =
-    match failed_rows t with
+  let note label entries to_line =
+    match entries with
     | [] -> ""
-    | failures ->
-        let lines =
-          List.map
-            (fun ((r : row), e) ->
-              Printf.sprintf "  LFK%-2d %s" r.kernel.id (Macs_error.to_string e))
-            failures
-        in
-        Printf.sprintf "\ndiagnostics (%d kernel%s failed):\n%s\n"
-          (List.length failures)
-          (if List.length failures = 1 then "" else "s")
-          (String.concat "\n" lines)
+    | es ->
+        Printf.sprintf "\n%s (%d kernel%s):\n%s\n" label (List.length es)
+          (if List.length es = 1 then "" else "s")
+          (String.concat "\n" (List.map to_line es))
+  in
+  let diagnostics =
+    note "diagnostics" (failed_rows t) (fun ((r : row), e) ->
+        Printf.sprintf "  LFK%-2d %s" r.kernel.id (Macs_error.to_string e))
+  in
+  let estimates =
+    note "analytic estimates substituted" (estimated_rows t)
+      (fun ((r : row), e) ->
+        Printf.sprintf "  LFK%-2d %s" r.kernel.id (Macs_error.to_string e))
+  in
+  let oracle =
+    match t.violations with
+    | [] -> ""
+    | vs ->
+        Printf.sprintf "\nbound-oracle violations (%d):\n%s\n"
+          (List.length vs)
+          (String.concat "\n"
+             (List.map
+                (fun (v : Macs.Oracle.violation) ->
+                  Printf.sprintf "  %-10s %-22s %s" v.Macs.Oracle.subject
+                    v.Macs.Oracle.invariant v.Macs.Oracle.detail)
+                vs))
   in
   let fault_note =
     if Fault.is_none t.faults then ""
     else Printf.sprintf " under fault plan %S" t.faults.Fault.name
   in
   Printf.sprintf
-    "Livermore suite on the simulated %s%s\n%s\n%s\nharmonic-mean MFLOPS: \
-     %.2f over the ten vectorized kernels, %.2f over all twelve (failed \
-     kernels excluded)\n"
+    "Livermore suite on the simulated %s%s\n%s\n%s%s%s\nharmonic-mean \
+     MFLOPS: %.2f over the ten vectorized kernels, %.2f over all twelve \
+     (failed and estimated kernels excluded)\n"
     t.machine.Machine.name fault_note (Table.render tbl) diagnostics
-    t.vector_hmean_mflops t.overall_hmean_mflops
+    estimates oracle t.vector_hmean_mflops t.overall_hmean_mflops

@@ -1,0 +1,12 @@
+(* Wall-clock time source for watchdog budgets.  [Unix.gettimeofday] can
+   step backwards under NTP adjustment; a budget must never be refunded by
+   a clock step, so [now] clamps to the latest time ever observed. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed ~since = Float.max 0.0 (now () -. since)

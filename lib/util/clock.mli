@@ -1,0 +1,14 @@
+(** Monotonic wall-clock timing for run supervision.
+
+    The watchdog budgets of the suite harness charge elapsed wall-clock
+    seconds against a per-run allowance; a system clock stepping backwards
+    (NTP) must never refund spent budget.  [now] therefore reports the
+    maximum system time observed so far — nondecreasing across calls within
+    a process. *)
+
+val now : unit -> float
+(** Monotonic wall-clock seconds (Unix epoch based, clamped to be
+    nondecreasing). *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since] is [max 0 (now () - since)]. *)

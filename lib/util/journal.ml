@@ -1,0 +1,233 @@
+type record = { tag : string; fields : (string * string) list }
+
+let version = 1
+let magic = "macs-journal"
+
+(* ---- field escaping ----
+   Records are one line each, fields tab-separated, [key=value].  Keys and
+   values are percent-escaped so arbitrary strings (fault-plan specs, error
+   messages) survive the round trip byte-for-byte. *)
+
+let must_escape c =
+  c = '%' || c = '\t' || c = '\n' || c = '\r' || c = '='
+
+let escape s =
+  if String.exists must_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let unescape s =
+  if not (String.contains s '%') then Ok s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents buf)
+      else if s.[i] = '%' then
+        if i + 2 >= n then Error "truncated %-escape"
+        else
+          match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some code ->
+              Buffer.add_char buf (Char.chr code);
+              go (i + 3)
+          | None -> Error (Printf.sprintf "bad %%-escape %S" (String.sub s i 3))
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+  end
+
+(* ---- record codec ---- *)
+
+let encode r =
+  String.concat "\t"
+    (escape r.tag
+    :: List.map (fun (k, v) -> escape k ^ "=" ^ escape v) r.fields)
+
+let ( let* ) = Result.bind
+
+let decode line =
+  match String.split_on_char '\t' line with
+  | [] | [ "" ] -> Error "empty journal line"
+  | tag :: rest ->
+      let* tag = unescape tag in
+      let* fields =
+        List.fold_left
+          (fun acc tok ->
+            let* acc = acc in
+            match String.index_opt tok '=' with
+            | None -> Error (Printf.sprintf "field %S has no '='" tok)
+            | Some i ->
+                let* k = unescape (String.sub tok 0 i) in
+                let* v =
+                  unescape (String.sub tok (i + 1) (String.length tok - i - 1))
+                in
+                Ok ((k, v) :: acc))
+          (Ok []) rest
+      in
+      Ok { tag; fields = List.rev fields }
+
+let field r key = List.assoc_opt key r.fields
+
+let field_err r key =
+  match field r key with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "record %S: missing field %S" r.tag key)
+
+(* Floats travel as hex literals ("%h"): every finite double round-trips
+   byte-exactly, and nan/infinity print and parse symmetrically. *)
+let put_float x = Printf.sprintf "%h" x
+let get_float s = float_of_string_opt s
+let put_int = string_of_int
+let get_int s = int_of_string_opt s
+let put_bool b = if b then "1" else "0"
+
+let get_bool = function
+  | "1" -> Some true
+  | "0" -> Some false
+  | _ -> None
+
+(* ---- file I/O ---- *)
+
+let header ~format =
+  {
+    tag = magic;
+    fields = [ ("version", string_of_int version); ("format", format) ];
+  }
+
+let check_header ~format r =
+  if r.tag <> magic then
+    Error (Printf.sprintf "not a journal: leading tag %S" r.tag)
+  else
+    let* v = field_err r "version" in
+    let* f = field_err r "format" in
+    if v <> string_of_int version then
+      Error (Printf.sprintf "unsupported journal version %s (want %d)" v version)
+    else if f <> format then
+      Error (Printf.sprintf "journal format %S, expected %S" f format)
+    else Ok ()
+
+let create ~path ~format records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (encode (header ~format));
+      output_char oc '\n';
+      List.iter
+        (fun r ->
+          output_string oc (encode r);
+          output_char oc '\n')
+        records;
+      flush oc)
+
+let append ~path r =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (encode r);
+      output_char oc '\n';
+      flush oc)
+
+let repair ~path ~format =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "journal %s does not exist" path)
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let n = String.length s in
+    (* end of the longest prefix of newline-terminated decodable lines *)
+    let rec prefix_end start =
+      if start >= n then start
+      else
+        match String.index_from_opt s start '\n' with
+        | None -> start
+        | Some nl -> (
+            match decode (String.sub s start (nl - start)) with
+            | Ok _ -> prefix_end (nl + 1)
+            | Error _ -> start)
+    in
+    (* a decodable line after the prefix means interior corruption, which
+       truncation would silently discard — leave it for [load] to report *)
+    let rec tail_has_good start =
+      if start >= n then false
+      else
+        match String.index_from_opt s start '\n' with
+        | None -> false
+        | Some nl -> (
+            match decode (String.sub s start (nl - start)) with
+            | Ok _ -> true
+            | Error _ -> tail_has_good (nl + 1))
+    in
+    if n = 0 then Error (Printf.sprintf "journal %s is empty" path)
+    else
+      match String.index_opt s '\n' with
+      | None -> Error (Printf.sprintf "journal %s has no complete header" path)
+      | Some nl -> (
+          match decode (String.sub s 0 nl) with
+          | Error e -> Error (Printf.sprintf "journal %s: bad header: %s" path e)
+          | Ok hd -> (
+              let* () = check_header ~format hd in
+              let keep = prefix_end 0 in
+              if keep >= n || tail_has_good keep then Ok ()
+              else begin
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (String.sub s 0 keep));
+                Ok ()
+              end))
+  end
+
+let load ~path ~format =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "journal %s does not exist" path)
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        (* a run killed mid-write can leave a torn final line: drop any
+           trailing line that fails to decode rather than rejecting the
+           whole journal *)
+        match List.rev !lines with
+        | [] -> Error (Printf.sprintf "journal %s is empty" path)
+        | first :: rest ->
+            let* hd = decode first in
+            let* () = check_header ~format hd in
+            let rec decode_rows acc = function
+              | [] -> Ok (List.rev acc)
+              | [ last ] -> (
+                  match decode last with
+                  | Ok r -> Ok (List.rev (r :: acc))
+                  | Error _ -> Ok (List.rev acc))
+              | line :: rest -> (
+                  match decode line with
+                  | Ok r -> decode_rows (r :: acc) rest
+                  | Error e ->
+                      Error (Printf.sprintf "corrupt journal line: %s" e))
+            in
+            decode_rows [] rest)
+  end

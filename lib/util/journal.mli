@@ -1,0 +1,67 @@
+(** Versioned, append-only, line-oriented journal files.
+
+    The suite harness checkpoints one record per completed kernel so an
+    interrupted run can resume without recomputing anything.  The format is
+    deliberately dumb and durable:
+
+    - one record per line; a record is a tag followed by [key=value]
+      fields, tab-separated;
+    - tags, keys and values are percent-escaped ([%XX]) so arbitrary
+      strings round-trip byte-for-byte;
+    - the first line is a header record [macs-journal] carrying
+      [version=N] and [format=<schema name>] — loading verifies both;
+    - floats are serialized as hex literals ({!put_float}), so every
+      finite double round-trips exactly (the resume guarantee rests on
+      this);
+    - a process killed mid-write leaves at most one torn final line, which
+      {!load} silently drops; any earlier undecodable line is corruption
+      and fails the load. *)
+
+type record = { tag : string; fields : (string * string) list }
+
+val version : int
+(** Current journal format version (bumped on incompatible changes). *)
+
+val encode : record -> string
+(** One line, no trailing newline. *)
+
+val decode : string -> (record, string) result
+
+val field : record -> string -> string option
+val field_err : record -> string -> (string, string) result
+
+(** {1 Typed field codecs} *)
+
+val put_float : float -> string
+(** Hex-literal rendering ([%h]); byte-exact round-trip through
+    {!get_float} for every float, including [nan] and infinities. *)
+
+val get_float : string -> float option
+val put_int : int -> string
+val get_int : string -> int option
+val put_bool : bool -> string
+val get_bool : string -> bool option
+
+(** {1 File operations} *)
+
+val create : path:string -> format:string -> record list -> unit
+(** Write a fresh journal: header then [records].  Truncates any existing
+    file at [path]. *)
+
+val append : path:string -> record -> unit
+(** Append one record and flush.  The file must already carry a header
+    (see {!create}). *)
+
+val repair : path:string -> format:string -> (unit, string) result
+(** Truncate a torn tail in place: everything after the longest prefix of
+    complete, decodable lines is removed, so a subsequent {!append}
+    starts a fresh record instead of concatenating onto torn bytes.
+    Refuses to touch interior corruption (garbage followed by decodable
+    lines) — that is left for {!load} to report rather than silently
+    discarding valid records.  Call before appending to a journal a
+    previous writer may have died holding. *)
+
+val load : path:string -> format:string -> (record list, string) result
+(** Read every record after the header, verifying magic, version and
+    format.  A torn final line (interrupted writer) is dropped; earlier
+    corruption is an error. *)

@@ -8,6 +8,13 @@ type t =
   | Stall_out of { site : string; cycle : int; pending : int; plan : string }
   | Dependence_cycle of { site : string; scheduled : int; total : int }
   | Parse_failure of { site : string; message : string }
+  | Budget_exceeded of {
+      site : string;
+      resource : string;
+      budget : float;
+      spent : float;
+    }
+  | Oracle_violation of { site : string; invariant : string; detail : string }
 
 exception Error of t
 
@@ -22,17 +29,27 @@ let dependence_cycle ~site ~scheduled ~total =
 
 let parse_failure ~site message = Parse_failure { site; message }
 
+let budget_exceeded ~site ~resource ~budget ~spent =
+  Budget_exceeded { site; resource; budget; spent }
+
+let oracle_violation ~site ~invariant detail =
+  Oracle_violation { site; invariant; detail }
+
 let kind = function
   | Livelock _ -> "livelock"
   | Stall_out _ -> "stall-out"
   | Dependence_cycle _ -> "dependence-cycle"
   | Parse_failure _ -> "parse-failure"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Oracle_violation _ -> "oracle-violation"
 
 let site = function
   | Livelock { site; _ }
   | Stall_out { site; _ }
   | Dependence_cycle { site; _ }
-  | Parse_failure { site; _ } ->
+  | Parse_failure { site; _ }
+  | Budget_exceeded { site; _ }
+  | Oracle_violation { site; _ } ->
       site
 
 let to_string = function
@@ -55,6 +72,14 @@ let to_string = function
         site scheduled total
   | Parse_failure { site; message } ->
       Printf.sprintf "parse failure at %s: %s" site message
+  | Budget_exceeded { site; resource; budget; spent } ->
+      Printf.sprintf
+        "budget exceeded at %s: %s budget of %g exhausted (%g spent); run \
+         cancelled by the watchdog"
+        site resource budget spent
+  | Oracle_violation { site; invariant; detail } ->
+      Printf.sprintf "oracle violation at %s: invariant %S broken: %s" site
+        invariant detail
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 let raise_error t = raise (Error t)

@@ -33,6 +33,19 @@ type t =
       total : int;
     }  (** The list scheduler found no ready instruction. *)
   | Parse_failure of { site : string; message : string }
+  | Budget_exceeded of {
+      site : string;
+      resource : string;  (** ["cycles"] or ["wall-clock seconds"] *)
+      budget : float;  (** the configured limit *)
+      spent : float;  (** how much had been consumed when the watchdog fired *)
+    }
+      (** A supervised run exhausted its watchdog budget and was cancelled
+          mid-flight — distinct from {!Livelock}: the run may well have been
+          making progress, it was just over its allowance. *)
+  | Oracle_violation of { site : string; invariant : string; detail : string }
+      (** The bound-oracle cross-validation found a hierarchy invariant
+          broken (e.g. a MACS bound above the measured time): either the
+          machine preset is inconsistent or the models have drifted. *)
 
 exception Error of t
 
@@ -41,9 +54,15 @@ val stall_out : site:string -> cycle:int -> pending:int -> plan:string -> t
 val dependence_cycle : site:string -> scheduled:int -> total:int -> t
 val parse_failure : site:string -> string -> t
 
+val budget_exceeded :
+  site:string -> resource:string -> budget:float -> spent:float -> t
+
+val oracle_violation : site:string -> invariant:string -> string -> t
+
 val kind : t -> string
 (** Short machine-readable tag: ["livelock"], ["stall-out"],
-    ["dependence-cycle"], ["parse-failure"]. *)
+    ["dependence-cycle"], ["parse-failure"], ["budget-exceeded"],
+    ["oracle-violation"]. *)
 
 val site : t -> string
 

@@ -5,16 +5,17 @@ let mean xs =
   check_nonempty "Stats.mean" xs;
   Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
 
+(* Total on the degenerate inputs a fully-failed suite produces: the
+   harmonic mean of an empty sample is 0 (no completed kernels, no rate),
+   and a zero element dominates the mean exactly as its limit does.
+   Negative elements are still a caller bug. *)
 let harmonic_mean xs =
-  check_nonempty "Stats.harmonic_mean" xs;
-  let sum_inv =
-    Array.fold_left
-      (fun acc x ->
-        if x <= 0.0 then invalid_arg "Stats.harmonic_mean: nonpositive element"
-        else acc +. (1.0 /. x))
-      0.0 xs
-  in
-  float_of_int (Array.length xs) /. sum_inv
+  if Array.exists (fun x -> x < 0.0) xs then
+    invalid_arg "Stats.harmonic_mean: negative element";
+  if Array.length xs = 0 || Array.exists (fun x -> x = 0.0) xs then 0.0
+  else
+    let sum_inv = Array.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 xs in
+    float_of_int (Array.length xs) /. sum_inv
 
 let geometric_mean xs =
   check_nonempty "Stats.geometric_mean" xs;

@@ -8,8 +8,11 @@ val mean : float array -> float
 (** Arithmetic mean. *)
 
 val harmonic_mean : float array -> float
-(** Harmonic mean; every element must be strictly positive.  Used to convert
-    average CPF into the paper's HMEAN MFLOPS figure (eq. 4). *)
+(** Harmonic mean.  Used to convert average CPF into the paper's HMEAN
+    MFLOPS figure (eq. 4).  Total on the degenerate inputs a fully-failed
+    suite produces: an empty array yields [0.0] (never NaN), and any zero
+    element yields [0.0] (the limit value).  Negative elements raise
+    [Invalid_argument]. *)
 
 val geometric_mean : float array -> float
 (** Geometric mean; every element must be strictly positive. *)

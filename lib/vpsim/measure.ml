@@ -9,11 +9,11 @@ type t = {
   stats : Sim.stats;
 }
 
-let run ?(machine = Machine.c240) ?layout ?contention ?faults ?guard
+let run ?(machine = Machine.c240) ?layout ?contention ?faults ?guard ?watchdog
     ~flops_per_iteration job =
   if flops_per_iteration <= 0 then
     invalid_arg "Measure.run: nonpositive flops_per_iteration";
-  match Sim.run ~machine ?layout ?contention ?faults ?guard job with
+  match Sim.run ~machine ?layout ?contention ?faults ?guard ?watchdog job with
   | Error _ as e -> e
   | Ok r ->
       let cpl = Sim.cpl r in
@@ -27,10 +27,11 @@ let run ?(machine = Machine.c240) ?layout ?contention ?faults ?guard
           stats = r.stats;
         }
 
-let run_exn ?machine ?layout ?contention ?faults ?guard ~flops_per_iteration
-    job =
+let run_exn ?machine ?layout ?contention ?faults ?guard ?watchdog
+    ~flops_per_iteration job =
   Macs_error.of_result
-    (run ?machine ?layout ?contention ?faults ?guard ~flops_per_iteration job)
+    (run ?machine ?layout ?contention ?faults ?guard ?watchdog
+       ~flops_per_iteration job)
 
 let pp fmt m =
   Format.fprintf fmt "%.3f CPL, %.3f CPF, %.2f MFLOPS (%.0f cycles)" m.cpl

@@ -18,11 +18,13 @@ val run :
   ?contention:Contention.t ->
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   flops_per_iteration:int ->
   Job.t ->
   (t, Macs_util.Macs_error.t) Stdlib.result
 (** Simulate and convert to the paper's units.  Simulation failures
-    (livelock, fault-induced stall-out) come back as [Error].  Raises
+    (livelock, fault-induced stall-out, watchdog cancellation) come back
+    as [Error].  [watchdog] is threaded to {!Sim.run} unchanged.  Raises
     [Invalid_argument] if [flops_per_iteration <= 0] — a caller bug, not
     a runtime outcome. *)
 
@@ -32,6 +34,7 @@ val run_exn :
   ?contention:Contention.t ->
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   flops_per_iteration:int ->
   Job.t ->
   t

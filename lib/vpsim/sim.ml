@@ -60,8 +60,13 @@ let enter_at w e =
 (* default spin budget of the memory-progress guard, in cycles per access *)
 let default_guard = 1_000_000
 
+(* watchdog spin-check interval in acquire_mem: frequent enough to cancel
+   a stalled access long before the livelock guard trips, rare enough to
+   stay off the healthy path's profile *)
+let watchdog_spin_mask = 4095
+
 let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
-    ?(faults = Fault.none) ?(guard = default_guard) ?access_log
+    ?(faults = Fault.none) ?(guard = default_guard) ?watchdog ?access_log
     ?(trace = false) (job : Job.t) =
   let layout =
     match layout with
@@ -114,12 +119,23 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
   let record ev = if trace then events := ev :: !events in
   let note_finish t = if t > !finish then finish := t in
 
+  let check_watchdog cycle =
+    match watchdog with
+    | None -> ()
+    | Some w -> (
+        match w ~cycle with
+        | Some e -> Macs_error.raise_error e
+        | None -> ())
+  in
+
   let acquire_mem ~earliest ~word =
     let c = ref (int_of_float (Float.ceil earliest)) in
     let spins = ref 0 in
     while not (Memory.try_access memory ~cycle:!c ~word) do
       incr c;
       incr spins;
+      if !spins land watchdog_spin_mask = 0 then
+        check_watchdog (float_of_int !c);
       if !spins > guard then
         Macs_error.raise_error
           (if Fault.is_none faults then
@@ -416,6 +432,7 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
   in
 
   let exec_instr seg ~base_index ~strip ~vl i =
+    check_watchdog (Float.max !issue_front !finish);
     incr instructions;
     if Instr.is_vector i then exec_vector seg ~base_index ~strip ~vl i
     else exec_scalar seg ~base_index ~strip i
@@ -469,10 +486,11 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
       in
       Ok { stats; events = List.rev !events }
 
-let run_exn ?machine ?layout ?contention ?faults ?guard ?access_log ?trace job
-    =
+let run_exn ?machine ?layout ?contention ?faults ?guard ?watchdog ?access_log
+    ?trace job =
   Macs_error.of_result
-    (run ?machine ?layout ?contention ?faults ?guard ?access_log ?trace job)
+    (run ?machine ?layout ?contention ?faults ?guard ?watchdog ?access_log
+       ?trace job)
 
 let cpl r = r.stats.cycles /. float_of_int r.stats.elements
 

@@ -66,6 +66,7 @@ val run :
   ?contention:Contention.t ->
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?access_log:(int * int) list ref ->
   ?trace:bool ->
   Job.t ->
@@ -76,7 +77,16 @@ val run :
     to [false].  Returns [Error (Livelock _)] when an access makes no
     progress for [guard] consecutive cycles on a healthy machine, and
     [Error (Stall_out _)] when the same guard trips under an active fault
-    plan (e.g. a stuck bank); it never raises on any fault plan. *)
+    plan (e.g. a stuck bank); it never raises on any fault plan.
+
+    [watchdog] is the supervised-run progress hook: it is called with the
+    current simulated cycle before every instruction issues and
+    periodically inside a stalled memory access, and returning [Some err]
+    cancels the run immediately with [Error err] (conventionally a
+    [Budget_exceeded] built by the harness from its wall-clock/cycle
+    budgets — see [Convex_harness.Budget]).  A cancelled run performs no
+    further stepping, so a livelocked or over-budget simulation stops at
+    the callback's word rather than spinning until [guard] trips. *)
 
 val run_exn :
   ?machine:Machine.t ->
@@ -84,6 +94,7 @@ val run_exn :
   ?contention:Contention.t ->
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?access_log:(int * int) list ref ->
   ?trace:bool ->
   Job.t ->

@@ -1,0 +1,402 @@
+(* Tests for the run supervisor stack: the generic journal codec, watchdog
+   budgets, checkpoint/resume byte-identity, graceful degradation to
+   analytic estimates, and the bound oracle. *)
+
+open Macs_util
+open Convex_machine
+open Convex_vpsim
+open Convex_harness
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let tmp_journal name = Filename.temp_file ("macs_" ^ name) ".journal"
+
+(* ---- generic journal ---- *)
+
+let printable_pair =
+  QCheck.(
+    pair
+      (string_gen_of_size Gen.(int_range 0 20) Gen.char)
+      (string_gen_of_size Gen.(int_range 0 20) Gen.char))
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"journal records round-trip any bytes"
+    QCheck.(
+      pair
+        (string_gen_of_size Gen.(int_range 1 10) Gen.char)
+        (list_of_size Gen.(int_range 0 6) printable_pair))
+    (fun (tag, fields) ->
+      let r = { Journal.tag; fields } in
+      match Journal.decode (Journal.encode r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"put_float/get_float is byte-exact"
+    QCheck.float (fun f ->
+      match Journal.get_float (Journal.put_float f) with
+      | Some g -> Int64.bits_of_float g = Int64.bits_of_float f
+      | None -> false)
+
+let test_journal_torn_line () =
+  let path = tmp_journal "torn" in
+  Journal.create ~path ~format:"t"
+    [ { Journal.tag = "row"; fields = [ ("k", "1") ] } ];
+  (* simulate a writer killed mid-record: garbage final line, no newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "row\tk=2\tgar%ZZbage";
+  close_out oc;
+  (match Journal.load ~path ~format:"t" with
+  | Ok rows -> Alcotest.(check int) "torn line dropped" 1 (List.length rows)
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove path
+
+let test_journal_rejects_wrong_format () =
+  let path = tmp_journal "fmt" in
+  Journal.create ~path ~format:"schema-a" [];
+  (match Journal.load ~path ~format:"schema-b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "format mismatch must fail the load");
+  Sys.remove path
+
+(* ---- suite journal row codec ---- *)
+
+let sample_perf =
+  {
+    Macs_report.Suite.cpl = 4.217;
+    cpf = 0.843;
+    mflops = 37.94;
+    checksum = 505.05;
+    checksum_ok = true;
+  }
+
+let sample_errors =
+  [
+    Macs_error.livelock ~site:"Sim.run" ~cycle:100 ~pending:3 ~word:7 ();
+    Macs_error.livelock ~site:"Sim.run" ~cycle:100 ~pending:3 ();
+    Macs_error.stall_out ~site:"Sim.run" ~cycle:9 ~pending:1 ~plan:"dead-bank";
+    Macs_error.dependence_cycle ~site:"Schedule.pack" ~scheduled:2 ~total:5;
+    Macs_error.parse_failure ~site:"Asm.parse" "odd\ttab and % and =";
+    Macs_error.budget_exceeded ~site:"Supervisor(lfk1)"
+      ~resource:"simulated-cycles" ~budget:500.0 ~spent:547.0;
+    Macs_error.oracle_violation ~site:"Oracle(lfk1)" ~invariant:"MAC<=MACS"
+      "detail text";
+  ]
+
+let roundtrip_row (row : Macs_report.Suite.row) =
+  match
+    Macs_report.Suite_journal.row_of_record
+      (Macs_report.Suite_journal.record_of_row row)
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "row did not round-trip: %s" e
+
+let test_suite_journal_measured_row () =
+  let row =
+    {
+      Macs_report.Suite.kernel = Lfk.Kernels.find 1;
+      mode = Job.Vector;
+      outcome = Ok sample_perf;
+      source = Macs_report.Suite.Measured;
+    }
+  in
+  Alcotest.(check bool) "identical" true (roundtrip_row row = row)
+
+let test_suite_journal_diagnostic_rows () =
+  List.iter
+    (fun e ->
+      let failed =
+        {
+          Macs_report.Suite.kernel = Lfk.Kernels.find 5;
+          mode = Job.Scalar;
+          outcome = Error e;
+          source = Macs_report.Suite.Measured;
+        }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "failed row with %s" (Macs_error.kind e))
+        true
+        (roundtrip_row failed = failed);
+      let estimated =
+        {
+          Macs_report.Suite.kernel = Lfk.Kernels.find 2;
+          mode = Job.Vector;
+          outcome =
+            Ok
+              {
+                sample_perf with
+                Macs_report.Suite.checksum = Float.nan;
+                checksum_ok = false;
+              };
+          source = Macs_report.Suite.Estimated e;
+        }
+      in
+      let rt = roundtrip_row estimated in
+      (* nan <> nan, so compare the journaled encodings instead *)
+      Alcotest.(check bool)
+        (Printf.sprintf "estimated row with %s" (Macs_error.kind e))
+        true
+        (Macs_report.Suite_journal.record_of_row rt
+        = Macs_report.Suite_journal.record_of_row estimated))
+    sample_errors
+
+(* ---- clock and budgets ---- *)
+
+let test_clock_monotonic () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  Alcotest.(check bool) "nondecreasing" true (b >= a);
+  Alcotest.(check bool) "elapsed nonnegative" true (Clock.elapsed ~since:a >= 0.0)
+
+let job_of lfk =
+  let c = Fcc.Compiler.compile (Lfk.Kernels.find lfk) in
+  c.Fcc.Compiler.job
+
+let test_budget_watchdog_trips_sim () =
+  let wd =
+    match Budget.watchdog ~site:"test" (Budget.make ~max_cycles:100.0 ()) with
+    | Some w -> w
+    | None -> Alcotest.fail "non-empty budget must yield a watchdog"
+  in
+  match Sim.run ~watchdog:wd (job_of 1) with
+  | Error (Macs_error.Budget_exceeded { resource; budget; _ }) ->
+      Alcotest.(check string) "resource" "simulated-cycles" resource;
+      Alcotest.(check (float 0.0)) "budget recorded" 100.0 budget
+  | Error e -> Alcotest.failf "wrong error: %s" (Macs_error.to_string e)
+  | Ok _ -> Alcotest.fail "100-cycle budget must cancel LFK1"
+
+let test_budget_under_cap_is_invisible () =
+  let free = Sim.run_exn (job_of 1) in
+  let wd =
+    Option.get
+      (Budget.watchdog ~site:"test" (Budget.make ~max_cycles:1e12 ()))
+  in
+  let capped = Sim.run_exn ~watchdog:wd (job_of 1) in
+  Alcotest.(check (float 0.0))
+    "same cycles" free.Sim.stats.Sim.cycles capped.Sim.stats.Sim.cycles
+
+let test_budget_wall_clock_trips () =
+  let wd =
+    Option.get
+      (Budget.watchdog ~site:"test" (Budget.make ~max_wall_s:0.0 ()))
+  in
+  match Sim.run ~watchdog:wd (job_of 1) with
+  | Error (Macs_error.Budget_exceeded { resource; _ }) ->
+      Alcotest.(check string) "resource" "wall-seconds" resource
+  | Error e -> Alcotest.failf "wrong error: %s" (Macs_error.to_string e)
+  | Ok _ -> Alcotest.fail "zero wall budget must cancel the run"
+
+let test_empty_budget_has_no_watchdog () =
+  Alcotest.(check bool) "none" true (Budget.watchdog ~site:"x" Budget.none = None)
+
+(* ---- graceful degradation ---- *)
+
+let test_estimate_levels () =
+  let v = Macs.Estimate.of_kernel (Lfk.Kernels.find 1) in
+  Alcotest.(check string) "vector kernels estimate at MACS level" "MACS"
+    v.Macs.Estimate.level;
+  Alcotest.(check bool) "positive cpl" true (v.Macs.Estimate.cpl > 0.0);
+  let s = Macs.Estimate.of_kernel (Lfk.Kernels.find 5) in
+  Alcotest.(check string) "scalar kernels estimate at scalar level" "scalar"
+    s.Macs.Estimate.level;
+  Alcotest.(check bool) "positive mflops" true (s.Macs.Estimate.mflops > 0.0)
+
+let test_supervisor_budget_degrades_not_aborts () =
+  (* acceptance: an over-budget kernel yields an estimated row tagged
+     Budget_exceeded — never an abort, never a missing row *)
+  match
+    Supervisor.run ~budget:(Budget.make ~max_cycles:500.0 ()) ()
+  with
+  | Error e -> Alcotest.failf "supervisor errored: %s" e
+  | Ok { suite; stats } ->
+      Alcotest.(check int) "all rows present" 12 (List.length suite.rows);
+      Alcotest.(check int) "all estimated" 12 stats.Supervisor.estimated;
+      Alcotest.(check int) "none failed" 0
+        (List.length (Macs_report.Suite.failed_rows suite));
+      List.iter
+        (fun ((_ : Macs_report.Suite.row), e) ->
+          Alcotest.(check string) "tagged budget-exceeded" "budget-exceeded"
+            (Macs_error.kind e))
+        (Macs_report.Suite.estimated_rows suite);
+      Alcotest.(check (float 0.0))
+        "estimates excluded from measured hmean" 0.0
+        suite.Macs_report.Suite.overall_hmean_mflops
+
+let run_supervised ?budget ?resume ?retry_failed path =
+  match Supervisor.run ?budget ~journal:path ?resume ?retry_failed () with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "supervisor errored: %s" e
+
+let test_supervisor_resume_byte_identical () =
+  let full = tmp_journal "full" and part = tmp_journal "part" in
+  ignore (run_supervised full);
+  (* keep header + config + the first 4 rows: a run killed after kernel 4 *)
+  let lines = String.split_on_char '\n' (read_file full) in
+  let oc = open_out_bin part in
+  List.iteri
+    (fun i l -> if i < 6 then (output_string oc l; output_char oc '\n'))
+    lines;
+  close_out oc;
+  let o = run_supervised ~resume:true part in
+  Alcotest.(check int) "four rows replayed" 4 o.Supervisor.stats.Supervisor.resumed;
+  Alcotest.(check int) "eight rows run" 8 o.Supervisor.stats.Supervisor.executed;
+  Alcotest.(check string) "journal byte-identical to uninterrupted run"
+    (read_file full) (read_file part);
+  Sys.remove full;
+  Sys.remove part
+
+let test_supervisor_resume_after_torn_write () =
+  (* a writer killed mid-record leaves a torn unterminated tail; resume
+     must truncate it and append cleanly, not concatenate onto it *)
+  let full = tmp_journal "tornfull" and part = tmp_journal "tornpart" in
+  ignore (run_supervised full);
+  let lines = String.split_on_char '\n' (read_file full) in
+  let oc = open_out_bin part in
+  List.iteri
+    (fun i l -> if i < 6 then (output_string oc l; output_char oc '\n'))
+    lines;
+  output_string oc "row\tlfk=5\tmode=sca";
+  close_out oc;
+  let o = run_supervised ~resume:true part in
+  Alcotest.(check int) "four complete rows replayed" 4
+    o.Supervisor.stats.Supervisor.resumed;
+  Alcotest.(check string) "journal healed to the uninterrupted bytes"
+    (read_file full) (read_file part);
+  Sys.remove full;
+  Sys.remove part
+
+let test_supervisor_retry_failed () =
+  let path = tmp_journal "retry" in
+  let crippled =
+    run_supervised ~budget:(Budget.make ~max_cycles:500.0 ()) path
+  in
+  Alcotest.(check int) "all estimated under the budget" 12
+    crippled.Supervisor.stats.Supervisor.estimated;
+  let healed = run_supervised ~retry_failed:true path in
+  Alcotest.(check int) "no measured row replayed" 0
+    healed.Supervisor.stats.Supervisor.resumed;
+  Alcotest.(check int) "diagnostic rows re-run" 12
+    healed.Supervisor.stats.Supervisor.executed;
+  Alcotest.(check int) "all measured now" 0
+    healed.Supervisor.stats.Supervisor.estimated;
+  Alcotest.(check bool) "measured hmean recovered" true
+    (healed.Supervisor.suite.Macs_report.Suite.overall_hmean_mflops > 0.0);
+  (* and the rewritten journal replays clean *)
+  let again = run_supervised ~resume:true path in
+  Alcotest.(check int) "everything replayed" 12
+    again.Supervisor.stats.Supervisor.resumed;
+  Sys.remove path
+
+let test_supervisor_refuses_config_mismatch () =
+  let path = tmp_journal "mismatch" in
+  ignore (run_supervised path);
+  (match
+     Supervisor.run ~machine:Machine.ideal ~journal:path ~resume:true ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resume under a different machine must refuse");
+  Sys.remove path
+
+(* ---- bound oracle ---- *)
+
+let test_oracle_c240_clean () =
+  let r = Macs.Oracle.validate () in
+  Alcotest.(check int) "ten kernels checked" 10 r.Macs.Oracle.checked;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun (v : Macs.Oracle.violation) -> v.Macs.Oracle.invariant)
+       r.Macs.Oracle.violations)
+
+let test_oracle_broken_hierarchy_caught () =
+  let r =
+    Macs.Oracle.validate ~machine:(Machine.broken_hierarchy Machine.c240) ()
+  in
+  Alcotest.(check bool) "violations found" true
+    (r.Macs.Oracle.violations <> []);
+  Alcotest.(check bool) "the broken link is named" true
+    (List.exists
+       (fun (v : Macs.Oracle.violation) ->
+         v.Macs.Oracle.invariant = "MAC<=MACS")
+       r.Macs.Oracle.violations)
+
+let test_oracle_faulted_probe () =
+  let plan spec =
+    match Convex_fault.Fault.parse spec with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "bad spec: %s" e
+  in
+  (* a plan that only slows things can never trip faulted-never-faster,
+     and a stalled probe is a diagnosed outcome, not a violation *)
+  Alcotest.(check int) "degraded banks pass" 0
+    (List.length (Macs.Oracle.check_faulted_never_faster (plan "bank-degraded")));
+  Alcotest.(check int) "dead bank stalls, no violation" 0
+    (List.length (Macs.Oracle.check_faulted_never_faster (plan "dead-bank")))
+
+let test_oracle_check_row_flags_impossible_speed () =
+  let c = Fcc.Compiler.compile (Lfk.Kernels.find 1) in
+  let vs =
+    Macs.Oracle.check_row ~machine:Machine.c240 c ~measured_cpl:0.01
+  in
+  Alcotest.(check bool) "a sub-bound measurement is flagged" true (vs <> [])
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_record_roundtrip; prop_float_roundtrip ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("journal-properties", qcheck_tests);
+      ( "journal",
+        [
+          Alcotest.test_case "torn final line dropped" `Quick
+            test_journal_torn_line;
+          Alcotest.test_case "format mismatch rejected" `Quick
+            test_journal_rejects_wrong_format;
+          Alcotest.test_case "measured row codec" `Quick
+            test_suite_journal_measured_row;
+          Alcotest.test_case "diagnostic row codecs" `Quick
+            test_suite_journal_diagnostic_rows;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "cycle budget trips sim" `Quick
+            test_budget_watchdog_trips_sim;
+          Alcotest.test_case "under cap invisible" `Quick
+            test_budget_under_cap_is_invisible;
+          Alcotest.test_case "wall budget trips" `Quick
+            test_budget_wall_clock_trips;
+          Alcotest.test_case "empty budget" `Quick
+            test_empty_budget_has_no_watchdog;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "estimate levels" `Quick test_estimate_levels;
+          Alcotest.test_case "over budget degrades to estimates" `Quick
+            test_supervisor_budget_degrades_not_aborts;
+          Alcotest.test_case "resume byte-identical" `Quick
+            test_supervisor_resume_byte_identical;
+          Alcotest.test_case "resume after torn write" `Quick
+            test_supervisor_resume_after_torn_write;
+          Alcotest.test_case "retry-failed re-runs diagnostics" `Quick
+            test_supervisor_retry_failed;
+          Alcotest.test_case "config mismatch refused" `Quick
+            test_supervisor_refuses_config_mismatch;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "c240 validates clean" `Quick
+            test_oracle_c240_clean;
+          Alcotest.test_case "broken hierarchy caught" `Quick
+            test_oracle_broken_hierarchy_caught;
+          Alcotest.test_case "faulted probe" `Quick test_oracle_faulted_probe;
+          Alcotest.test_case "impossible speed flagged" `Quick
+            test_oracle_check_row_flags_impossible_speed;
+        ] );
+    ]

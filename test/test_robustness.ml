@@ -332,6 +332,100 @@ let test_suite_degrades_gracefully () =
   Alcotest.(check bool) "render mentions diagnostics" true
     (contains ~needle:"diagnostics" text)
 
+(* ---- fault-plan clause syntax round-trip ---- *)
+
+let fault_spec_gen =
+  let open QCheck.Gen in
+  let clause =
+    oneof
+      [
+        map (Printf.sprintf "seed=%d") (int_range 0 9999);
+        map2
+          (Printf.sprintf "degrade-bank=%d*%d")
+          (int_range 0 31) (int_range 1 8);
+        map2 (Printf.sprintf "stuck-bank=%d@%d-") (int_range 0 31)
+          (int_range 0 5000);
+        ( int_range 0 31 >>= fun b ->
+          int_range 0 5000 >>= fun lo ->
+          int_range 1 5000 >|= fun len ->
+          Printf.sprintf "stuck-bank=%d@%d-%d" b lo (lo + len) );
+        ( int_range 0 31 >>= fun b ->
+          int_range 100 1000 >>= fun p ->
+          int_range 1 50 >|= fun d -> Printf.sprintf "scrub=%d/%d*%d" b p d );
+        map (Printf.sprintf "jitter=%d") (int_range 0 24);
+        ( oneofl [ "add"; "mul"; "multiply"; "load/store"; "lsu" ]
+        >>= fun pipe ->
+          float_range 1.0 4.0 >|= fun f ->
+          Printf.sprintf "slow-pipe=%s*%.12g" pipe f );
+        ( int_range 1 50 >>= fun d ->
+          int_range 100 1000 >|= fun p ->
+          Printf.sprintf "port-spike=%d/%d" d p );
+      ]
+  in
+  list_size (int_range 0 6) clause >|= String.concat ";"
+
+let prop_fault_spec_roundtrip =
+  (* satellite: parse -> to_spec -> parse is the identity on behaviour,
+     so journaled plans re-parse to exactly the plan that ran *)
+  QCheck.Test.make ~count:500 ~name:"fault spec parse/print round-trip"
+    (QCheck.make ~print:Fun.id fault_spec_gen)
+    (fun spec ->
+      match Fault.parse spec with
+      | Error e -> QCheck.Test.fail_reportf "generated spec rejected: %s" e
+      | Ok p -> (
+          match Fault.parse (Fault.to_spec p) with
+          | Error e ->
+              QCheck.Test.fail_reportf "printed spec %S rejected: %s"
+                (Fault.to_spec p) e
+          | Ok q -> Fault.equal_behaviour p q))
+
+let test_fault_presets_roundtrip () =
+  List.iter
+    (fun (name, _desc, p) ->
+      match Fault.parse (Fault.to_spec p) with
+      | Ok q ->
+          Alcotest.(check bool)
+            (Printf.sprintf "preset %s survives to_spec/parse" name)
+            true (Fault.equal_behaviour p q)
+      | Error e -> Alcotest.failf "preset %s: printed spec rejected: %s" name e)
+    Fault.presets
+
+(* ---- bounded retry policy ---- *)
+
+let test_retry_dead_bank_exactly_one_retry () =
+  (* a genuine stall-out fails every guard scale: the policy attempts once
+     per entry of guard_scales (one retry) and surfaces the final error *)
+  let dead = plan "dead-bank" in
+  let attempts = ref [] in
+  let result =
+    Retry.with_relaxed_guard (fun ~guard_scale ->
+        attempts := guard_scale :: !attempts;
+        Result.map (fun _ -> ()) (Sim.run ~faults:dead ~guard:(5_000 * guard_scale) (single_ld 64)))
+  in
+  Alcotest.(check (list int))
+    "one attempt per guard scale" Retry.guard_scales (List.rev !attempts);
+  match result with
+  | Error e ->
+      Alcotest.(check string) "final error surfaced" "stall-out"
+        (Macs_util.Macs_error.kind e)
+  | Ok () -> Alcotest.fail "dead bank must not complete"
+
+let test_retry_budget_exceeded_not_retried () =
+  (* watchdog budgets are hard caps: the retry policy must not spend a
+     relaxed-guard attempt on one *)
+  let attempts = ref 0 in
+  let result =
+    Retry.with_relaxed_guard (fun ~guard_scale:_ ->
+        incr attempts;
+        Error
+          (Macs_util.Macs_error.budget_exceeded ~site:"test"
+             ~resource:"simulated-cycles" ~budget:1.0 ~spent:2.0))
+  in
+  Alcotest.(check int) "single attempt" 1 !attempts;
+  match result with
+  | Error (Macs_util.Macs_error.Budget_exceeded _) -> ()
+  | _ -> Alcotest.fail "expected the budget error back"
+
 let test_parse_failure_is_structured () =
   match Asm.parse_program_exn "junk" with
   | exception Macs_util.Macs_error.Error (Macs_util.Macs_error.Parse_failure _)
@@ -447,7 +541,7 @@ let qcheck_tests =
       prop_pack_never_more_chimes; prop_packed_functional_random;
       prop_interp_strip_invariant; prop_fault_deterministic;
       prop_fault_never_faster_streaming; prop_fault_no_raise;
-      prop_fault_cosim_no_raise;
+      prop_fault_cosim_no_raise; prop_fault_spec_roundtrip;
     ]
 
 let () =
@@ -488,6 +582,12 @@ let () =
             test_suite_degrades_gracefully;
           Alcotest.test_case "parse failure structured" `Quick
             test_parse_failure_is_structured;
+          Alcotest.test_case "presets round-trip to_spec" `Quick
+            test_fault_presets_roundtrip;
+          Alcotest.test_case "dead bank retried exactly once" `Quick
+            test_retry_dead_bank_exactly_one_retry;
+          Alcotest.test_case "budget errors not retried" `Quick
+            test_retry_budget_exceeded_not_retried;
         ] );
       ( "compiler-pressure",
         [

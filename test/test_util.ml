@@ -24,10 +24,24 @@ let test_harmonic_mean () =
   (* harmonic mean of 1 and 2 is 4/3 *)
   check_float "hmean" (4.0 /. 3.0) (Stats.harmonic_mean [| 1.0; 2.0 |])
 
-let test_harmonic_mean_nonpositive () =
-  Alcotest.check_raises "nonpositive"
-    (Invalid_argument "Stats.harmonic_mean: nonpositive element")
-    (fun () -> ignore (Stats.harmonic_mean [| 1.0; 0.0 |]))
+let test_harmonic_mean_zero () =
+  (* a zero rate sinks the harmonic mean to zero, not to a division trap:
+     suites fold failed kernels in as 0 MFLOPS *)
+  check_float "zero element" 0.0 (Stats.harmonic_mean [| 1.0; 0.0 |]);
+  check_float "all zero" 0.0 (Stats.harmonic_mean [| 0.0; 0.0 |]);
+  check_float "empty" 0.0 (Stats.harmonic_mean [||])
+
+let test_harmonic_mean_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Stats.harmonic_mean: negative element")
+    (fun () -> ignore (Stats.harmonic_mean [| 1.0; -2.0 |]))
+
+let test_harmonic_mean_never_nan =
+  QCheck.Test.make ~count:300 ~name:"harmonic_mean is total on [0,inf)"
+    QCheck.(array_of_size Gen.(int_range 0 20) (float_range 0.0 1000.0))
+    (fun xs ->
+      let h = Stats.harmonic_mean xs in
+      Float.is_finite h && h >= 0.0)
 
 let test_geometric_mean () =
   check_float "gmean" 2.0 (Stats.geometric_mean [| 1.0; 4.0 |])
@@ -248,7 +262,12 @@ let prop_csv_roundtrip_quotes =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_mean_bounds; prop_hm_le_gm_le_am; prop_csv_roundtrip_quotes ]
+    [
+      prop_mean_bounds;
+      prop_hm_le_gm_le_am;
+      prop_csv_roundtrip_quotes;
+      test_harmonic_mean_never_nan;
+    ]
 
 let () =
   Alcotest.run "macs_util"
@@ -259,8 +278,10 @@ let () =
           Alcotest.test_case "mean singleton" `Quick test_mean_singleton;
           Alcotest.test_case "mean empty" `Quick test_mean_empty;
           Alcotest.test_case "harmonic mean" `Quick test_harmonic_mean;
-          Alcotest.test_case "harmonic nonpositive" `Quick
-            test_harmonic_mean_nonpositive;
+          Alcotest.test_case "harmonic zero and empty" `Quick
+            test_harmonic_mean_zero;
+          Alcotest.test_case "harmonic negative" `Quick
+            test_harmonic_mean_negative;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
           Alcotest.test_case "variance and stddev" `Quick test_variance;
           Alcotest.test_case "min max" `Quick test_min_max;
