@@ -4,18 +4,7 @@
 
 open Cmdliner
 
-let machine_of_name = function
-  | "c240" -> Ok Convex_machine.Machine.c240
-  | "ideal" -> Ok Convex_machine.Machine.ideal
-  | "no-bubbles" ->
-      Ok Convex_machine.Machine.(no_bubbles c240)
-  | "no-refresh" ->
-      Ok Convex_machine.Machine.(no_refresh c240)
-  | "dual-lsu" ->
-      Ok Convex_machine.Machine.(dual_load_store c240)
-  | "broken-hierarchy" ->
-      Ok Convex_machine.Machine.(broken_hierarchy c240)
-  | s -> Error (Printf.sprintf "unknown machine %S" s)
+let machine_of_name = Convex_machine.Machine.of_name
 
 let opt_of_name = function
   | "v61" -> Ok Fcc.Opt_level.v61
@@ -575,6 +564,114 @@ let report_cmd =
        ~doc:"Write every reproduced table and figure to one Markdown file")
     Term.(const run $ out)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (default 42).")
+  in
+  let count =
+    Arg.(
+      value & opt int 500
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of generated cases (default 500).")
+  in
+  let machine_name =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map (fun n -> (n, n)) Convex_machine.Machine.preset_names))
+          "c240"
+      & info [ "machine" ] ~docv:"MACHINE"
+          ~doc:
+            (Printf.sprintf "Machine preset: %s."
+               (String.concat ", " Convex_machine.Machine.preset_names)))
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Whole-campaign wall-clock cap; generation stops (gracefully) \
+             once exhausted.")
+  in
+  let sim_budget =
+    Arg.(
+      value & opt float 10.0
+      & info [ "sim-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-simulation watchdog: a single simulated run over this \
+             wall-clock allowance is cancelled and skipped (default 10).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Append every shrunk counterexample to this corpus journal \
+             (created if missing) so it replays in the test suite forever.")
+  in
+  let no_sim =
+    Arg.(
+      value & flag
+      & info [ "no-sim" ]
+          ~doc:
+            "Functional stages only (compile, differential execution, \
+             listing round trip) — no simulator, no bound oracle.")
+  in
+  let plans =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            (fault_doc
+           ^ " Repeatable; defaults to every stock preset.  Each kernel \
+              case samples one plan, rotating."))
+  in
+  let run seed count machine_name budget sim_budget corpus no_sim plans =
+    let machine = Result.get_ok (machine_of_name machine_name) in
+    let cfg =
+      {
+        Convex_fuzz.Driver.seed;
+        count;
+        machine;
+        machine_name;
+        max_wall_s = budget;
+        budget = Convex_harness.Budget.make ~max_wall_s:sim_budget ();
+        corpus;
+        sim = not no_sim;
+        fault_plans =
+          (match plans with
+          | [] -> Convex_fuzz.Driver.default_config.fault_plans
+          | ps -> ps);
+      }
+    in
+    let progress i =
+      if i > 0 && i mod 50 = 0 then (
+        Printf.eprintf "fuzz: %d/%d cases\n" i count;
+        flush stderr)
+    in
+    let summary = Convex_fuzz.Driver.run ~progress cfg in
+    print_endline (Convex_fuzz.Driver.render_summary summary);
+    if not (Convex_fuzz.Driver.clean summary) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing with shrinking: random well-formed kernels \
+          through the compiler at every level, compiled code vs. a direct \
+          IR evaluator bit-for-bit, healthy and faulted simulation, the \
+          MACS bound oracle, and the assembly round trip; failures are \
+          shrunk to minimal cases and optionally persisted to a replay \
+          corpus; exits non-zero on any violation")
+    Term.(
+      const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
+      $ no_sim $ plans)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -592,5 +689,5 @@ let () =
             analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
             calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
             advise_cmd; suite_cmd; resilience_cmd; bound_cmd; trace_cmd;
-            validate_cmd; report_cmd;
+            validate_cmd; report_cmd; fuzz_cmd;
           ]))

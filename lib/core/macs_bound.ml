@@ -6,6 +6,7 @@ type chime_cost = {
   cycles : float;
   masked : bool;
   refresh : bool;
+  overlap_credit : float;
 }
 
 type result = {
@@ -30,16 +31,34 @@ let pipe_conflict ~machine:_ instrs i =
   | Some p ->
       List.exists (fun j -> j != i && Pipe.of_instr j = Some p) instrs
 
+(* The pipe of the slowest long operation in a chime: its drain occupies
+   that pipe alone, so only later work on the same pipe must wait for it. *)
+let drain_pipe ~machine longs =
+  let z i =
+    match Instr.vclass_of i with
+    | Some cls -> (Timing.get machine.Machine.timing cls).Timing.z
+    | None -> 0.0
+  in
+  match longs with
+  | [] -> None
+  | i :: rest ->
+      let slowest =
+        List.fold_left (fun a j -> if z j > z a then j else a) i rest
+      in
+      Pipe.of_instr slowest
+
 let chime_cost ~machine ~vl ~all_vector (c : Chime.t) =
   let vlf = float_of_int vl in
   let b = float_of_int (Chime.bubble_sum ~machine c) in
   let zmax = Chime.z_max ~machine c in
   let longs = List.filter (long_z ~machine) c.instrs in
   let only_long = longs <> [] && List.length longs = List.length c.instrs in
+  let excess = (zmax -. 1.0) *. vlf in
   if only_long then
     (* drain chime: base VL overlaps neighbours, excess remains *)
-    { chime = c; cycles = ((zmax -. 1.0) *. vlf) +. b; masked = true;
-      refresh = false }
+    ( { chime = c; cycles = excess +. b; masked = true; refresh = false;
+        overlap_credit = 0.0 },
+      Option.map (fun p -> (p, excess)) (drain_pipe ~machine longs) )
   else
     let exposed =
       List.exists (fun i -> pipe_conflict ~machine all_vector i) longs
@@ -50,7 +69,14 @@ let chime_cost ~machine ~vl ~all_vector (c : Chime.t) =
     let z =
       if longs <> [] && Chime.has_memory c && not exposed then 1.0 else zmax
     in
-    { chime = c; cycles = (z *. vlf) +. b; masked = false; refresh = false }
+    let drain =
+      if z > 1.0 then
+        Option.map (fun p -> (p, excess)) (drain_pipe ~machine longs)
+      else None
+    in
+    ( { chime = c; cycles = (z *. vlf) +. b; masked = false; refresh = false;
+        overlap_credit = 0.0 },
+      drain )
 
 (* Mark chimes belonging to maximal cyclic runs of >= 4 successive memory
    chimes; masked chimes are transparent (skipped) when forming runs. *)
@@ -98,15 +124,84 @@ let mark_refresh chime_costs =
         end)
       chime_costs
 
+(* A long operation's drain occupies only its own pipe: chimes that
+   follow without touching that pipe execute underneath the drain and
+   must not be charged again, while the next same-pipe chime's wait is
+   already covered by the drain charge itself.  Credit each drained
+   excess against the following non-conflicting chimes, which makes the
+   charge for the span [max(drain, sum of overlapped chimes)] instead of
+   their sum.  The walk wraps past the loop end because the bound models
+   the steady state: the functional units persist across strips, so the
+   next strip's chimes stream under this strip's drain exactly as the
+   current strip's do.  Soundness against the MAC side of the hierarchy
+   is preserved regardless of wrapping — each drain credits at most its
+   own excess and each chime absorbs at most its own cost, so the total
+   never falls below the Z=1 cost of the schedule. *)
+let apply_drain_overlap ~factor costs drains =
+  let arr = Array.of_list (List.combine costs drains) in
+  let n = Array.length arr in
+  let eff =
+    Array.map
+      (fun ((cc : chime_cost), _) ->
+        cc.cycles *. if cc.refresh then factor else 1.0)
+      arr
+  in
+  let credit = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    match snd arr.(i) with
+    | None -> ()
+    | Some (pipe, excess) ->
+        (* same-pipe chimes wait out the drain and are charged in full
+           (the drain charge covers their wait); every other chime whose
+           pipe gate was satisfied during the drain streams underneath it
+           or tailgates the waiter, so its serial charge is credited
+           until the drain capacity runs out *)
+        let remaining = ref excess in
+        let k = ref 1 in
+        while !k < n && !remaining > 0.0 do
+          let j = (i + !k) mod n in
+          let (cc : chime_cost), _ = arr.(j) in
+          let uses_pipe =
+            List.exists
+              (fun ins -> Pipe.of_instr ins = Some pipe)
+              cc.chime.Chime.instrs
+          in
+          if not uses_pipe then begin
+            let avail = eff.(j) -. credit.(j) in
+            let c = Float.min avail !remaining in
+            if c > 0.0 then begin
+              credit.(j) <- credit.(j) +. c;
+              remaining := !remaining -. c
+            end
+          end;
+          incr k
+        done
+  done;
+  List.mapi
+    (fun i ((cc : chime_cost), _) -> { cc with overlap_credit = credit.(i) })
+    (Array.to_list arr)
+
+let memory_paced ~machine chimes =
+  chimes <> []
+  && List.for_all
+       (fun (c : Chime.t) ->
+         Chime.has_memory c
+         || (c.instrs <> [] && List.for_all (long_z ~machine) c.instrs))
+       chimes
+
 let compute_of_chimes ~machine ~vl instrs chimes =
   let all_vector = List.filter Instr.is_vector instrs in
-  let costs = List.map (chime_cost ~machine ~vl ~all_vector) chimes in
-  let costs = mark_refresh costs in
+  let costed = List.map (chime_cost ~machine ~vl ~all_vector) chimes in
+  let costs = mark_refresh (List.map fst costed) in
+  let drains = List.map snd costed in
   let factor = Mem_params.refresh_factor machine.Machine.memory in
+  let costs = apply_drain_overlap ~factor costs drains in
   let cycles =
     List.fold_left
       (fun acc (cc : chime_cost) ->
-        acc +. (cc.cycles *. if cc.refresh then factor else 1.0))
+        acc
+        +. (cc.cycles *. if cc.refresh then factor else 1.0)
+        -. cc.overlap_credit)
       0.0 costs
   in
   { cycles; cpl = cycles /. float_of_int vl; vl; chimes = costs }
@@ -130,10 +225,13 @@ let pp fmt r =
     r.cycles r.vl r.cpl;
   List.iteri
     (fun i (cc : chime_cost) ->
-      Format.fprintf fmt "@,chime %d: %.2f cycles%s%s (%d instrs)" (i + 1)
+      Format.fprintf fmt "@,chime %d: %.2f cycles%s%s%s (%d instrs)" (i + 1)
         cc.cycles
         (if cc.masked then ", masked" else "")
         (if cc.refresh then ", refresh" else "")
+        (if cc.overlap_credit > 0.0 then
+           Printf.sprintf ", -%.2f drain overlap" cc.overlap_credit
+         else "")
         (Chime.instr_count cc.chime))
     r.chimes;
   Format.fprintf fmt "@]"

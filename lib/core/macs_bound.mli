@@ -21,13 +21,27 @@ open Convex_machine
     - a chime consisting only of long-Z instructions contributes just its
       excess [(Z_max - 1) * VL + sum B], its base VL overlapping
       neighbouring chimes; such masked chimes are transparent to the
-      refresh-run computation. *)
+      refresh-run computation;
+    - a charged drain occupies only the long operation's own pipe, so the
+      chimes that follow without touching that pipe (wrapping past the
+      loop end: the units persist across strips) execute underneath it
+      (or tailgate the chime that does wait — their own pipe gates were
+      satisfied while the drain ran): their cost is credited back against
+      the outstanding drain capacity ([overlap_credit]).  Chimes that use
+      the drained pipe are charged in full, their wait being exactly what
+      the drain charge covers.  Without the credit the bound
+      double-counts the overlapped chimes and can exceed the simulator
+      (found by fuzzing: sqrt chimes followed by independent loads,
+      merges, and chained stores). *)
 
 type chime_cost = {
   chime : Chime.t;
   cycles : float;  (** before refresh adjustment *)
   masked : bool;  (** excess-only contribution *)
   refresh : bool;  (** belongs to a refresh-penalised run *)
+  overlap_credit : float;
+      (** cycles (after refresh adjustment) hidden under an earlier
+          chime's long-operation drain; subtracted from the total *)
 }
 
 type result = {
@@ -36,6 +50,18 @@ type result = {
   vl : int;
   chimes : chime_cost list;
 }
+
+val memory_paced : machine:Machine.t -> Chime.t list -> bool
+(** Domain predicate for comparing chime-serialized bounds against the
+    simulator: true when every chime either contains a vector memory
+    operation or consists only of long-Z operations (a masked drain,
+    which charges no VL base).  On such loops each chime occupies the
+    single memory pipe for a full VL, so chime serialization is a true
+    lower bound on machine time — the regime the paper validates MACS
+    against.  A loop with a memoryless Z=1 chime can beat the serialized
+    bound: chaining streams that chime underneath its neighbours (found
+    by fuzzing: two negations in a row between loads run 4 chimes of
+    model time in 3 chimes of machine time). *)
 
 val compute : ?vl:int -> machine:Machine.t -> Instr.t list -> result
 (** Bound for one iteration of the given loop body.  [vl] defaults to the

@@ -89,43 +89,82 @@ let check_row ?(tol = default_tol) ~machine (c : Fcc.Compiler.t) ~measured_cpl
       let ma = Counts.ma_of_kernel c.Fcc.Compiler.kernel in
       let mac = Counts.mac_of_program c.Fcc.Compiler.program in
       let macs = Macs_bound.compute ~machine body in
+      (* the measured link holds only on memory-paced loops, where chime
+         serialization equals memory-pipe occupancy; a memoryless Z=1
+         chime streams under its neighbours in the simulator and the
+         serialized bound can exceed the machine (the model-internal
+         links M <= MA <= MAC <= MACS hold regardless) *)
+      let measured_link =
+        if
+          Macs_bound.memory_paced ~machine
+            (Chime.partition ~machine body)
+        then [ ("measured", measured_cpl) ]
+        else []
+      in
       chain_violations ~tol ~subject
-        [
-          ( "M",
-            t_m ~machine ~flops:c.Fcc.Compiler.flops_per_iteration );
-          ("MA", float_of_int (Counts.t_bound ma));
-          ("MAC", float_of_int (Counts.t_bound mac));
-          ("MACS", macs.Macs_bound.cpl);
-          ("measured", measured_cpl);
-        ]
+        ([
+           ( "M",
+             t_m ~machine ~flops:c.Fcc.Compiler.flops_per_iteration );
+           ("MA", float_of_int (Counts.t_bound ma));
+           ("MAC", float_of_int (Counts.t_bound mac));
+           ("MACS", macs.Macs_bound.cpl);
+         ]
+        @ measured_link)
 
-(* The scheduler never adds chimes and ideal reuse never adds loads: the
-   MACS bound must not grow as the compiler improves. *)
+(* "The scheduler never adds chimes and ideal reuse never adds loads" —
+   two premises, checked directly, because neither implies full-bound
+   monotonicity.  Fuzzing found both gaps: a long operation's drain flips
+   between masked and exposed accounting as the scheduler changes which
+   instructions share its chime, moving the full-model bound by +-VL for
+   schedules of identical real cost, so the packed comparison is made on
+   a drain-neutral machine (Z clamped to 1) where the bound reduces to
+   chime count, bubbles, and refresh; and removing a reused load can
+   perturb the greedy chime partition into one MORE chime, so ideal's
+   bound is not comparable to v61's at all — only its instruction count
+   is. *)
 let check_opt_monotonicity ?(tol = default_tol) ~machine (k : Lfk.Kernel.t) =
   if not (Fcc.Vectorizer.vectorizable k) then []
   else
-    let bound opt =
-      let c = Fcc.Compiler.compile ~opt k in
-      (Macs_bound.compute ~machine (Program.body c.Fcc.Compiler.program))
-        .Macs_bound.cpl
+    let body opt =
+      Program.body (Fcc.Compiler.compile ~opt k).Fcc.Compiler.program
     in
-    let v61 = bound Fcc.Opt_level.v61 in
-    let check name better =
-      if leq ~tol better v61 then []
+    let v61 = body Fcc.Opt_level.v61 in
+    let neutral = Machine.no_long_z machine in
+    let bound b = (Macs_bound.compute ~machine:neutral b).Macs_bound.cpl in
+    let b61 = bound v61 in
+    let bp = bound (body Fcc.Opt_level.packed) in
+    let packed_viol =
+      if leq ~tol bp b61 then []
       else
         [
           {
-            invariant = Printf.sprintf "MACS(%s)<=MACS(v61)" name;
+            invariant = "MACS(packed)<=MACS(v61)";
             subject = k.Lfk.Kernel.name;
             detail =
               Printf.sprintf
-                "%s schedule bounds at %.4f CPL, above v61's %.4f CPL" name
-                better v61;
+                "packed schedule bounds at %.4f CPL, above v61's %.4f CPL \
+                 (drain-neutral comparison)"
+                bp b61;
           };
         ]
     in
-    check "packed" (bound Fcc.Opt_level.packed)
-    @ check "ideal" (bound Fcc.Opt_level.ideal)
+    let count b = List.length (List.filter Instr.is_vector b) in
+    let ni = count (body Fcc.Opt_level.ideal) and n61 = count v61 in
+    let ideal_viol =
+      if ni <= n61 then []
+      else
+        [
+          {
+            invariant = "instrs(ideal)<=instrs(v61)";
+            subject = k.Lfk.Kernel.name;
+            detail =
+              Printf.sprintf
+                "ideal reuse emits %d vector instructions, above v61's %d"
+                ni n61;
+          };
+        ]
+    in
+    packed_viol @ ideal_viol
 
 (* Faulted-never-faster, on the one workload where it is provable: a
    single unit-stride load stream issues its accesses in order down one

@@ -46,12 +46,18 @@ val check_row :
   violation list
 (** Simulation-free variant for per-suite-row supervision: recomputes the
     bounds from the compilation result and checks them against one
-    measured CPL.  Scalar-mode rows check [scalar-bound <= measured]. *)
+    measured CPL.  Scalar-mode rows check [scalar-bound <= measured].
+    The [MACS <= measured] link is checked only on memory-paced loops
+    ({!Macs_bound.memory_paced}); elsewhere the chime-serialized bound
+    legitimately exceeds the chained machine and only the model-internal
+    links are enforced. *)
 
 val check_opt_monotonicity :
   ?tol:float -> machine:Machine.t -> Lfk.Kernel.t -> violation list
 (** The MACS bound must not grow as the compiler improves: packed
-    scheduling and ideal reuse both bound at or below v61. *)
+    scheduling and ideal reuse both bound at or below v61.  Compared on
+    the drain-neutral machine ([Machine.no_long_z]) because drain
+    masking flips with chime composition and is not schedule-monotone. *)
 
 val check_faulted_never_faster :
   ?tol:float -> ?machine:Machine.t -> Convex_fault.Fault.t -> violation list

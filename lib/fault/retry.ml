@@ -8,7 +8,8 @@ let retryable = function
      run would spend the same allowance again.  Oracle violations and the
      static failures are deterministic — retrying cannot change them. *)
   | Macs_error.Dependence_cycle _ | Macs_error.Parse_failure _
-  | Macs_error.Budget_exceeded _ | Macs_error.Oracle_violation _ ->
+  | Macs_error.Budget_exceeded _ | Macs_error.Oracle_violation _
+  | Macs_error.Interp_fault _ ->
       false
 
 let with_relaxed_guard f =

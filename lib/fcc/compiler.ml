@@ -249,6 +249,28 @@ let load_ref ctx (r : Ir.ref_) =
       end
       else OV (reg, true)
 
+(* A [let] bound directly to a load must own its register: when the ref
+   stays cached for later uses, load a private copy instead of aliasing
+   the cache (whose owner frees the register on its own schedule).  The
+   cache is never stale — stores invalidate it per array — so the reload
+   reads the identical value. *)
+let load_ref_owned ctx (r : Ir.ref_) =
+  let key = ctx.keyer r in
+  let remaining =
+    match Hashtbl.find_opt ctx.ref_remaining key with
+    | Some c -> c
+    | None -> invalid_arg "Compiler: load of uncounted reference"
+  in
+  decr remaining;
+  match Hashtbl.find_opt ctx.ref_reg key with
+  | Some reg when !remaining = 0 ->
+      Hashtbl.remove ctx.ref_reg key;
+      OV (reg, true)
+  | Some _ | None ->
+      let reg = alloc ctx in
+      emit ctx (Instr.Vld { dst = Reg.v reg; src = mem_of key });
+      OV (reg, true)
+
 let vsrc_of = function
   | OV (r, _) -> Instr.Vr (Reg.v r)
   | OS r -> Instr.Sr (Reg.s r)
@@ -423,7 +445,10 @@ let gen_stmt ctx plan stmt =
   match stmt with
   | Ir.Let (name, e) -> (
       prepare e;
-      match gen ctx e with
+      let o =
+        match e with Ir.Load r -> load_ref_owned ctx r | _ -> gen ctx e
+      in
+      match o with
       | OV (reg, freeable) ->
           if not freeable then
             invalid_arg
@@ -499,6 +524,51 @@ let gen_stmt ctx plan stmt =
 (* Oops: gen_stmt Store keeps the register reserved if the value was a
    cached load whose uses were not exhausted; that path frees through the
    normal refcounting when remaining uses are consumed. *)
+
+(* Copy propagation: a [let] whose right-hand side is a bare temp or
+   scalar binds no new value, only a new name for a register some other
+   owner frees — lowering it directly would alias a shared register.
+   Substitute such bindings into their uses and drop them (rebinding is
+   rejected by [Ir.validate], so substitution cannot capture). *)
+let copy_propagate (body : Ir.stmt list) =
+  let env = Hashtbl.create 4 in
+  let rec subst (e : Ir.expr) : Ir.expr =
+    match e with
+    | Ir.Temp n -> (
+        match Hashtbl.find_opt env n with Some e' -> e' | None -> e)
+    | Ir.Load _ | Ir.Scalar _ -> e
+    | Ir.Add (a, b) -> Ir.Add (subst a, subst b)
+    | Ir.Sub (a, b) -> Ir.Sub (subst a, subst b)
+    | Ir.Mul (a, b) -> Ir.Mul (subst a, subst b)
+    | Ir.Div (a, b) -> Ir.Div (subst a, subst b)
+    | Ir.Neg a -> Ir.Neg (subst a)
+    | Ir.Sqrt a -> Ir.Sqrt (subst a)
+    | Ir.Gather g -> Ir.Gather { g with index = subst g.index }
+    | Ir.Select s ->
+        Ir.Select
+          {
+            s with
+            a = subst s.a;
+            b = subst s.b;
+            if_true = subst s.if_true;
+            if_false = subst s.if_false;
+          }
+  in
+  List.filter_map
+    (fun stmt ->
+      match stmt with
+      | Ir.Let (name, e) -> (
+          match subst e with
+          | (Ir.Temp _ | Ir.Scalar _) as alias ->
+              Hashtbl.replace env name alias;
+              None
+          | e' -> Some (Ir.Let (name, e')))
+      | Ir.Store (r, e) -> Some (Ir.Store (r, subst e))
+      | Ir.Scatter s ->
+          Some
+            (Ir.Scatter { s with index = subst s.index; value = subst s.value })
+      | Ir.Reduce r -> Some (Ir.Reduce { r with rhs = subst r.rhs }))
+    body
 
 let lower_body (opt : Opt_level.t) scal (k : Kernel.t) =
   let keyer = make_keyer opt k.body in
@@ -773,10 +843,11 @@ let compile ?(opt = Opt_level.v61) ?(force_scalar = false) (k : Kernel.t) =
     if force_scalar || verdict <> Vectorizer.Vectorizable then Job.Scalar
     else Job.Vector
   in
+  let nk = { k with Kernel.body = copy_propagate k.body } in
   let body, name =
     match mode with
     | Job.Vector ->
-        let lowered = lower_body opt scal k in
+        let lowered = lower_body opt scal nk in
         let lowered =
           match opt.Opt_level.schedule with
           | Opt_level.Packed -> (
@@ -792,7 +863,7 @@ let compile ?(opt = Opt_level.v61) ?(force_scalar = false) (k : Kernel.t) =
         in
         ( (Instr.Smovvl :: lowered) @ loop_tail,
           Printf.sprintf "%s.%s" k.name (Opt_level.name opt) )
-    | Job.Scalar -> (lower_scalar_body scal k @ loop_tail, k.name ^ ".scalar")
+    | Job.Scalar -> (lower_scalar_body scal nk @ loop_tail, k.name ^ ".scalar")
   in
   let program = Program.make ~name body in
   let outer =
@@ -844,7 +915,7 @@ let run_interp (c : t) =
     invalid_arg "Compiler.run_interp: optimization level is not functional";
   let store = initial_store c in
   let sregs = List.map (fun (i, v) -> (i, v)) c.sregs in
-  let (_ : float array) = Interp.run ~sregs ~store c.job in
+  let (_ : float array) = Interp.run_exn ~sregs ~store c.job in
   store
 
 let listing (c : t) = Asm.print_program c.program

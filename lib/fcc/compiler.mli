@@ -48,7 +48,9 @@ val initial_sregs : t -> (int * float) list
 val run_interp : t -> Store.t
 (** Convenience: build the initial store, interpret the job, return the
     mutated store.  Raises [Invalid_argument] for non-functional
-    optimization levels (see {!Opt_level.functional}). *)
+    optimization levels (see {!Opt_level.functional}) and
+    [Macs_util.Macs_error.Error (Interp_fault _)] if the compiled code
+    faults — compiler output over its own kernel's storage never should. *)
 
 val listing : t -> string
 (** Assembly listing of the strip body. *)

@@ -93,6 +93,11 @@ let build_deps instrs =
   let vreaders = Array.make Reg.vector_count [] in
   let swriter = Array.make Reg.scalar_count (-1) in
   let sreaders = Array.make Reg.scalar_count [] in
+  (* the vector-merge mask: Vcmp writes it, Vmerge reads it — an implicit
+     register the pipe model has no name for, but reordering across it is
+     a miscompile *)
+  let mask_writer = ref (-1) in
+  let mask_readers = ref [] in
   (* last memory op per array touching it with a store involved *)
   let last_store : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let loads_since : (string, int list) Hashtbl.t = Hashtbl.create 8 in
@@ -126,6 +131,16 @@ let build_deps instrs =
         swriter.(x) <- j;
         sreaders.(x) <- [])
       (Instr.writes_s i);
+    (match i with
+    | Instr.Vcmp _ ->
+        if !mask_writer >= 0 then add_edge !mask_writer j;
+        List.iter (fun r -> add_edge r j) !mask_readers;
+        mask_writer := j;
+        mask_readers := []
+    | Instr.Vmerge _ ->
+        if !mask_writer >= 0 then add_edge !mask_writer j;
+        mask_readers := j :: !mask_readers
+    | _ -> ());
     (match Instr.mem_ref i with
     | Some m ->
         let is_store =
@@ -238,7 +253,18 @@ let pack ~machine instrs =
             in
             emit choice
     done;
-    match !error with Some e -> Error e | None -> Ok (List.rev !out)
+    match !error with
+    | Some e -> Error e
+    | None ->
+        (* greedy list scheduling is not monotone: on rare dependence
+           shapes the packed order opens more chimes than the lowering
+           order it started from.  Keep the input order in that case, so
+           "packing never adds chimes" holds by construction (the bound
+           oracle checks it). *)
+        let packed = List.rev !out in
+        if chime_count ~machine packed > chime_count ~machine instrs then
+          Ok instrs
+        else Ok packed
   end
 
 let pack_exn ~machine instrs = Macs_error.of_result (pack ~machine instrs)

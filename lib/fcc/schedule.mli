@@ -22,8 +22,11 @@ val pack :
   Instr.t list ->
   (Instr.t list, Macs_util.Macs_error.t) Stdlib.result
 (** Reorder a loop body.  On success the result is a permutation of the
-    input.  A body whose dependence graph is cyclic (possible only for
-    hand-built bodies; lowering never produces one) yields
+    input that opens no more chimes than the input does (when the greedy
+    schedule comes out worse — possible on rare dependence shapes — the
+    input order is returned unchanged).  A body whose dependence graph is
+    cyclic (possible only for hand-built bodies; lowering never produces
+    one) yields
     [Error (Dependence_cycle _)]; a scheduler that stops making progress
     yields [Error (Livelock _)].  Callers that cannot proceed unpacked
     should fall back to the original order. *)

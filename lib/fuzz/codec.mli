@@ -1,0 +1,14 @@
+(** Textual kernel serialisation for the fuzz corpus.
+
+    A compact s-expression syntax covering every {!Lfk.Kernel.t} field,
+    so shrunk counterexamples persist and replay byte-for-byte: scalar
+    values print as OCaml hexadecimal float literals ([%h]), making the
+    round trip exact.
+
+    [of_string (to_string k) = Ok k] for every kernel (structural
+    equality). *)
+
+val to_string : Lfk.Kernel.t -> string
+
+val of_string : string -> (Lfk.Kernel.t, string) result
+(** [Error] carries a human-readable position-free message. *)

@@ -1,0 +1,279 @@
+module Machine = Convex_machine.Machine
+module Fault = Convex_fault.Fault
+module Budget = Convex_harness.Budget
+module Clock = Macs_util.Clock
+module Table = Macs_util.Table
+
+type config = {
+  seed : int;
+  count : int;
+  machine : Machine.t;
+  machine_name : string;
+  fault_plans : Fault.t list;
+  budget : Budget.t;
+  max_wall_s : float option;
+  corpus : string option;
+  sim : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    count = 500;
+    machine = Machine.c240;
+    machine_name = "c240";
+    fault_plans = List.map (fun (_, _, p) -> p) Fault.presets;
+    budget = Budget.make ~max_wall_s:10.0 ();
+    max_wall_s = None;
+    corpus = None;
+    sim = true;
+  }
+
+type violation = {
+  case_index : int;
+  case_label : string;
+  check : string;
+  detail : string;
+  kind : Corpus.kind;
+  payload : string;
+  shrink_steps : int;
+  shrink_tried : int;
+}
+
+type summary = {
+  cases_requested : int;
+  cases_run : int;
+  by_label : (string * int) list;
+  checks_passed : int;
+  checks_skipped : int;
+  violations : violation list;
+  probe_violations : (string * string) list;
+  wall_s : float;
+  stopped_early : bool;
+}
+
+let clean s = s.violations = [] && s.probe_violations = []
+
+(* ---- one case ---- *)
+
+type tally = { mutable passed : int; mutable skipped : int }
+
+let tally_checks tally (report : Oracle_stack.report) =
+  List.iter
+    (fun (c : Oracle_stack.check) ->
+      match c.outcome with
+      | Oracle_stack.Pass -> tally.passed <- tally.passed + 1
+      | Oracle_stack.Skip _ -> tally.skipped <- tally.skipped + 1
+      | Oracle_stack.Fail _ -> ())
+    report.checks
+
+let first_failure (report : Oracle_stack.report) =
+  match Oracle_stack.failures report with
+  | [] -> None
+  | c :: _ -> (
+      match c.outcome with
+      | Oracle_stack.Fail d -> Some (c.id, d)
+      | _ -> None)
+
+let kernel_case cfg ~index ~label ~plans tally k =
+  let report =
+    Oracle_stack.run ~machine:cfg.machine ~sim:cfg.sim ~fault_plans:plans
+      ~budget:cfg.budget k
+  in
+  tally_checks tally report;
+  match first_failure report with
+  | None -> None
+  | Some (check, detail) ->
+      (* shrink under the cheapest predicate that can still see the
+         failure: functional checks replay without the simulator *)
+      let needs_sim = Corpus.check_needs_sim check in
+      let still_fails k' =
+        let r =
+          Oracle_stack.run ~machine:cfg.machine ~sim:(cfg.sim && needs_sim)
+            ~fault_plans:(if needs_sim then plans else [])
+            ~budget:cfg.budget k'
+        in
+        Oracle_stack.fails r ~id:check
+      in
+      let shrunk = Shrink.kernel ~still_fails k in
+      Some
+        {
+          case_index = index;
+          case_label = label;
+          check;
+          detail;
+          kind = Corpus.Kernel_case;
+          payload = Codec.to_string shrunk.Shrink.value;
+          shrink_steps = shrunk.Shrink.steps;
+          shrink_tried = shrunk.Shrink.tried;
+        }
+
+let asm_case ~index tally p =
+  let check = Oracle_stack.check_program p in
+  match check.Oracle_stack.outcome with
+  | Oracle_stack.Pass ->
+      tally.passed <- tally.passed + 1;
+      None
+  | Oracle_stack.Skip _ ->
+      tally.skipped <- tally.skipped + 1;
+      None
+  | Oracle_stack.Fail detail ->
+      let still_fails p' =
+        match (Oracle_stack.check_program p').Oracle_stack.outcome with
+        | Oracle_stack.Fail _ -> true
+        | _ -> false
+      in
+      let shrunk = Shrink.program ~still_fails p in
+      Some
+        {
+          case_index = index;
+          case_label = "asm";
+          check = "asm-roundtrip";
+          detail;
+          kind = Corpus.Asm_case;
+          payload = Convex_isa.Asm.print_program shrunk.Shrink.value;
+          shrink_steps = shrunk.Shrink.steps;
+          shrink_tried = shrunk.Shrink.tried;
+        }
+
+(* ---- the campaign ---- *)
+
+let run ?(progress = fun _ -> ()) cfg =
+  let started = Clock.now () in
+  let tally = { passed = 0; skipped = 0 } in
+  let violations = ref [] in
+  let by_label = Hashtbl.create 4 in
+  let count_label l =
+    Hashtbl.replace by_label l
+      (1 + Option.value ~default:0 (Hashtbl.find_opt by_label l))
+  in
+  let persist v =
+    match cfg.corpus with
+    | None -> ()
+    | Some path ->
+        Corpus.append ~path
+          {
+            Corpus.kind = v.kind;
+            machine = cfg.machine_name;
+            seed = cfg.seed;
+            expect = Corpus.Violation v.check;
+            payload = v.payload;
+          }
+  in
+  let over_budget () =
+    match cfg.max_wall_s with
+    | None -> false
+    | Some cap -> Clock.elapsed ~since:started > cap
+  in
+  let cases_run = ref 0 in
+  let stopped_early = ref false in
+  (let i = ref 0 in
+   while !i < cfg.count && not !stopped_early do
+     if over_budget () then stopped_early := true
+     else begin
+       let index = !i in
+       progress index;
+       let rand = Random.State.make [| cfg.seed; index |] in
+       let mix = Random.State.int rand 10 in
+       let outcome =
+         if mix < 2 then begin
+           count_label "asm";
+           asm_case ~index tally
+             (QCheck.Gen.generate1 ~rand Gen.program_gen)
+         end
+         else begin
+           let label, profile =
+             if mix < 4 then ("scalar", Gen.Scalar_profile)
+             else ("vector", Gen.Vector_profile)
+           in
+           count_label label;
+           let plans =
+             match cfg.fault_plans with
+             | [] -> []
+             | ps -> [ List.nth ps (index mod List.length ps) ]
+           in
+           kernel_case cfg ~index ~label ~plans tally
+             (QCheck.Gen.generate1 ~rand (Gen.fuzz_kernel_gen profile))
+         end
+       in
+       (match outcome with
+       | None -> ()
+       | Some v ->
+           persist v;
+           violations := v :: !violations);
+       incr cases_run
+     end;
+     incr i
+   done);
+  (* the probe-based fault oracle, once per plan *)
+  let probe_violations =
+    if not cfg.sim then []
+    else
+      List.concat_map
+        (fun plan ->
+          match
+            Macs.Oracle.check_faulted_never_faster ~machine:cfg.machine plan
+          with
+          | vs ->
+              List.map
+                (fun (v : Macs.Oracle.violation) ->
+                  (plan.Fault.name, v.invariant ^ ": " ^ v.detail))
+                vs
+          | exception e ->
+              [ (plan.Fault.name, "exception: " ^ Printexc.to_string e) ])
+        cfg.fault_plans
+  in
+  {
+    cases_requested = cfg.count;
+    cases_run = !cases_run;
+    by_label =
+      List.sort compare
+        (Hashtbl.fold (fun l n acc -> (l, n) :: acc) by_label []);
+    checks_passed = tally.passed;
+    checks_skipped = tally.skipped;
+    violations = List.rev !violations;
+    probe_violations;
+    wall_s = Clock.elapsed ~since:started;
+    stopped_early = !stopped_early;
+  }
+
+(* ---- rendering ---- *)
+
+let render_summary (s : summary) =
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right ]
+      ~header:[ "fuzz campaign"; "" ] ()
+  in
+  Table.add_row t
+    [ "cases run";
+      Printf.sprintf "%d/%d%s" s.cases_run s.cases_requested
+        (if s.stopped_early then " (wall budget)" else "") ];
+  List.iter
+    (fun (label, n) ->
+      Table.add_row t [ "  " ^ label; Table.cell_int n ])
+    s.by_label;
+  Table.add_row t [ "checks passed"; Table.cell_int s.checks_passed ];
+  Table.add_row t [ "checks skipped"; Table.cell_int s.checks_skipped ];
+  Table.add_separator t;
+  Table.add_row t
+    [ "violations"; Table.cell_int (List.length s.violations) ];
+  Table.add_row t
+    [ "probe violations"; Table.cell_int (List.length s.probe_violations) ];
+  Table.add_row t [ "wall seconds"; Table.cell_float ~decimals:1 s.wall_s ];
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Table.render t);
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n\nVIOLATION case %d (%s) check %s\n  %s\n  shrunk in %d steps \
+            (%d candidates tried):\n%s"
+           v.case_index v.case_label v.check v.detail v.shrink_steps
+           v.shrink_tried v.payload))
+    s.violations;
+  List.iter
+    (fun (plan, detail) ->
+      Buffer.add_string b
+        (Printf.sprintf "\n\nPROBE VIOLATION under plan %s\n  %s" plan detail))
+    s.probe_violations;
+  Buffer.contents b

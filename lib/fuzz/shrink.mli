@@ -1,0 +1,37 @@
+(** Greedy deterministic shrinking of failing fuzz cases.
+
+    Given a predicate ("does the check that failed on the original still
+    fail?"), repeatedly tries simplifying rewrites in a fixed order —
+    aggressive first (keep one statement, drop a statement, collapse to
+    one segment), then fine-grained (replace an expression node by one
+    of its children, unit strides, zero offsets, unit scalar values,
+    shorter segments, a trivial accumulator, pruned declarations) — and
+    accepts the first rewrite that still validates and still fails.
+    Fixpoint: stops when no rewrite is accepted (or after [max_steps]
+    accepted steps, a safety bound).
+
+    Everything is deterministic: same kernel + same predicate → same
+    shrunk kernel, which is what makes corpus entries reproducible. *)
+
+type 'a result = {
+  value : 'a;  (** the shrunk case *)
+  steps : int;  (** rewrites accepted *)
+  tried : int;  (** candidates evaluated (predicate calls) *)
+}
+
+val kernel :
+  ?max_steps:int ->
+  still_fails:(Lfk.Kernel.t -> bool) ->
+  Lfk.Kernel.t ->
+  Lfk.Kernel.t result
+(** [max_steps] defaults to 200.  Candidates failing
+    {!Lfk.Kernel.validate} are discarded before the predicate runs, so
+    the predicate only ever sees well-formed kernels. *)
+
+val program :
+  ?max_steps:int ->
+  still_fails:(Convex_isa.Program.t -> bool) ->
+  Convex_isa.Program.t ->
+  Convex_isa.Program.t result
+(** Instruction-list shrinking for assembly round-trip failures:
+    keep-one and drop-one rewrites over the body. *)

@@ -1,3 +1,45 @@
+(* Sop names are free-form strings; spaces and commas would be split by
+   the tokenizer and ';' would be taken for a comment, so the printer
+   percent-escapes exactly those (plus '%' itself) and the parser undoes
+   it.  Every other instruction operand is grammar-restricted. *)
+let escape_name name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | ',' | ';' | '%' | '\t' | '\n' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+let unescape_name tok =
+  let buf = Buffer.create (String.length tok) in
+  let n = String.length tok in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if tok.[i] = '%' then
+      if i + 2 < n then
+        match (hex tok.[i + 1], hex tok.[i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            go (i + 3)
+        | _ -> Error (Printf.sprintf "bad escape in %S" tok)
+      else Error (Printf.sprintf "truncated escape in %S" tok)
+    else begin
+      Buffer.add_char buf tok.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
 let print_mem (m : Instr.mem) =
   Printf.sprintf "%s[%d:%d]" m.array m.offset m.stride
 
@@ -58,7 +100,7 @@ let print_instr (i : Instr.t) =
       in
       Printf.sprintf "%s   %s, %s, %s" mn (Reg.show_s dst) (Reg.show_s src1)
         (Reg.show_s src2)
-  | Sop { name } -> Printf.sprintf "sop    %s" name
+  | Sop { name } -> Printf.sprintf "sop    %s" (escape_name name)
   | Smovvl -> "smovvl"
   | Sbranch -> "sbr"
 
@@ -224,7 +266,10 @@ let parse_instr line =
           let* src1 = parse_s src1 in
           let* src2 = parse_s src2 in
           Ok (Instr.Sbin { op; dst; src1; src2 })
-      | "sop", [ name ] -> Ok (Instr.Sop { name })
+      | "sop", [ name ] ->
+          let* name = unescape_name name in
+          Ok (Instr.Sop { name })
+      | "sop", [] -> Ok (Instr.Sop { name = "" })
       | "smovvl", [] -> Ok Instr.Smovvl
       | "sbr", [] -> Ok Instr.Sbranch
       | _ ->

@@ -24,7 +24,11 @@
     v}
 
     The printer and parser round-trip: [parse_program (print_program p)]
-    yields a program equal to [p]. *)
+    yields a program equal to [p].  [sop] pseudo-instruction names are
+    free-form, so the printer percent-escapes the characters the line
+    grammar claims (space, tab, newline, [','], [';'], ['%']) and the
+    parser unescapes them; [sop] with no operand parses as the empty
+    name. *)
 
 val print_instr : Instr.t -> string
 

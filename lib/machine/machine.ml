@@ -38,6 +38,13 @@ let no_refresh m =
     memory = Mem_params.no_refresh m.memory;
   }
 
+let no_long_z m =
+  {
+    m with
+    name = m.name ^ " (Z=1)";
+    timing = Timing.map (fun _ p -> { p with z = 1.0 }) m.timing;
+  }
+
 let ideal =
   let m = no_refresh (no_bubbles c240) in
   {
@@ -90,3 +97,23 @@ let equal m1 m2 =
   && m1.pair_write_limit = m2.pair_write_limit
   && m1.scalar_cycles = m2.scalar_cycles
   && m1.scalar_memory_cycles = m2.scalar_memory_cycles
+
+let presets =
+  [
+    ("c240", c240);
+    ("ideal", ideal);
+    ("no-bubbles", no_bubbles c240);
+    ("no-refresh", no_refresh c240);
+    ("dual-lsu", dual_load_store c240);
+    ("broken-hierarchy", broken_hierarchy c240);
+  ]
+
+let preset_names = List.map fst presets
+
+let of_name n =
+  match List.assoc_opt n presets with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown machine %S (one of: %s)" n
+           (String.concat ", " preset_names))

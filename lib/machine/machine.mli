@@ -42,6 +42,14 @@ val no_bubbles : t -> t
 
 val no_refresh : t -> t
 
+val no_long_z : t -> t
+(** Same machine with every vector class clamped to Z = 1: long-operation
+    drains (divide, square root, reductions) cost no more than any other
+    chime member.  Bubbles and refresh are kept.  Used by the bound oracle
+    to compare schedules on a drain-neutral footing, since drain
+    masking/exposure flips with chime composition and is therefore not
+    monotone under rescheduling. *)
+
 val dual_load_store : t -> t
 (** Hypothetical variant with two memory pipes (used by an ablation bench;
     only the simulator and chime partitioner consult the pipe counts). *)
@@ -64,3 +72,13 @@ val pipe_count : t -> Pipe.t -> int
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
+
+val presets : (string * t) list
+(** Every named preset, [c240] variants included, keyed by the spelling
+    the CLI and the fuzz corpus store ("c240", "ideal", "no-bubbles",
+    "no-refresh", "dual-lsu", "broken-hierarchy"). *)
+
+val preset_names : string list
+
+val of_name : string -> (t, string) result
+(** Look a preset up by name; the error message lists the valid names. *)

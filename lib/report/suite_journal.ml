@@ -83,6 +83,8 @@ let fields_of_error (e : Macs_error.t) =
         ("invariant", invariant);
         ("detail", detail);
       ]
+  | Interp_fault { site; detail } ->
+      [ ("err", "interp-fault"); ("site", site); ("detail", detail) ]
 
 let error_of_record r : (Macs_error.t, string) result =
   let* kind = str_field r "err" in
@@ -116,6 +118,9 @@ let error_of_record r : (Macs_error.t, string) result =
       let* invariant = str_field r "invariant" in
       let* detail = str_field r "detail" in
       Ok (Macs_error.oracle_violation ~site ~invariant detail)
+  | "interp-fault" ->
+      let* detail = str_field r "detail" in
+      Ok (Macs_error.interp_fault ~site detail)
   | k -> Error (Printf.sprintf "unknown error kind %S" k)
 
 let config_record c =

@@ -15,6 +15,7 @@ type t =
       spent : float;
     }
   | Oracle_violation of { site : string; invariant : string; detail : string }
+  | Interp_fault of { site : string; detail : string }
 
 exception Error of t
 
@@ -35,6 +36,8 @@ let budget_exceeded ~site ~resource ~budget ~spent =
 let oracle_violation ~site ~invariant detail =
   Oracle_violation { site; invariant; detail }
 
+let interp_fault ~site detail = Interp_fault { site; detail }
+
 let kind = function
   | Livelock _ -> "livelock"
   | Stall_out _ -> "stall-out"
@@ -42,6 +45,7 @@ let kind = function
   | Parse_failure _ -> "parse-failure"
   | Budget_exceeded _ -> "budget-exceeded"
   | Oracle_violation _ -> "oracle-violation"
+  | Interp_fault _ -> "interp-fault"
 
 let site = function
   | Livelock { site; _ }
@@ -49,7 +53,8 @@ let site = function
   | Dependence_cycle { site; _ }
   | Parse_failure { site; _ }
   | Budget_exceeded { site; _ }
-  | Oracle_violation { site; _ } ->
+  | Oracle_violation { site; _ }
+  | Interp_fault { site; _ } ->
       site
 
 let to_string = function
@@ -80,6 +85,8 @@ let to_string = function
   | Oracle_violation { site; invariant; detail } ->
       Printf.sprintf "oracle violation at %s: invariant %S broken: %s" site
         invariant detail
+  | Interp_fault { site; detail } ->
+      Printf.sprintf "interpreter fault at %s: %s" site detail
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 let raise_error t = raise (Error t)

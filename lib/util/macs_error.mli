@@ -46,6 +46,12 @@ type t =
       (** The bound-oracle cross-validation found a hierarchy invariant
           broken (e.g. a MACS bound above the measured time): either the
           machine preset is inconsistent or the models have drifted. *)
+  | Interp_fault of { site : string; detail : string }
+      (** The functional interpreter hit a semantic fault — an
+          out-of-bounds array access or a reference to an undeclared
+          array.  On compiled output this means the compiler emitted code
+          that does not match its kernel's storage, exactly the kind of
+          divergence the differential fuzzer exists to catch. *)
 
 exception Error of t
 
@@ -58,11 +64,12 @@ val budget_exceeded :
   site:string -> resource:string -> budget:float -> spent:float -> t
 
 val oracle_violation : site:string -> invariant:string -> string -> t
+val interp_fault : site:string -> string -> t
 
 val kind : t -> string
 (** Short machine-readable tag: ["livelock"], ["stall-out"],
     ["dependence-cycle"], ["parse-failure"], ["budget-exceeded"],
-    ["oracle-violation"]. *)
+    ["oracle-violation"], ["interp-fault"]. *)
 
 val site : t -> string
 

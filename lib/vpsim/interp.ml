@@ -1,10 +1,16 @@
 open Convex_isa
 
-exception Error of string
+(* Internal unwind carrying the typed fault; caught at the entry points so
+   the stepping code below stays direct-style. *)
+exception Fault of Macs_util.Macs_error.t
 
-let errorf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let errorf fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Fault (Macs_util.Macs_error.interp_fault ~site:"Interp.run" s)))
+    fmt
 
-let run ?(max_vl = 128) ?(sregs = []) ~store (job : Job.t) =
+let run_raw ?(max_vl = 128) ?(sregs = []) ~store (job : Job.t) =
   let sr = Array.make Reg.scalar_count 0.0 in
   List.iter
     (fun (i, x) ->
@@ -147,3 +153,9 @@ let run ?(max_vl = 128) ?(sregs = []) ~store (job : Job.t) =
       List.iter (exec seg ~base_index:seg.base ~vl:pro_vl) seg.epilogue)
     job.segments;
   sr
+
+let run ?max_vl ?sregs ~store job =
+  try Ok (run_raw ?max_vl ?sregs ~store job) with Fault e -> Error e
+
+let run_exn ?max_vl ?sregs ~store job =
+  Macs_util.Macs_error.of_result (run ?max_vl ?sregs ~store job)

@@ -344,7 +344,7 @@ let test_scatter_interp () =
     ]
   in
   let job = Job.make ~name:"sc" ~body ~segments:[ Job.segment 4 ] () in
-  let (_ : float array) = Interp.run ~store job in
+  let (_ : float array) = Interp.run_exn ~store job in
   let a = Store.get store "A" in
   Alcotest.(check (float 1e-12)) "a[5]" 10.0 a.(5);
   Alcotest.(check (float 1e-12)) "a[2]" 20.0 a.(2);
@@ -415,7 +415,7 @@ let test_merge_interp_semantics () =
     ]
   in
   let job = Job.make ~name:"m" ~body ~segments:[ Job.segment 4 ] () in
-  let (_ : float array) = Interp.run ~sregs:[ (0, 3.0) ] ~store job in
+  let (_ : float array) = Interp.run_exn ~sregs:[ (0, 3.0) ] ~store job in
   Alcotest.(check (list (float 1e-12))) "min(x,3)" [ 1.0; 3.0; 2.0; 3.0 ]
     (Array.to_list (Store.get store "Y"))
 

@@ -276,7 +276,7 @@ let test_invalid_kernel_rejected () =
 
 let prop_random_kernels_compile_and_run =
   QCheck.Test.make ~count:150 ~name:"random kernels compile and interpret"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let c = Fcc.Compiler.compile k in
       let store = Fcc.Compiler.run_interp c in
       let out = Convex_vpsim.Store.get store "OUT" in
@@ -284,7 +284,7 @@ let prop_random_kernels_compile_and_run =
 
 let prop_compiled_flops_match_ir =
   QCheck.Test.make ~count:150 ~name:"compiled FP ops = IR flops"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let c = Fcc.Compiler.compile k in
       let fp =
         Program.count Instr.is_vector_fp c.Fcc.Compiler.program
@@ -296,7 +296,7 @@ let prop_compiled_flops_match_ir =
 
 let prop_writes_before_reads =
   QCheck.Test.make ~count:150 ~name:"no vector register read before write"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let c = Fcc.Compiler.compile k in
       let p = Program.make ~name:"x" (Program.body c.program) in
       Program.live_in_v p = [])

@@ -242,14 +242,14 @@ let test_program_rename () =
 
 let prop_asm_roundtrip =
   QCheck.Test.make ~count:500 ~name:"asm print/parse round trip"
-    Test_gen.instr_arbitrary (fun i ->
+    Convex_fuzz.Gen.instr_arbitrary (fun i ->
       match Asm.parse_instr (Asm.print_instr i) with
       | Ok i' -> Instr.equal i i'
       | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
 
 let prop_program_roundtrip =
   QCheck.Test.make ~count:200 ~name:"program print/parse round trip"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let p = Program.make ~name:"qp" body in
       match Asm.parse_program (Asm.print_program p) with
       | Ok p' -> Program.equal p p'
@@ -257,12 +257,12 @@ let prop_program_roundtrip =
 
 let prop_vector_xor_scalar =
   QCheck.Test.make ~count:500 ~name:"instruction is vector xor scalar"
-    Test_gen.instr_arbitrary (fun i ->
+    Convex_fuzz.Gen.instr_arbitrary (fun i ->
       Instr.is_vector i <> Instr.is_scalar i)
 
 let prop_writes_at_most_one =
   QCheck.Test.make ~count:500 ~name:"at most one vector write per instr"
-    Test_gen.instr_arbitrary (fun i -> List.length (Instr.writes_v i) <= 1)
+    Convex_fuzz.Gen.instr_arbitrary (fun i -> List.length (Instr.writes_v i) <= 1)
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest

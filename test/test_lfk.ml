@@ -258,19 +258,19 @@ let test_output_arrays () =
 let prop_ma_le_refs =
   QCheck.Test.make ~count:200
     ~name:"MA load count never exceeds distinct refs"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       Ir.ma_load_count k.Kernel.body
       <= List.length (Ir.load_refs k.Kernel.body))
 
 let prop_flops_sum =
   QCheck.Test.make ~count:200 ~name:"flops = f_a + f_m"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let fa, fm = Ir.op_counts k.Kernel.body in
       Ir.flops k.Kernel.body = fa + fm)
 
 let prop_generated_kernels_validate =
   QCheck.Test.make ~count:200 ~name:"generated kernels validate"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       match Kernel.validate k with Ok () -> true | Error _ -> false)
 
 let qcheck_tests =

@@ -455,14 +455,14 @@ let test_diagnose_nonempty_and_report () =
 
 let prop_partition_covers =
   QCheck.Test.make ~count:300 ~name:"chime partition covers vector instrs"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let chimes = Macs.Chime.partition ~machine body in
       let flattened = List.concat_map (fun c -> c.Macs.Chime.instrs) chimes in
       List.equal Instr.equal flattened (List.filter Instr.is_vector body))
 
 let prop_partition_legal =
   QCheck.Test.make ~count:300 ~name:"every chime respects pipe/pair limits"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let chimes = Macs.Chime.partition ~machine body in
       List.for_all
         (fun c ->
@@ -488,14 +488,14 @@ let prop_partition_legal =
 
 let prop_bound_positive_when_vector =
   QCheck.Test.make ~count:300 ~name:"bound positive iff vector work"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let r = Macs.Macs_bound.compute ~machine body in
       let has_vector = List.exists Instr.is_vector body in
       if has_vector then r.cycles > 0.0 else r.cycles = 0.0)
 
 let prop_macs_at_least_mac =
   QCheck.Test.make ~count:200 ~name:"MACS >= MAC on compiled kernels"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let c = Fcc.Compiler.compile k in
       let body = Program.body c.Fcc.Compiler.program in
       let mac = Macs.Counts.t_bound (Macs.Counts.mac_of_instrs body) in
@@ -511,7 +511,7 @@ let prop_sim_at_least_mac_bound =
      the integration suite). *)
   QCheck.Test.make ~count:120
     ~name:"simulated steady state >= MAC bound"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       (* long single segment so start-up amortizes *)
       let k = { k with Lfk.Kernel.segments = [ { base = 0; length = 448; shifts = [] } ] } in
       let c = Fcc.Compiler.compile k in
@@ -526,7 +526,7 @@ let prop_sim_at_least_mac_bound =
 
 let prop_ax_partition_of_vector_work =
   QCheck.Test.make ~count:200 ~name:"A and X split the vector instructions"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let c = Fcc.Compiler.compile k in
       let count_vec j =
         List.length

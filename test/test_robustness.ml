@@ -47,7 +47,7 @@ let prop_parse_mutated_listing =
 
 let prop_pack_permutation_random =
   QCheck.Test.make ~count:200 ~name:"pack is a permutation (random kernels)"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let body =
         Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
       in
@@ -57,7 +57,7 @@ let prop_pack_permutation_random =
 
 let prop_pack_never_more_chimes =
   QCheck.Test.make ~count:200 ~name:"pack never adds chimes (random kernels)"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let body =
         Program.body (Fcc.Compiler.compile k).Fcc.Compiler.program
       in
@@ -68,7 +68,7 @@ let prop_pack_never_more_chimes =
 let prop_packed_functional_random =
   QCheck.Test.make ~count:150
     ~name:"packed compilation is functionally equivalent (random kernels)"
-    Test_gen.kernel_arbitrary (fun k ->
+    Convex_fuzz.Gen.kernel_arbitrary (fun k ->
       let plain = Fcc.Compiler.run_interp (Fcc.Compiler.compile k) in
       let packed =
         Fcc.Compiler.run_interp
@@ -82,13 +82,13 @@ let prop_packed_functional_random =
 let prop_interp_strip_invariant =
   QCheck.Test.make ~count:150
     ~name:"interpreter results independent of strip size"
-    QCheck.(pair Test_gen.kernel_arbitrary (QCheck.make Gen.(int_range 1 128)))
+    QCheck.(pair Convex_fuzz.Gen.kernel_arbitrary (QCheck.make Gen.(int_range 1 128)))
     (fun (k, strip) ->
       let c = Fcc.Compiler.compile k in
       let run max_vl =
         let store = Fcc.Compiler.initial_store c in
         let (_ : float array) =
-          Interp.run ~max_vl ~sregs:c.Fcc.Compiler.sregs ~store
+          Interp.run_exn ~max_vl ~sregs:c.Fcc.Compiler.sregs ~store
             c.Fcc.Compiler.job
         in
         Store.get store "OUT"
@@ -103,7 +103,7 @@ let test_interp_strip_invariance_reductions () =
   let run max_vl =
     let store = Fcc.Compiler.initial_store c in
     let (_ : float array) =
-      Interp.run ~max_vl ~sregs:c.sregs ~store c.job
+      Interp.run_exn ~max_vl ~sregs:c.sregs ~store c.job
     in
     (Store.get store "Q").(0)
   in
@@ -185,7 +185,7 @@ let test_sim_prologue_epilogue_timing () =
 (* (a) plans are pure data: the same plan gives the same faulted run *)
 let prop_fault_deterministic =
   QCheck.Test.make ~count:60 ~name:"faulted runs are deterministic"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let p = plan "seed=41;degrade-bank=0*3;jitter=9;port-spike=16/300" in
       let run () =
         match
@@ -223,7 +223,7 @@ let prop_fault_never_faster_streaming =
 (* (c) no fault plan makes the simulator raise: failure is a value *)
 let prop_fault_no_raise =
   QCheck.Test.make ~count:60 ~name:"fault plans never make Sim.run raise"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let job = Job.make ~name:"nr" ~body ~segments:[ Job.segment 150 ] () in
       List.for_all
         (fun spec ->

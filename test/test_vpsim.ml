@@ -284,7 +284,7 @@ let test_interp_triad () =
     ]
   in
   let j = Job.make ~name:"triad" ~body ~segments:[ Job.segment 200 ] () in
-  let _ = Interp.run ~sregs:[ (0, 3.0) ] ~store j in
+  let _ = Interp.run_exn ~sregs:[ (0, 3.0) ] ~store j in
   let a = Store.get store "A" in
   for i = 0 to 199 do
     Alcotest.(check (float 1e-12))
@@ -306,7 +306,7 @@ let test_interp_vsum_scalar_chain () =
     ]
   in
   let j = Job.make ~name:"sum" ~body ~segments:[ Job.segment 200 ] () in
-  let sregs = Interp.run ~store j in
+  let sregs = Interp.run_exn ~store j in
   (* two strips of 128 and 72 ones accumulate to 200 *)
   Alcotest.(check (float 1e-9)) "sum 200" 200.0 sregs.(7)
 
@@ -314,10 +314,12 @@ let test_interp_bounds_check () =
   let store = Store.of_sizes [ ("B", 10) ] in
   let body = [ Instr.Vld { dst = v 0; src = mem "B" 0 1 } ] in
   let j = Job.make ~name:"oob" ~body ~segments:[ Job.segment 20 ] () in
-  (try
-     ignore (Interp.run ~store j);
-     Alcotest.fail "expected out-of-bounds error"
-   with Interp.Error _ -> ())
+  (match Interp.run ~store j with
+  | Ok _ -> Alcotest.fail "expected out-of-bounds error"
+  | Error (Macs_util.Macs_error.Interp_fault _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Interp_fault, got %s"
+        (Macs_util.Macs_error.to_string e))
 
 let test_interp_neg_div () =
   let store = Store.of_sizes [ ("B", 130); ("A", 130) ] in
@@ -331,7 +333,7 @@ let test_interp_neg_div () =
     ]
   in
   let j = Job.make ~name:"nd" ~body ~segments:[ Job.segment 64 ] () in
-  ignore (Interp.run ~store j);
+  ignore (Interp.run_exn ~store j);
   Alcotest.(check (float 1e-12)) "4 / -4" (-1.0) (Store.get store "A").(5)
 
 let test_interp_segment_shifts () =
@@ -348,7 +350,7 @@ let test_interp_segment_shifts () =
     Job.make ~name:"shift" ~body
       ~segments:[ Job.segment ~shifts:[ ("B", 10) ] 4 ] ()
   in
-  ignore (Interp.run ~store j);
+  ignore (Interp.run_exn ~store j);
   Alcotest.(check (float 1e-12)) "shifted read" 10.0 (Store.get store "A").(0)
 
 (* ---- Store ---- *)
@@ -391,14 +393,14 @@ let test_measure_guard () =
 
 let prop_sim_terminates_and_positive =
   QCheck.Test.make ~count:100 ~name:"random bodies simulate to finite time"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let j = Job.make ~name:"q" ~body ~segments:[ Job.segment 64 ] () in
       let r = Sim.run_exn ~machine:no_refresh j in
       Float.is_finite r.Sim.stats.cycles && r.Sim.stats.cycles >= 0.0)
 
 let prop_sim_monotone_in_elements =
   QCheck.Test.make ~count:60 ~name:"more elements never take less time"
-    Test_gen.vector_body_arbitrary (fun body ->
+    Convex_fuzz.Gen.vector_body_arbitrary (fun body ->
       let run n =
         (Sim.run_exn ~machine:no_refresh
            (Job.make ~name:"q" ~body ~segments:[ Job.segment n ] ()))
@@ -408,7 +410,7 @@ let prop_sim_monotone_in_elements =
 
 let prop_sim_deterministic =
   QCheck.Test.make ~count:60 ~name:"simulation is deterministic"
-    Test_gen.body_arbitrary (fun body ->
+    Convex_fuzz.Gen.body_arbitrary (fun body ->
       let run () =
         (Sim.run_exn (Job.make ~name:"q" ~body ~segments:[ Job.segment 200 ] ()))
           .Sim.stats.cycles
