@@ -672,6 +672,101 @@ let fuzz_cmd =
       const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
       $ no_sim $ plans)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (default 42).")
+  in
+  let cells =
+    Arg.(
+      value & opt int 24
+      & info [ "cells" ] ~docv:"K"
+          ~doc:"Number of campaign cells (default 24).")
+  in
+  let machine_name =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map (fun n -> (n, n)) Convex_machine.Machine.preset_names))
+          "c240"
+      & info [ "machine" ] ~docv:"MACHINE"
+          ~doc:
+            (Printf.sprintf "Machine preset: %s."
+               (String.concat ", " Convex_machine.Machine.preset_names)))
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint every completed cell to this journal so a killed \
+             campaign can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay completed cells from the journal (repairing a torn \
+             tail first) and run only the missing ones.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Per-cell simulated-cycle watchdog.  Cycles, not wall-clock, so \
+             the campaign journal stays byte-identical across hosts.")
+  in
+  let run seed cells machine_name journal resume budget =
+    let machine = Result.get_ok (machine_of_name machine_name) in
+    if resume && journal = None then (
+      prerr_endline "macs_cli chaos: --resume needs --journal";
+      exit 2);
+    let cfg =
+      {
+        Convex_chaos.Campaign.default_config with
+        seed;
+        cells;
+        machine;
+        machine_name;
+        journal;
+        resume;
+        budget =
+          (match budget with
+          | Some c -> Convex_harness.Budget.make ~max_cycles:c ()
+          | None -> Convex_harness.Budget.none);
+      }
+    in
+    let progress i =
+      if i > 0 && i mod 10 = 0 then (
+        Printf.eprintf "chaos: cell %d/%d\n" i cells;
+        flush stderr)
+    in
+    match Convex_chaos.Campaign.run ~progress cfg with
+    | Error e ->
+        prerr_endline ("macs_cli chaos: " ^ e);
+        exit 2
+    | Ok outcome ->
+        print_string (Convex_chaos.Campaign.render outcome);
+        if not (Convex_chaos.Campaign.clean outcome) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos campaign over the fault space: seeded cells of fault preset \
+          mutations (half transient, with explicit begin/end windows) x LFK \
+          kernels, each checked against recovery SLOs — typed degradation \
+          only, checksum intact, bound oracle, faulted-never-faster, and \
+          post-window convergence back to healthy-tail timing; violations \
+          are delta-debugged to a minimal fault plan; exits non-zero on any \
+          violation")
+    Term.(const run $ seed $ cells $ machine_name $ journal $ resume $ budget)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -689,5 +784,5 @@ let () =
             analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
             calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
             advise_cmd; suite_cmd; resilience_cmd; bound_cmd; trace_cmd;
-            validate_cmd; report_cmd; fuzz_cmd;
+            validate_cmd; report_cmd; fuzz_cmd; chaos_cmd;
           ]))

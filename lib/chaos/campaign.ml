@@ -1,0 +1,399 @@
+open Convex_machine
+module Fault = Convex_fault.Fault
+module Macs_error = Macs_util.Macs_error
+module Journal = Macs_util.Journal
+module Budget = Convex_harness.Budget
+module Suite = Macs_report.Suite
+
+(* ---- configuration ---- *)
+
+type config = {
+  seed : int;
+  cells : int;
+  machine : Machine.t;
+  machine_name : string;
+  opt : Fcc.Opt_level.t;
+  budget : Budget.t;
+      (** per-cell watchdog; keep it to cycles for a byte-identical
+          journal — wall-clock budgets trade determinism for safety *)
+  guard : int;
+  journal : string option;
+  resume : bool;
+  max_shrink_steps : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    cells = 24;
+    machine = Machine.c240;
+    machine_name = "c240";
+    opt = Fcc.Opt_level.v61;
+    budget = Budget.none;
+    guard = Suite.faulted_guard;
+    journal = None;
+    resume = false;
+    max_shrink_steps = 200;
+  }
+
+(* ---- cells ---- *)
+
+type cell = { index : int; kernel : Lfk.Kernel.t; plan : Fault.t }
+
+(* Each cell's plan is a pure function of (campaign seed, cell index):
+   resuming, re-running, and delta-debugging all regenerate exactly the
+   same fault space. *)
+let cell_of_index cfg i =
+  let kernels = Suite.kernels () in
+  let kernel = List.nth kernels (i mod List.length kernels) in
+  let rand = Random.State.make [| cfg.seed; i; 0xC7A05 |] in
+  { index = i; kernel; plan = Fault_space.sample rand ~index:i }
+
+type verdict =
+  | Pass
+  | Degraded of { kind : string; detail : string }
+  | Violation of { check : string; detail : string }
+
+type cell_result = {
+  cell : cell;
+  verdict : verdict;
+  cpl : float option;
+  minimized : string option;  (** minimal reproducing plan, as a spec *)
+  shrink_steps : int;
+  shrink_tried : int;
+}
+
+type t = {
+  config : config;
+  results : cell_result list;
+  resumed : int;  (** cells replayed from the journal *)
+  executed : int;  (** cells actually run this invocation *)
+}
+
+let violations t =
+  List.filter
+    (fun r -> match r.verdict with Violation _ -> true | _ -> false)
+    t.results
+
+let clean t = violations t = []
+
+(* ---- running one cell ---- *)
+
+let flatten (v : Slo.verdict) =
+  match v with
+  | Slo.Pass -> Pass
+  | Slo.Degraded e ->
+      Degraded { kind = Macs_error.kind e; detail = Macs_error.to_string e }
+  | Slo.Violation { check; detail } -> Violation { check; detail }
+
+module Plan_shrink = Convex_fuzz.Shrink.Make (struct
+  type t = Fault.t
+
+  let equal = Fault.equal_behaviour
+  let valid p = Fault.validate p = Ok ()
+  let candidates = Fault_space.shrink_candidates
+end)
+
+let run_cell cfg (cell : cell) =
+  let site = Printf.sprintf "Chaos[%d:%s]" cell.index cell.kernel.Lfk.Kernel.name in
+  let check plan =
+    let watchdog = Budget.watchdog ~site cfg.budget in
+    Slo.check_cell ?watchdog ~machine:cfg.machine ~opt:cfg.opt ~guard:cfg.guard
+      plan cell.kernel
+  in
+  let outcome = check cell.plan in
+  match outcome.Slo.verdict with
+  | Slo.Violation { check = check0; _ } ->
+      (* delta-debug the plan: which clauses does this violation actually
+         need?  The predicate re-runs the whole cell under the candidate
+         plan and demands the same check fail. *)
+      let still_fails plan' =
+        match (check plan').Slo.verdict with
+        | Slo.Violation { check = c; _ } -> c = check0
+        | _ -> false
+      in
+      let shrunk =
+        Plan_shrink.shrink ~max_steps:cfg.max_shrink_steps ~still_fails
+          cell.plan
+      in
+      {
+        cell;
+        verdict = flatten outcome.Slo.verdict;
+        cpl = outcome.Slo.cpl;
+        minimized = Some (Fault.to_spec shrunk.Convex_fuzz.Shrink.value);
+        shrink_steps = shrunk.Convex_fuzz.Shrink.steps;
+        shrink_tried = shrunk.Convex_fuzz.Shrink.tried;
+      }
+  | v ->
+      {
+        cell;
+        verdict = flatten v;
+        cpl = outcome.Slo.cpl;
+        minimized = None;
+        shrink_steps = 0;
+        shrink_tried = 0;
+      }
+
+(* ---- journal codec ---- *)
+
+let format = "macs-chaos-campaign"
+let ( let* ) = Result.bind
+
+let str_field r k = Journal.field_err r k
+
+let int_field r k =
+  let* s = Journal.field_err r k in
+  match Journal.get_int s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S: bad int %S" k s)
+
+let config_record cfg =
+  {
+    Journal.tag = "config";
+    fields =
+      [
+        ("seed", Journal.put_int cfg.seed);
+        ("cells", Journal.put_int cfg.cells);
+        ("machine", cfg.machine_name);
+        ("opt", Fcc.Opt_level.name cfg.opt);
+        ("guard", Journal.put_int cfg.guard);
+        ("budget", Budget.to_string cfg.budget);
+        ("shrink", Journal.put_int cfg.max_shrink_steps);
+      ];
+  }
+
+(* Resuming under a different configuration would splice incompatible
+   cells into one log; refuse rather than guess. *)
+let config_matches cfg r =
+  let want =
+    List.filter (fun (k, _) -> k <> "budget") (config_record cfg).Journal.fields
+  in
+  List.for_all (fun (k, v) -> Journal.field r k = Some v) want
+
+let record_of_result (r : cell_result) =
+  let base =
+    [
+      ("index", Journal.put_int r.cell.index);
+      ("lfk", Journal.put_int r.cell.kernel.Lfk.Kernel.id);
+      ("name", r.cell.plan.Fault.name);
+      ("plan", Fault.to_spec r.cell.plan);
+    ]
+  in
+  let verdict =
+    match r.verdict with
+    | Pass -> [ ("verdict", "pass") ]
+    | Degraded { kind; detail } ->
+        [ ("verdict", "degraded"); ("kind", kind); ("detail", detail) ]
+    | Violation { check; detail } ->
+        [ ("verdict", "violation"); ("check", check); ("detail", detail) ]
+  in
+  let cpl =
+    match r.cpl with
+    | Some c -> [ ("cpl", Journal.put_float c) ]
+    | None -> []
+  in
+  let min =
+    match r.minimized with
+    | Some spec ->
+        [
+          ("min", spec);
+          ("min_steps", Journal.put_int r.shrink_steps);
+          ("min_tried", Journal.put_int r.shrink_tried);
+        ]
+    | None -> []
+  in
+  { Journal.tag = "cell"; fields = base @ verdict @ cpl @ min }
+
+let result_of_record cfg r : (cell_result, string) result =
+  if r.Journal.tag <> "cell" then
+    Error (Printf.sprintf "expected cell record, got %S" r.Journal.tag)
+  else
+    let* index = int_field r "index" in
+    if index < 0 || index >= cfg.cells then
+      Error (Printf.sprintf "cell index %d outside campaign [0, %d)" index cfg.cells)
+    else
+      let cell = cell_of_index cfg index in
+      let* lfk = int_field r "lfk" in
+      let* plan_spec = str_field r "plan" in
+      if lfk <> cell.kernel.Lfk.Kernel.id then
+        Error
+          (Printf.sprintf "cell %d: journal ran LFK%d, campaign generates LFK%d"
+             index lfk cell.kernel.Lfk.Kernel.id)
+      else if plan_spec <> Fault.to_spec cell.plan then
+        Error
+          (Printf.sprintf
+             "cell %d: journal plan %S differs from the generated %S" index
+             plan_spec (Fault.to_spec cell.plan))
+      else
+        let* verdict_tag = str_field r "verdict" in
+        let* verdict =
+          match verdict_tag with
+          | "pass" -> Ok Pass
+          | "degraded" ->
+              let* kind = str_field r "kind" in
+              let* detail = str_field r "detail" in
+              Ok (Degraded { kind; detail })
+          | "violation" ->
+              let* check = str_field r "check" in
+              let* detail = str_field r "detail" in
+              Ok (Violation { check; detail })
+          | v -> Error (Printf.sprintf "unknown verdict %S" v)
+        in
+        let cpl = Option.bind (Journal.field r "cpl") Journal.get_float in
+        let minimized = Journal.field r "min" in
+        let opt_int k =
+          Option.value ~default:0
+            (Option.bind (Journal.field r k) Journal.get_int)
+        in
+        Ok
+          {
+            cell;
+            verdict;
+            cpl;
+            minimized;
+            shrink_steps = opt_int "min_steps";
+            shrink_tried = opt_int "min_tried";
+          }
+
+(* ---- the campaign loop ---- *)
+
+let load_completed cfg path =
+  let* () = Journal.repair ~path ~format in
+  let* records = Journal.load ~path ~format in
+  match records with
+  | [] -> Error "journal holds no config record"
+  | cfg_rec :: rest ->
+      if cfg_rec.Journal.tag <> "config" then
+        Error (Printf.sprintf "expected config record, got %S" cfg_rec.Journal.tag)
+      else if not (config_matches cfg cfg_rec) then
+        Error
+          "journal was written by a different campaign configuration \
+           (seed/cells/machine/opt/guard mismatch)"
+      else
+        let tbl = Hashtbl.create 64 in
+        let* () =
+          List.fold_left
+            (fun acc r ->
+              let* () = acc in
+              let* result = result_of_record cfg r in
+              Hashtbl.replace tbl result.cell.index result;
+              Ok ())
+            (Ok ()) rest
+        in
+        Ok tbl
+
+let run ?(progress = fun _ -> ()) cfg =
+  let completed =
+    match cfg.journal with
+    | Some path when cfg.resume && Sys.file_exists path ->
+        load_completed cfg path
+    | Some path ->
+        Journal.create ~path ~format [ config_record cfg ];
+        Ok (Hashtbl.create 0)
+    | None -> Ok (Hashtbl.create 0)
+  in
+  let* completed = completed in
+  let append result =
+    match cfg.journal with
+    | Some path -> Journal.append ~path (record_of_result result)
+    | None -> ()
+  in
+  let resumed = ref 0 and executed = ref 0 in
+  let results =
+    List.init cfg.cells (fun i ->
+        match Hashtbl.find_opt completed i with
+        | Some r ->
+            incr resumed;
+            r
+        | None ->
+            let r = run_cell cfg (cell_of_index cfg i) in
+            incr executed;
+            append r;
+            progress i;
+            r)
+  in
+  Ok { config = cfg; results; resumed = !resumed; executed = !executed }
+
+(* ---- rendering ---- *)
+
+let matrix t =
+  let rows =
+    List.filter
+      (fun name ->
+        List.exists
+          (fun r -> r.cell.kernel.Lfk.Kernel.name = name)
+          t.results)
+      (List.map (fun (k : Lfk.Kernel.t) -> k.name) (Suite.kernels ()))
+  in
+  let cols =
+    List.fold_left
+      (fun acc r ->
+        let f = Fault_space.family_of_name r.cell.plan.Fault.name in
+        if List.mem f acc then acc else acc @ [ f ])
+      [] t.results
+  in
+  let m = Macs_report.Matrix.create ~rows ~cols in
+  List.iter
+    (fun r ->
+      let v =
+        match r.verdict with
+        | Pass -> Macs_report.Matrix.Pass
+        | Degraded _ -> Macs_report.Matrix.Degraded
+        | Violation _ -> Macs_report.Matrix.Violation
+      in
+      Macs_report.Matrix.set m
+        ~row:r.cell.kernel.Lfk.Kernel.name
+        ~col:(Fault_space.family_of_name r.cell.plan.Fault.name)
+        v)
+    t.results;
+  m
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let count p = List.length (List.filter p t.results) in
+  let passed = count (fun r -> r.verdict = Pass) in
+  let degraded =
+    count (fun r -> match r.verdict with Degraded _ -> true | _ -> false)
+  in
+  let viols = violations t in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Chaos campaign: seed %d, %d cells on %s (opt %s, guard %d)\n"
+       t.config.seed t.config.cells t.config.machine_name
+       (Fcc.Opt_level.name t.config.opt)
+       t.config.guard);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  %d pass, %d degraded (typed diagnostics), %d violation%s; %d \
+        replayed from journal, %d executed\n\n"
+       passed degraded (List.length viols)
+       (if List.length viols = 1 then "" else "s")
+       t.resumed t.executed);
+  Buffer.add_string buf
+    (Macs_report.Matrix.render
+       ~title:
+         "Resilience matrix (fault family x kernel; worst verdict: ok < deg \
+          < VIOL)"
+       (matrix t));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      match r.verdict with
+      | Violation { check; detail } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\ncell %d: %s under %S broke %s\n  %s\n  plan: %s\n"
+               r.cell.index r.cell.kernel.Lfk.Kernel.name
+               r.cell.plan.Fault.name check detail
+               (Fault.to_spec r.cell.plan));
+          Option.iter
+            (fun spec ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  minimal plan: %s  (%d shrink steps, %d candidates \
+                    tried)\n"
+                   spec r.shrink_steps r.shrink_tried))
+            r.minimized
+      | _ -> ())
+    viols;
+  Buffer.contents buf

@@ -1,0 +1,97 @@
+open Convex_machine
+module Fault = Convex_fault.Fault
+
+(** The chaos campaign engine: seeded fault-space exploration with
+    journal-backed resume and fault-plan delta-debugging.
+
+    A campaign is a list of {e cells}, each a (kernel, fault plan) pair.
+    Cell [i]'s plan is a pure function of [(seed, i)]
+    ({!Fault_space.sample} over a [Random.State] made from both), and the
+    kernel rotates through the suite's canonical order — so the same
+    seed always explores the same fault space, a violation reproduces
+    from its (seed, index) alone, and a killed campaign resumes from its
+    journal without re-running completed cells.
+
+    Each cell runs under {!Slo.check_cell} with a fresh
+    {!Convex_harness.Budget} watchdog; a violating cell's plan is then
+    delta-debugged with {!Convex_fuzz.Shrink.Make} over
+    {!Fault_space.shrink_candidates}, and the minimal reproducing plan
+    is journaled as a {!Fault.to_spec} one-liner. *)
+
+type config = {
+  seed : int;
+  cells : int;
+  machine : Machine.t;
+  machine_name : string;
+  opt : Fcc.Opt_level.t;
+  budget : Convex_harness.Budget.t;
+      (** per-cell watchdog.  Keep it to [max_cycles] when the journal
+          must be byte-identical across runs: wall-clock budgets can
+          fire at different points on different hosts. *)
+  guard : int;  (** simulator progress guard per cell *)
+  journal : string option;
+  resume : bool;
+  max_shrink_steps : int;
+}
+
+val default_config : config
+(** seed 42, 24 cells, healthy c240 at v61, no budget,
+    {!Macs_report.Suite.faulted_guard}, no journal. *)
+
+type cell = { index : int; kernel : Lfk.Kernel.t; plan : Fault.t }
+
+val cell_of_index : config -> int -> cell
+(** Deterministic: the cell any campaign with this config runs at
+    [index]. *)
+
+type verdict =
+  | Pass
+  | Degraded of { kind : string; detail : string }
+      (** a typed diagnostic ({!Macs_util.Macs_error.kind} and its
+          rendering) — the accepted graceful-degradation outcome *)
+  | Violation of { check : string; detail : string }
+
+type cell_result = {
+  cell : cell;
+  verdict : verdict;
+  cpl : float option;  (** measured CPL when the cell produced a row *)
+  minimized : string option;
+      (** minimal reproducing plan spec, present on violations *)
+  shrink_steps : int;
+  shrink_tried : int;
+}
+
+type t = {
+  config : config;
+  results : cell_result list;
+  resumed : int;  (** cells replayed from the journal *)
+  executed : int;  (** cells actually run this invocation *)
+}
+
+val violations : t -> cell_result list
+val clean : t -> bool
+
+val run_cell : config -> cell -> cell_result
+(** Run one cell and, on violation, delta-debug its plan.  Pure in the
+    cell and config (modulo wall-clock budgets). *)
+
+val format : string
+(** Journal schema name, ["macs-chaos-campaign"]. *)
+
+val run : ?progress:(int -> unit) -> config -> (t, string) result
+(** Run the campaign.  With a journal path: a fresh run writes the
+    config record then appends one cell record per completed cell; with
+    [resume] and an existing file, the journal is first
+    {!Macs_util.Journal.repair}ed (torn tail from a killed writer),
+    replayed — refusing a config mismatch or a record that disagrees
+    with the regenerated cell — and only the missing cells run.
+    [progress] is called with each freshly executed cell index.
+    [Error] means the journal could not be used; the campaign itself
+    never aborts on a cell. *)
+
+val matrix : t -> Macs_report.Matrix.t
+(** Kernel x fault-family grid of worst verdicts. *)
+
+val render : t -> string
+(** Summary, resilience matrix, and one block per violation with the
+    original and minimal plan specs. *)

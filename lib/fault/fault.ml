@@ -1,10 +1,21 @@
 open Convex_machine
 
-type bank_degrade = { bank : int; extra_busy : int }
+type bank_degrade = { bank : int; extra_busy : int } [@@deriving eq]
+
 type bank_stuck = { bank : int; from_cycle : int; until_cycle : int option }
-type scrub = { bank : int; period : int; duration : int }
-type pipe_slow = { pipe : Pipe.t; z_factor : float; extra_startup : int }
-type port_spike = { period : int; duration : int }
+[@@deriving eq]
+
+type scrub = { bank : int; period : int; duration : int } [@@deriving eq]
+
+type pipe_slow = {
+  pipe : Pipe.t; [@equal Pipe.equal]
+  z_factor : float;
+  extra_startup : int;
+}
+[@@deriving eq]
+
+type port_spike = { period : int; duration : int } [@@deriving eq]
+type window = { opens : int; closes : int } [@@deriving eq]
 
 type t = {
   name : string;
@@ -15,6 +26,7 @@ type t = {
   refresh_jitter : int;
   slow_pipes : pipe_slow list;
   port_spikes : port_spike list;
+  window : window option;
 }
 
 let none =
@@ -27,30 +39,42 @@ let none =
     refresh_jitter = 0;
     slow_pipes = [];
     port_spikes = [];
+    window = None;
   }
 
 let is_none t =
   t.degraded = [] && t.stuck = [] && t.scrubs = [] && t.refresh_jitter = 0
   && t.slow_pipes = [] && t.port_spikes = []
 
+(* ---- transient windows ---- *)
+
+let active_at t ~cycle =
+  match t.window with
+  | None -> true
+  | Some w -> cycle >= w.opens && cycle < w.closes
+
 (* ---- queries ---- *)
 
-let bank_extra_busy t ~bank =
-  List.fold_left
-    (fun acc (d : bank_degrade) -> if d.bank = bank then acc + d.extra_busy else acc)
-    0 t.degraded
+let bank_extra_busy t ~bank ~cycle =
+  if not (active_at t ~cycle) then 0
+  else
+    List.fold_left
+      (fun acc (d : bank_degrade) ->
+        if d.bank = bank then acc + d.extra_busy else acc)
+      0 t.degraded
 
 let bank_blocked t ~bank ~cycle =
-  List.exists
-    (fun (s : bank_stuck) ->
-      s.bank = bank && cycle >= s.from_cycle
-      && match s.until_cycle with None -> true | Some u -> cycle < u)
-    t.stuck
-  || List.exists
-       (fun (s : scrub) ->
-         s.bank = bank && s.duration > 0 && s.period > 0
-         && cycle mod s.period >= s.period - s.duration)
-       t.scrubs
+  active_at t ~cycle
+  && (List.exists
+        (fun (s : bank_stuck) ->
+          s.bank = bank && cycle >= s.from_cycle
+          && match s.until_cycle with None -> true | Some u -> cycle < u)
+        t.stuck
+     || List.exists
+          (fun (s : scrub) ->
+            s.bank = bank && s.duration > 0 && s.period > 0
+            && cycle mod s.period >= s.period - s.duration)
+          t.scrubs)
 
 (* splitmix64 finalizer over (seed, k); deterministic and stateless, the
    same construction Contention uses for port steals *)
@@ -67,7 +91,10 @@ let mix seed k =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let refresh_extension t ~period ~cycle =
-  if t.refresh_jitter <= 0 || period <= 0 || period = max_int then 0
+  if
+    t.refresh_jitter <= 0 || period <= 0 || period = max_int
+    || not (active_at t ~cycle)
+  then 0
   else
     let k = cycle / period in
     Int64.to_int
@@ -76,24 +103,32 @@ let refresh_extension t ~period ~cycle =
          (Int64.of_int (t.refresh_jitter + 1)))
 
 let port_blocked t ~cycle =
-  List.exists
-    (fun (s : port_spike) ->
-      s.duration > 0 && s.period > 0
-      && cycle mod s.period >= s.period - s.duration)
-    t.port_spikes
+  active_at t ~cycle
+  && List.exists
+       (fun (s : port_spike) ->
+         s.duration > 0 && s.period > 0
+         && cycle mod s.period >= s.period - s.duration)
+       t.port_spikes
 
-let pipe_z_factor t pipe =
-  List.fold_left
-    (fun acc (p : pipe_slow) ->
-      if Pipe.equal p.pipe pipe then acc *. p.z_factor else acc)
-    1.0 t.slow_pipes
+let pipe_z_factor t ~cycle pipe =
+  if not (active_at t ~cycle) then 1.0
+  else
+    List.fold_left
+      (fun acc (p : pipe_slow) ->
+        if Pipe.equal p.pipe pipe then acc *. p.z_factor else acc)
+      1.0 t.slow_pipes
 
-let pipe_extra_startup t pipe =
-  List.fold_left
-    (fun acc (p : pipe_slow) ->
-      if Pipe.equal p.pipe pipe then acc + p.extra_startup else acc)
-    0 t.slow_pipes
+let pipe_extra_startup t ~cycle pipe =
+  if not (active_at t ~cycle) then 0
+  else
+    List.fold_left
+      (fun acc (p : pipe_slow) ->
+        if Pipe.equal p.pipe pipe then acc + p.extra_startup else acc)
+      0 t.slow_pipes
 
+(* The analytic parallel-mode model is steady-state: a transient window has
+   no "current cycle" there, so the steal fraction deliberately ignores
+   [window] and describes the plan at full strength. *)
 let steal_fraction t =
   let f =
     List.fold_left
@@ -105,6 +140,145 @@ let steal_fraction t =
   in
   Float.min 0.95 f
 
+(* ---- clause decomposition ---- *)
+
+type clause =
+  | Degrade of bank_degrade
+  | Stuck of bank_stuck
+  | Scrub of scrub
+  | Jitter of int
+  | Slow_pipe of pipe_slow
+  | Port_spike of port_spike
+[@@deriving eq]
+
+let clauses t =
+  List.map (fun d -> Degrade d) (List.rev t.degraded)
+  @ List.map (fun s -> Stuck s) (List.rev t.stuck)
+  @ List.map (fun s -> Scrub s) (List.rev t.scrubs)
+  @ (if t.refresh_jitter > 0 then [ Jitter t.refresh_jitter ] else [])
+  @ List.map (fun p -> Slow_pipe p) (List.rev t.slow_pipes)
+  @ List.map (fun s -> Port_spike s) (List.rev t.port_spikes)
+
+(* Injection lists are stored in reverse clause order (the parser
+   prepends), so rebuilding by prepending in clause order reconstructs the
+   same representation: [with_clauses t (clauses t)] is structurally [t]
+   up to a duplicate-jitter collapse. *)
+let with_clauses t cs =
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Degrade d -> { acc with degraded = d :: acc.degraded }
+      | Stuck s -> { acc with stuck = s :: acc.stuck }
+      | Scrub s -> { acc with scrubs = s :: acc.scrubs }
+      | Jitter j -> { acc with refresh_jitter = j }
+      | Slow_pipe p -> { acc with slow_pipes = p :: acc.slow_pipes }
+      | Port_spike s -> { acc with port_spikes = s :: acc.port_spikes })
+    {
+      t with
+      degraded = [];
+      stuck = [];
+      scrubs = [];
+      refresh_jitter = 0;
+      slow_pipes = [];
+      port_spikes = [];
+    }
+    cs
+
+(* Shortest decimal that parses back to exactly the same float: specs stay
+   human-readable ("1.5", not "0x1.8p+0") without losing round-trip
+   fidelity on awkward factors. *)
+let float_token f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+(* ---- validation ---- *)
+
+let bank_limit = Mem_params.c240.Mem_params.banks
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let check b msg = if b then Ok () else Error msg in
+  let each f xs =
+    List.fold_left (fun acc x -> Result.bind acc (fun () -> f x)) (Ok ()) xs
+  in
+  let bank_ok what bank =
+    check
+      (bank >= 0 && bank < bank_limit)
+      (Printf.sprintf "%s: bank %d out of range [0, %d)" what bank bank_limit)
+  in
+  let* () = check (t.seed >= 0) "seed: must be nonnegative" in
+  let* () =
+    each
+      (fun (d : bank_degrade) ->
+        let* () = bank_ok "degrade-bank" d.bank in
+        check (d.extra_busy >= 0)
+          (Printf.sprintf "degrade-bank: negative extra busy %d" d.extra_busy))
+      t.degraded
+  in
+  let* () =
+    each
+      (fun (s : bank_stuck) ->
+        let* () = bank_ok "stuck-bank" s.bank in
+        let* () =
+          check (s.from_cycle >= 0)
+            (Printf.sprintf "stuck-bank: negative from cycle %d" s.from_cycle)
+        in
+        match s.until_cycle with
+        | None -> Ok ()
+        | Some u ->
+            check (u > s.from_cycle)
+              (Printf.sprintf "stuck-bank: empty window %d-%d" s.from_cycle u))
+      t.stuck
+  in
+  let* () =
+    each
+      (fun (s : scrub) ->
+        let* () = bank_ok "scrub" s.bank in
+        check
+          (s.duration > 0 && s.duration < s.period)
+          (Printf.sprintf
+             "scrub: need 0 < duration < period, got duration %d period %d"
+             s.duration s.period))
+      t.scrubs
+  in
+  let* () =
+    check (t.refresh_jitter >= 0)
+      (Printf.sprintf "jitter: negative jitter %d" t.refresh_jitter)
+  in
+  let* () =
+    each
+      (fun (p : pipe_slow) ->
+        let* () =
+          check (p.z_factor >= 1.0)
+            (Printf.sprintf
+               "slow-pipe: factor %s for pipe %s not >= 1 (a fault cannot \
+                speed a pipe up)"
+               (float_token p.z_factor) (Pipe.name p.pipe))
+        in
+        check (p.extra_startup >= 0)
+          (Printf.sprintf "slow-pipe: negative extra startup %d"
+             p.extra_startup))
+      t.slow_pipes
+  in
+  let* () =
+    each
+      (fun (s : port_spike) ->
+        check
+          (s.duration > 0 && s.duration < s.period)
+          (Printf.sprintf
+             "port-spike: need 0 < duration < period, got duration %d period \
+              %d"
+             s.duration s.period))
+      t.port_spikes
+  in
+  match t.window with
+  | None -> Ok ()
+  | Some w ->
+      check
+        (w.opens >= 0 && w.closes > w.opens)
+        (Printf.sprintf "window: empty or negative window %d-%d" w.opens
+           w.closes)
+
 (* ---- parsing ---- *)
 
 let ( let* ) = Result.bind
@@ -113,6 +287,14 @@ let int_clause what tok =
   match int_of_string_opt tok with
   | Some n when n >= 0 -> Ok n
   | _ -> Error (Printf.sprintf "%s: expected nonnegative integer, got %S" what tok)
+
+let bank_clause what tok =
+  match int_of_string_opt tok with
+  | Some bank when bank >= 0 && bank < bank_limit -> Ok bank
+  | Some bank ->
+      Error
+        (Printf.sprintf "%s: bank %d out of range [0, %d)" what bank bank_limit)
+  | None -> Error (Printf.sprintf "%s: expected bank index, got %S" what tok)
 
 let split2 sep what tok =
   match String.index_opt tok sep with
@@ -134,9 +316,14 @@ let parse_clause acc clause =
           Ok { acc with seed }
       | "degrade-bank" ->
           let* b, f = split2 '*' "degrade-bank" v in
-          let* bank = int_clause "degrade-bank" b in
+          let* bank = bank_clause "degrade-bank" b in
           let* factor = int_clause "degrade-bank" f in
-          if factor < 1 then Error "degrade-bank: factor must be >= 1"
+          if factor < 1 then
+            Error
+              (Printf.sprintf
+                 "degrade-bank: factor %d must be >= 1 (a fault cannot speed \
+                  a bank up)"
+                 factor)
           else
             Ok
               {
@@ -145,15 +332,18 @@ let parse_clause acc clause =
                   { bank; extra_busy = (factor - 1) * 8 } :: acc.degraded;
               }
       | "stuck-bank" ->
-          let* b, window = split2 '@' "stuck-bank" v in
-          let* bank = int_clause "stuck-bank" b in
-          let* lo, hi = split2 '-' "stuck-bank" window in
+          let* b, win = split2 '@' "stuck-bank" v in
+          let* bank = bank_clause "stuck-bank" b in
+          let* lo, hi = split2 '-' "stuck-bank" win in
           let* from_cycle = int_clause "stuck-bank" lo in
           let* until_cycle =
             if hi = "" then Ok None
             else
               let* u = int_clause "stuck-bank" hi in
-              if u <= from_cycle then Error "stuck-bank: empty window"
+              if u <= from_cycle then
+                Error
+                  (Printf.sprintf "stuck-bank: empty window %d-%d" from_cycle
+                     u)
               else Ok (Some u)
           in
           Ok
@@ -161,11 +351,14 @@ let parse_clause acc clause =
       | "scrub" ->
           let* b, rest = split2 '/' "scrub" v in
           let* p, d = split2 '*' "scrub" rest in
-          let* bank = int_clause "scrub" b in
+          let* bank = bank_clause "scrub" b in
           let* period = int_clause "scrub" p in
           let* duration = int_clause "scrub" d in
           if period <= 0 || duration <= 0 || duration >= period then
-            Error "scrub: need 0 < duration < period"
+            Error
+              (Printf.sprintf
+                 "scrub: need 0 < duration < period, got duration %d period %d"
+                 duration period)
           else Ok { acc with scrubs = { bank; period; duration } :: acc.scrubs }
       | "jitter" ->
           let* refresh_jitter = int_clause "jitter" v in
@@ -180,7 +373,14 @@ let parse_clause acc clause =
           let* z_factor =
             match float_of_string_opt f with
             | Some z when z >= 1.0 -> Ok z
-            | _ -> Error (Printf.sprintf "slow-pipe: factor %S not >= 1" f)
+            | Some z ->
+                Error
+                  (Printf.sprintf
+                     "slow-pipe: factor %s not >= 1 (a fault cannot speed a \
+                      pipe up)"
+                     (float_token z))
+            | None ->
+                Error (Printf.sprintf "slow-pipe: expected factor, got %S" f)
           in
           Ok
             {
@@ -193,9 +393,24 @@ let parse_clause acc clause =
           let* duration = int_clause "port-spike" d in
           let* period = int_clause "port-spike" p in
           if period <= 0 || duration <= 0 || duration >= period then
-            Error "port-spike: need 0 < duration < period"
+            Error
+              (Printf.sprintf
+                 "port-spike: need 0 < duration < period, got duration %d \
+                  period %d"
+                 duration period)
           else
             Ok { acc with port_spikes = { period; duration } :: acc.port_spikes }
+      | "window" ->
+          let* lo, hi = split2 '-' "window" v in
+          let* opens = int_clause "window" lo in
+          if hi = "" then
+            Error "window: transient windows need an explicit close, LO-HI"
+          else
+            let* closes = int_clause "window" hi in
+            if closes <= opens then
+              Error
+                (Printf.sprintf "window: empty window %d-%d" opens closes)
+            else Ok { acc with window = Some { opens; closes } }
       | other -> Error (Printf.sprintf "unknown fault clause %S" other))
 
 let presets =
@@ -249,19 +464,15 @@ let parse spec =
             (Ok { none with name = spec })
             (String.split_on_char ';' spec)
 
-(* Shortest decimal that parses back to exactly the same float: specs stay
-   human-readable ("1.5", not "0x1.8p+0") without losing round-trip
-   fidelity on awkward factors. *)
-let float_token f =
-  let short = Printf.sprintf "%.12g" f in
-  if float_of_string short = f then short else Printf.sprintf "%.17g" f
-
 (* Clause lists are emitted in reverse stored order because [parse_clause]
    prepends: [parse (to_spec p)] reconstructs each list in [p]'s order. *)
 let to_spec t =
-  let clauses = ref [] in
-  let emit c = clauses := c :: !clauses in
+  let cs = ref [] in
+  let emit c = cs := c :: !cs in
   emit (Printf.sprintf "seed=%d" t.seed);
+  Option.iter
+    (fun w -> emit (Printf.sprintf "window=%d-%d" w.opens w.closes))
+    t.window;
   List.iter
     (fun (d : bank_degrade) ->
       emit
@@ -291,14 +502,31 @@ let to_spec t =
     (fun (s : port_spike) ->
       emit (Printf.sprintf "port-spike=%d/%d" s.duration s.period))
     (List.rev t.port_spikes);
-  String.concat ";" (List.rev !clauses)
+  String.concat ";" (List.rev !cs)
 
-let equal_behaviour a b = { a with name = "" } = { b with name = "" }
+(* Structural, clause-by-clause: polymorphic compare would also work on
+   today's representation but silently breaks the moment a clause type
+   grows a float we print differently, a closure, or an abstract field —
+   the derived equalities keep this honest per clause type. *)
+let equal_behaviour a b =
+  a.seed = b.seed
+  && List.equal equal_bank_degrade a.degraded b.degraded
+  && List.equal equal_bank_stuck a.stuck b.stuck
+  && List.equal equal_scrub a.scrubs b.scrubs
+  && a.refresh_jitter = b.refresh_jitter
+  && List.equal equal_pipe_slow a.slow_pipes b.slow_pipes
+  && List.equal equal_port_spike a.port_spikes b.port_spikes
+  && Option.equal equal_window a.window b.window
 
 let pp fmt t =
   if is_none t then Format.fprintf fmt "no faults"
   else begin
     Format.fprintf fmt "@[<v>fault plan %S (seed %#x):" t.name t.seed;
+    Option.iter
+      (fun w ->
+        Format.fprintf fmt "@,  transient: active only in cycles [%d, %d)"
+          w.opens w.closes)
+      t.window;
     List.iter
       (fun (d : bank_degrade) ->
         Format.fprintf fmt "@,  bank %d: +%d busy cycles" d.bank d.extra_busy)

@@ -10,6 +10,12 @@ open Convex_machine
     the parallel-mode model all accept a plan through an optional [?faults]
     hook; with no plan (or {!none}) they behave exactly as before.
 
+    A plan may additionally carry a global {!window}: outside
+    [\[opens, closes)] every query answers "healthy", so the whole plan is
+    a transient event — the substrate must degrade while the window is
+    open and converge back to healthy-tail timing once it closes, which is
+    exactly what the chaos campaign's recovery SLO checks.
+
     Plans are pure data: every stochastic choice (refresh jitter) is a hash
     of the plan seed and the cycle, so the same plan always produces the
     same faulted run — fault injection composes with the test suite's
@@ -37,6 +43,10 @@ type port_spike = { period : int; duration : int }
 (** Every [period] cycles the CPU's memory port is stolen for [duration]
     consecutive cycles (bursty cross-CPU traffic, DMA, diagnostics). *)
 
+type window = { opens : int; closes : int }
+(** A transient activation window: the plan injects faults only for cycles
+    in [\[opens, closes)]. *)
+
 type t = {
   name : string;
   seed : int;
@@ -48,33 +58,105 @@ type t = {
           amount in [\[0, refresh_jitter\]] cycles *)
   slow_pipes : pipe_slow list;
   port_spikes : port_spike list;
+  window : window option;
+      (** [None] = the plan is permanent; [Some w] = transient, active
+          only inside [w] *)
 }
 
 val none : t
 (** The empty plan: injects nothing. *)
 
 val is_none : t -> bool
+(** True when the plan has no injection clauses.  A transient window around
+    no clauses still injects nothing. *)
+
+(* ---- structural equality (derived per clause type) ---- *)
+
+val equal_bank_degrade : bank_degrade -> bank_degrade -> bool
+val equal_bank_stuck : bank_stuck -> bank_stuck -> bool
+val equal_scrub : scrub -> scrub -> bool
+val equal_pipe_slow : pipe_slow -> pipe_slow -> bool
+val equal_port_spike : port_spike -> port_spike -> bool
+val equal_window : window -> window -> bool
+
+val equal_behaviour : t -> t -> bool
+(** Structural equality ignoring [name] — two plans injecting the same
+    faults are behaviourally interchangeable.  Built from the per-clause
+    structural equalities above (not polymorphic compare).  The
+    [parse]/[to_spec] round-trip property is stated with this equality. *)
 
 (* ---- queries consumed by the injection hooks ---- *)
 
-val bank_extra_busy : t -> bank:int -> int
+val active_at : t -> cycle:int -> bool
+(** Whether the plan injects at [cycle]: always true for permanent plans,
+    the window test for transient ones. *)
+
+val bank_extra_busy : t -> bank:int -> cycle:int -> int
+(** Extra busy cycles bank [bank] pays for an access accepted at [cycle];
+    0 outside a transient window. *)
+
 val bank_blocked : t -> bank:int -> cycle:int -> bool
-(** Stuck windows and ECC-scrub windows combined. *)
+(** Stuck windows and ECC-scrub windows combined, gated by the plan
+    window. *)
 
 val refresh_extension : t -> period:int -> cycle:int -> int
 (** Extra cycles added to the refresh window of the period containing
-    [cycle]; deterministic in [(seed, cycle / period)]. *)
+    [cycle]; deterministic in [(seed, cycle / period)]; 0 outside a
+    transient window. *)
 
 val port_blocked : t -> cycle:int -> bool
-val pipe_z_factor : t -> Pipe.t -> float
-val pipe_extra_startup : t -> Pipe.t -> int
+
+val pipe_z_factor : t -> cycle:int -> Pipe.t -> float
+(** Per-element slowdown multiplier a pipe pays for an element entering at
+    [cycle]; 1 outside a transient window. *)
+
+val pipe_extra_startup : t -> cycle:int -> Pipe.t -> int
+(** Extra startup cycles an instruction issued at [cycle] pays; 0 outside
+    a transient window. *)
 
 val steal_fraction : t -> float
 (** Fraction of cycles lost to port spikes ([duration /. period] summed,
     capped below 1) — the boost {!Convex_vpsim.Parallel} feeds into its
-    calibrated contention model. *)
+    calibrated contention model.  The analytic parallel model is
+    steady-state, so this deliberately ignores any transient [window] and
+    describes the plan at full strength. *)
+
+(* ---- clause decomposition (chaos delta-debugging) ---- *)
+
+type clause =
+  | Degrade of bank_degrade
+  | Stuck of bank_stuck
+  | Scrub of scrub
+  | Jitter of int
+  | Slow_pipe of pipe_slow
+  | Port_spike of port_spike
+      (** One injection clause of a plan, as written in the spec syntax.
+          The global [seed] and [window] are plan-level fields, not
+          clauses. *)
+
+val equal_clause : clause -> clause -> bool
+
+val clauses : t -> clause list
+(** The plan's injection clauses in spec order. *)
+
+val with_clauses : t -> clause list -> t
+(** Replace the plan's injection clauses, keeping [name], [seed] and
+    [window].  [with_clauses t (clauses t)] is behaviourally [t]; a
+    clause list with several [Jitter] entries collapses to the last, like
+    repeated [jitter=] clauses under {!parse}. *)
 
 (* ---- construction ---- *)
+
+val bank_limit : int
+(** Exclusive upper bound on bank indices accepted by {!parse} and
+    {!validate}: the C-240's 32 interleaved banks. *)
+
+val validate : t -> (unit, string) result
+(** Well-formedness of a plan however it was built: banks in
+    [\[0, bank_limit)], scrub/spike [0 < duration < period], slow-pipe
+    factors [>= 1], nonnegative counts, nonempty windows.  Every plan
+    {!parse} accepts validates [Ok]; hand-built or mutated plans are
+    checked before a chaos campaign runs them. *)
 
 val parse : string -> (t, string) result
 (** Parse a fault spec: either a preset name (see {!presets}) or a
@@ -89,8 +171,14 @@ val parse : string -> (t, string) result
     - [slow-pipe=NAME*F] — pipe [NAME] ({!Pipe.of_name}) slowed by float
       factor [F]
     - [port-spike=D/P] — port stolen [D] cycles every [P]
+    - [window=LO-HI] — the whole plan is transient, active only for
+      cycles in [\[LO, HI)]
 
-    Example: ["seed=7;degrade-bank=0*4;jitter=6;slow-pipe=mul*1.5"]. *)
+    Malformed values are rejected with a typed message naming the clause
+    and the constraint: banks outside [\[0, bank_limit)], factors below 1,
+    non-positive periods or durations, empty windows.
+
+    Example: ["seed=7;window=100-600;degrade-bank=0*4;jitter=6"]. *)
 
 val presets : (string * string * t) list
 (** [(name, description, plan)] for the stock scenarios: [bank-degraded],
@@ -104,13 +192,8 @@ val to_spec : t -> string
     {!parse}; plans constructed by hand with a [degrade-bank] extra-busy
     not on the 8-cycle grid or a [slow-pipe] extra-startup are outside the
     clause grammar and print their nearest representable form.  This is
-    the printer the suite journal stores plans with, so a resumed run
-    re-parses the identical plan. *)
-
-val equal_behaviour : t -> t -> bool
-(** Structural equality ignoring [name] — two plans injecting the same
-    faults are behaviourally interchangeable.  The [parse]/[to_spec]
-    round-trip property is stated with this equality. *)
+    the printer the suite and chaos journals store plans with, so a
+    resumed run re-parses the identical plan. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

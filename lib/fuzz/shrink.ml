@@ -229,35 +229,55 @@ let kernel_candidates (k : Kernel.t) =
   tidied @ keep_one @ drop_one @ one_segment @ segment_tweaks @ acc_tweaks
   @ expr_shrinks @ ref_simplifications @ scalar_units @ outer
 
-let greedy ~max_steps ~candidates ~valid ~still_fails start =
-  let tried = ref 0 in
-  let steps = ref 0 in
-  let current = ref start in
-  let progress = ref true in
-  while !progress && !steps < max_steps do
-    progress := false;
-    let rec try_list = function
-      | [] -> ()
-      | c :: rest ->
-          if c <> !current && valid c then begin
-            incr tried;
-            if still_fails c then begin
-              current := c;
-              incr steps;
-              progress := true
+(* ---- the greedy strategy, generalized over the case type ---- *)
+
+module type Case = sig
+  type t
+
+  val equal : t -> t -> bool
+  val valid : t -> bool
+  val candidates : t -> t list
+end
+
+module Make (C : Case) = struct
+  let shrink ?(max_steps = 200) ~still_fails start =
+    let tried = ref 0 in
+    let steps = ref 0 in
+    let current = ref start in
+    let progress = ref true in
+    while !progress && !steps < max_steps do
+      progress := false;
+      let rec try_list = function
+        | [] -> ()
+        | c :: rest ->
+            if (not (C.equal c !current)) && C.valid c then begin
+              incr tried;
+              if still_fails c then begin
+                current := c;
+                incr steps;
+                progress := true
+              end
+              else try_list rest
             end
             else try_list rest
-          end
-          else try_list rest
-    in
-    try_list (candidates !current)
-  done;
-  { value = !current; steps = !steps; tried = !tried }
+      in
+      try_list (C.candidates !current)
+    done;
+    { value = !current; steps = !steps; tried = !tried }
+end
 
-let kernel ?(max_steps = 200) ~still_fails k =
-  greedy ~max_steps ~candidates:kernel_candidates
-    ~valid:(fun c -> Kernel.validate c = Ok ())
-    ~still_fails k
+module Kernel_shrink = Make (struct
+  type t = Kernel.t
+
+  (* kernels are plain data with no abstract fields: structural compare
+     is exact here *)
+  let equal a b = a = b
+  let valid c = Kernel.validate c = Ok ()
+  let candidates = kernel_candidates
+end)
+
+let kernel ?max_steps ~still_fails k =
+  Kernel_shrink.shrink ?max_steps ~still_fails k
 
 let program_candidates (p : Convex_isa.Program.t) =
   let body = Convex_isa.Program.body p in
@@ -273,7 +293,13 @@ let program_candidates (p : Convex_isa.Program.t) =
   in
   keep_one @ drop_one
 
-let program ?(max_steps = 200) ~still_fails p =
-  greedy ~max_steps ~candidates:program_candidates
-    ~valid:(fun _ -> true)
-    ~still_fails p
+module Program_shrink = Make (struct
+  type t = Convex_isa.Program.t
+
+  let equal a b = a = b
+  let valid _ = true
+  let candidates = program_candidates
+end)
+
+let program ?max_steps ~still_fails p =
+  Program_shrink.shrink ?max_steps ~still_fails p

@@ -19,6 +19,34 @@ type 'a result = {
   tried : int;  (** candidates evaluated (predicate calls) *)
 }
 
+(** What the greedy strategy needs from a shrinkable case type.  The
+    strategy itself is case-agnostic; {!kernel} and {!program} below are
+    instances, and the chaos campaign instantiates it over fault plans. *)
+module type Case = sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Guards against no-op rewrites: a candidate equal to the current
+      case is skipped without consulting the predicate. *)
+
+  val valid : t -> bool
+  (** Candidates failing validity are discarded before the predicate
+      runs, so the predicate only ever sees well-formed cases. *)
+
+  val candidates : t -> t list
+  (** Simplifying rewrites of a case, aggressive first; the first valid
+      candidate that still fails is accepted and the enumeration
+      restarts from it. *)
+end
+
+module Make (C : Case) : sig
+  val shrink :
+    ?max_steps:int -> still_fails:(C.t -> bool) -> C.t -> C.t result
+  (** [max_steps] (default 200) bounds accepted rewrites; the run is a
+      fixpoint otherwise — it stops when no valid candidate still
+      fails. *)
+end
+
 val kernel :
   ?max_steps:int ->
   still_fails:(Lfk.Kernel.t -> bool) ->

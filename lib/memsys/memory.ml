@@ -93,7 +93,7 @@ let try_access t ~cycle ~word =
     else begin
       t.bank_free_at.(bank) <-
         cycle + t.params.bank_busy_cycles
-        + Fault.bank_extra_busy t.faults ~bank;
+        + Fault.bank_extra_busy t.faults ~bank ~cycle;
       Hashtbl.replace t.port_used cycle ();
       t.accesses <- t.accesses + 1;
       (match t.log with

@@ -1,0 +1,43 @@
+type verdict = Pass | Degraded | Violation
+
+let rank = function Pass -> 0 | Degraded -> 1 | Violation -> 2
+let worst a b = if rank a >= rank b then a else b
+let verdict_cell = function Pass -> "ok" | Degraded -> "deg" | Violation -> "VIOL"
+
+type t = {
+  rows : string list;
+  cols : string list;
+  cells : (string * string, verdict) Hashtbl.t;
+}
+
+let create ~rows ~cols = { rows; cols; cells = Hashtbl.create 64 }
+
+let set t ~row ~col v =
+  let k = (row, col) in
+  match Hashtbl.find_opt t.cells k with
+  | Some prev -> Hashtbl.replace t.cells k (worst prev v)
+  | None -> Hashtbl.replace t.cells k v
+
+let get t ~row ~col = Hashtbl.find_opt t.cells (row, col)
+
+let render ?title t =
+  let tbl =
+    Macs_util.Table.create
+      ~aligns:
+        (Macs_util.Table.Left
+        :: List.map (fun _ -> Macs_util.Table.Right) t.cols)
+      ~header:("" :: t.cols) ()
+  in
+  List.iter
+    (fun row ->
+      Macs_util.Table.add_row tbl
+        (row
+        :: List.map
+             (fun col ->
+               match get t ~row ~col with
+               | Some v -> verdict_cell v
+               | None -> "-")
+             t.cols))
+    t.rows;
+  (match title with Some s -> s ^ "\n" | None -> "")
+  ^ Macs_util.Table.render tbl

@@ -105,7 +105,7 @@ let replay ?(machine = Machine.c240) ?(stagger = 3) ?(equalize = true)
             then begin
               banks.(bank) <-
                 !t + mp.Mem_params.bank_busy_cycles
-                + Fault.bank_extra_busy faults ~bank;
+                + Fault.bank_extra_busy faults ~bank ~cycle:!t;
               idx.(i) <- idx.(i) + 1;
               (* an access accepted later than desired slips the stream *)
               if due < !t then delay.(i) <- delay.(i) + (!t - due)

@@ -200,17 +200,6 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     let cls = Option.get (Instr.vclass_of i) in
     let pipe = Pipe.of_vclass cls in
     let p = Timing.get machine.timing cls in
-    (* a slowed function pipe streams below rate and pays extra issue
-       cycles; the healthy path must not pay for the check *)
-    let p =
-      if Fault.is_none faults then p
-      else
-        {
-          p with
-          Timing.x = p.x + Fault.pipe_extra_startup faults pipe;
-          z = p.z *. Fault.pipe_z_factor faults pipe;
-        }
-    in
     (* choose the least-busy unit instance of the pipe *)
     let u =
       List.fold_left
@@ -224,6 +213,27 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
        cannot begin before the previous instruction on the same unit has
        started *)
     let issue_t = Float.max !issue_front unit_last_start.(u) in
+    (* a slowed function pipe streams below rate and pays extra issue
+       cycles.  Both costs are charged at the cycle they are paid — the
+       startup at issue, the per-element rate at each element's entry — so
+       a transient plan whose window closes mid-run stops injecting from
+       that cycle on and the stream recovers to the healthy rate.  The
+       healthy path must not pay for the check. *)
+    let p =
+      if Fault.is_none faults then p
+      else
+        {
+          p with
+          Timing.x =
+            p.x
+            + Fault.pipe_extra_startup faults
+                ~cycle:(int_of_float issue_t) pipe;
+        }
+    in
+    let z_at t =
+      if Fault.is_none faults then p.Timing.z
+      else p.Timing.z *. Fault.pipe_z_factor faults ~cycle:(int_of_float t) pipe
+    in
     let arrive = issue_t +. float_of_int p.x in
     issue_front := arrive;
     let sdep =
@@ -294,7 +304,7 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
        past the end of the earliest conflicting entry window. *)
     active := List.filter (fun w -> w.completion > t0) !active;
     let entry_end w = w.enter.(Array.length w.enter - 1) in
-    let my_span = p.z *. float_of_int (max 0 (vl - 1)) in
+    let my_span = z_at t0 *. float_of_int (max 0 (vl - 1)) in
     let pair_conflict_until t0 =
       let my_end = t0 +. my_span in
       let live =
@@ -393,7 +403,7 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     in
     enter.(0) <- place 0 t0;
     for e = 1 to vl - 1 do
-      let t = Float.max (enter.(e - 1) +. p.z) (ready e) in
+      let t = Float.max (enter.(e - 1) +. z_at enter.(e - 1)) (ready e) in
       enter.(e) <- place e t
     done;
     let completion = enter.(vl - 1) +. float_of_int p.y +. 1.0 in
@@ -403,11 +413,12 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     | _ -> ());
     let me = { instr = i; enter; y = float_of_int p.y; completion;
                source_unit; unit_id = u } in
+    let tail_z = z_at enter.(vl - 1) in
     units.(u).used <- true;
-    units.(u).next_accept <- enter.(vl - 1) +. p.z;
+    units.(u).next_accept <- enter.(vl - 1) +. tail_z;
     unit_last_start.(u) <- t0;
     pipe_busy.(Pipe.index pipe) <-
-      pipe_busy.(Pipe.index pipe) +. (enter.(vl - 1) +. p.z -. enter.(0));
+      pipe_busy.(Pipe.index pipe) +. (enter.(vl - 1) +. tail_z -. enter.(0));
     List.iter
       (fun r ->
         let idx = Reg.v_index r in

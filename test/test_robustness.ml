@@ -300,7 +300,9 @@ let test_fault_parse_presets () =
 let test_fault_parse_clauses () =
   let p = plan "seed=7;degrade-bank=3*2;stuck-bank=1@100-200;jitter=5" in
   Alcotest.(check int) "seed" 7 p.Fault.seed;
-  Alcotest.(check int) "degraded extra busy" 8 (Fault.bank_extra_busy p ~bank:3);
+  Alcotest.(check int)
+    "degraded extra busy" 8
+    (Fault.bank_extra_busy p ~bank:3 ~cycle:0);
   Alcotest.(check bool) "stuck inside window" true
     (Fault.bank_blocked p ~bank:1 ~cycle:150);
   Alcotest.(check bool) "stuck outside window" false
