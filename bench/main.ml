@@ -8,8 +8,13 @@
    plus per-stage micro-benchmarks (compile / bound / simulate) that show
    where the library spends its time.
 
+   A separate executor pass times the three campaign front ends (suite,
+   fuzz, chaos) end to end at --jobs 1 vs --jobs N through
+   Convex_exec.Executor and writes the wall-clock numbers, together with
+   the per-stage micro-benchmarks, to BENCH_exec.json.
+
    Flags: --bench-only skips artifact regeneration; --print-only skips the
-   Bechamel timing pass. *)
+   Bechamel timing pass and the executor pass. *)
 
 open Bechamel
 open Toolkit
@@ -177,10 +182,74 @@ let run_benchmarks () =
         else Printf.sprintf "%8.2f ns" ns
       in
       Printf.printf "  %-40s %s\n" name pretty)
-    rows
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Executor scaling pass: suite / fuzz / chaos at --jobs 1 vs --jobs N *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_suite jobs =
+  match Convex_harness.Supervisor.run ~jobs () with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench suite: " ^ e)
+
+let run_fuzz jobs =
+  let cfg = { Convex_fuzz.Driver.default_config with count = 16; jobs } in
+  ignore (Convex_fuzz.Driver.run cfg)
+
+let run_chaos jobs =
+  let cfg = { Convex_chaos.Campaign.default_config with cells = 8; jobs } in
+  match Convex_chaos.Campaign.run cfg with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench chaos: " ^ e)
+
+let run_exec_bench () =
+  let n = max 2 (Domain.recommended_domain_count ()) in
+  let tasks =
+    [ ("suite", run_suite); ("fuzz", run_fuzz); ("chaos", run_chaos) ]
+  in
+  Printf.printf "\nExecutor scaling (--jobs 1 vs --jobs %d):\n" n;
+  List.concat_map
+    (fun (name, f) ->
+      let t1 = wall (fun () -> f 1) in
+      let tn = wall (fun () -> f n) in
+      Printf.printf "  %-8s jobs=1 %7.3f s   jobs=%d %7.3f s   speedup %.2fx\n"
+        name t1 n tn (t1 /. tn);
+      [ (name, 1, t1); (name, n, tn) ])
+    tasks
+
+let write_bench_json path ~stage_rows ~exec_rows =
+  let oc = open_out path in
+  let json_row (name, jobs, s) =
+    Printf.sprintf "    { \"task\": %S, \"jobs\": %d, \"wall_s\": %.6f }" name
+      jobs s
+  in
+  let json_stage (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %.3f }" name ns
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"macs-bench-exec/1\",\n\
+    \  \"exec\": [\n%s\n  ],\n\
+    \  \"stages\": [\n%s\n  ]\n\
+     }\n"
+    (String.concat ",\n" (List.map json_row exec_rows))
+    (String.concat ",\n" (List.map json_stage stage_rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
   let bench_only = Array.exists (fun a -> a = "--bench-only") Sys.argv in
   let print_only = Array.exists (fun a -> a = "--print-only") Sys.argv in
   if not bench_only then regenerate ();
-  if not print_only then run_benchmarks ()
+  if not print_only then begin
+    let stage_rows = run_benchmarks () in
+    let exec_rows = run_exec_bench () in
+    write_bench_json "BENCH_exec.json" ~stage_rows ~exec_rows
+  end

@@ -67,6 +67,18 @@ let kernel_arg =
     & info [ "k"; "kernel" ] ~docv:"N"
         ~doc:"LFK kernel number (1,2,3,4,6,7,8,9,10,12); all when omitted.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for cell execution (default: the host's \
+           recommended domain count).  --jobs 1 reproduces the historical \
+           sequential output byte for byte; higher values journal through \
+           per-worker shards that are merged back into the same canonical \
+           bytes.")
+
 let kernels_of = function
   | None -> Lfk.Kernels.all
   | Some id -> (
@@ -463,7 +475,7 @@ let suite_cmd =
           ~doc:
             "Watchdog cap on host wall-clock seconds per kernel run.")
   in
-  let run machine opt faults journal resume retry_failed cycles wall =
+  let run machine opt faults journal resume retry_failed cycles wall jobs =
     let budget =
       Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
     in
@@ -472,9 +484,9 @@ let suite_cmd =
       exit 2);
     match
       Convex_harness.Supervisor.run ~machine ~opt ~faults ~budget ?journal
-        ~resume ~retry_failed ()
+        ~resume ~retry_failed ~jobs ()
     with
-    | Ok { suite; stats } ->
+    | Ok { suite; stats; quarantined } ->
         print_string (Macs_report.Suite.render suite);
         if stats.Convex_harness.Supervisor.resumed > 0 then
           Printf.printf
@@ -483,7 +495,17 @@ let suite_cmd =
             stats.Convex_harness.Supervisor.resumed
             (if stats.Convex_harness.Supervisor.resumed = 1 then "" else "s")
             stats.Convex_harness.Supervisor.executed
-            stats.Convex_harness.Supervisor.estimated
+            stats.Convex_harness.Supervisor.estimated;
+        if quarantined <> [] then (
+          List.iter
+            (fun p ->
+              Printf.printf
+                "supervisor: cell %d QUARANTINED after %d attempt%s: %s\n"
+                p.Convex_exec.Executor.index p.Convex_exec.Executor.attempts
+                (if p.Convex_exec.Executor.attempts = 1 then "" else "s")
+                p.Convex_exec.Executor.error)
+            quarantined;
+          exit 1)
     | Error msg ->
         prerr_endline ("macs_cli suite: " ^ msg);
         exit 1
@@ -494,7 +516,7 @@ let suite_cmd =
          "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification, supervised: watchdog budgets, journal           checkpoint/resume, graceful degradation to analytic estimates")
     Term.(
       const run $ machine_arg $ opt_arg $ faults_arg $ journal $ resume
-      $ retry_failed $ budget_cycles $ budget_wall)
+      $ retry_failed $ budget_cycles $ budget_wall $ jobs_arg)
 
 let resilience_cmd =
   let plans =
@@ -632,7 +654,7 @@ let fuzz_cmd =
            ^ " Repeatable; defaults to every stock preset.  Each kernel \
               case samples one plan, rotating."))
   in
-  let run seed count machine_name budget sim_budget corpus no_sim plans =
+  let run seed count machine_name budget sim_budget corpus no_sim plans jobs =
     let machine = Result.get_ok (machine_of_name machine_name) in
     let cfg =
       {
@@ -644,6 +666,7 @@ let fuzz_cmd =
         budget = Convex_harness.Budget.make ~max_wall_s:sim_budget ();
         corpus;
         sim = not no_sim;
+        jobs;
         fault_plans =
           (match plans with
           | [] -> Convex_fuzz.Driver.default_config.fault_plans
@@ -670,7 +693,7 @@ let fuzz_cmd =
           corpus; exits non-zero on any violation")
     Term.(
       const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
-      $ no_sim $ plans)
+      $ no_sim $ plans $ jobs_arg)
 
 let chaos_cmd =
   let seed =
@@ -722,7 +745,16 @@ let chaos_cmd =
             "Per-cell simulated-cycle watchdog.  Cycles, not wall-clock, so \
              the campaign journal stays byte-identical across hosts.")
   in
-  let run seed cells machine_name journal resume budget =
+  let kill_cells =
+    Arg.(
+      value & opt_all int []
+      & info [ "kill-cell" ] ~docv:"I"
+          ~doc:
+            "Inject a worker-killing failure at cell $(docv) (repeatable): \
+             the cell is quarantined as a poison record and the campaign \
+             degrades to fewer workers instead of aborting.")
+  in
+  let run seed cells machine_name journal resume budget jobs kill_cells =
     let machine = Result.get_ok (machine_of_name machine_name) in
     if resume && journal = None then (
       prerr_endline "macs_cli chaos: --resume needs --journal";
@@ -736,6 +768,8 @@ let chaos_cmd =
         machine_name;
         journal;
         resume;
+        jobs;
+        kill_cells;
         budget =
           (match budget with
           | Some c -> Convex_harness.Budget.make ~max_cycles:c ()
@@ -765,7 +799,9 @@ let chaos_cmd =
           post-window convergence back to healthy-tail timing; violations \
           are delta-debugged to a minimal fault plan; exits non-zero on any \
           violation")
-    Term.(const run $ seed $ cells $ machine_name $ journal $ resume $ budget)
+    Term.(
+      const run $ seed $ cells $ machine_name $ journal $ resume $ budget
+      $ jobs_arg $ kill_cells)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

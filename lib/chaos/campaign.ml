@@ -4,6 +4,7 @@ module Macs_error = Macs_util.Macs_error
 module Journal = Macs_util.Journal
 module Budget = Convex_harness.Budget
 module Suite = Macs_report.Suite
+module Exec = Convex_exec.Executor
 
 (* ---- configuration ---- *)
 
@@ -20,6 +21,11 @@ type config = {
   journal : string option;
   resume : bool;
   max_shrink_steps : int;
+  jobs : int;
+  kill_cells : int list;
+      (** fault injection into the harness itself: these cells raise
+          {!Exec.Worker_killed} instead of running — not part of the
+          journaled config, like [budget] *)
 }
 
 let default_config =
@@ -34,6 +40,8 @@ let default_config =
     journal = None;
     resume = false;
     max_shrink_steps = 200;
+    jobs = 1;
+    kill_cells = [];
   }
 
 (* ---- cells ---- *)
@@ -66,6 +74,8 @@ type cell_result = {
 type t = {
   config : config;
   results : cell_result list;
+  quarantined : Exec.poison list;
+      (** cells whose exception escaped the SLO machinery — no verdict *)
   resumed : int;  (** cells replayed from the journal *)
   executed : int;  (** cells actually run this invocation *)
 }
@@ -75,7 +85,7 @@ let violations t =
     (fun r -> match r.verdict with Violation _ -> true | _ -> false)
     t.results
 
-let clean t = violations t = []
+let clean t = violations t = [] && t.quarantined = []
 
 (* ---- running one cell ---- *)
 
@@ -257,62 +267,107 @@ let result_of_record cfg r : (cell_result, string) result =
 
 (* ---- the campaign loop ---- *)
 
+(* Resume: merge any shards a killed parallel run left behind back into
+   the main journal, then replay each cell block — a [cell] record is a
+   completed result, a [poison] record a quarantined cell. *)
 let load_completed cfg path =
-  let* () = Journal.repair ~path ~format in
-  let* records = Journal.load ~path ~format in
-  match records with
-  | [] -> Error "journal holds no config record"
-  | cfg_rec :: rest ->
-      if cfg_rec.Journal.tag <> "config" then
-        Error (Printf.sprintf "expected config record, got %S" cfg_rec.Journal.tag)
-      else if not (config_matches cfg cfg_rec) then
-        Error
-          "journal was written by a different campaign configuration \
-           (seed/cells/machine/opt/guard mismatch)"
-      else
-        let tbl = Hashtbl.create 64 in
-        let* () =
-          List.fold_left
-            (fun acc r ->
-              let* () = acc in
-              let* result = result_of_record cfg r in
-              Hashtbl.replace tbl result.cell.index result;
-              Ok ())
-            (Ok ()) rest
-        in
-        Ok tbl
+  let config_ok r =
+    if r.Journal.tag <> "config" then
+      Error
+        (Printf.sprintf "expected config record, got %S" r.Journal.tag)
+    else if not (config_matches cfg r) then
+      Error
+        "journal was written by a different campaign configuration \
+         (seed/cells/machine/opt/guard mismatch)"
+    else Ok ()
+  in
+  let index_of r =
+    match r.Journal.tag with
+    | "cell" | "poison" ->
+        Option.bind (Journal.field r "index") Journal.get_int
+    | _ -> None
+  in
+  let had_shards = Journal.shards ~path <> [] in
+  let* orig, groups = Journal.merge_shards ~path ~format ~config_ok ~index_of in
+  let tbl = Hashtbl.create 64 in
+  let* () =
+    List.fold_left
+      (fun acc (i, records) ->
+        let* () = acc in
+        match records with
+        | [ ({ Journal.tag = "poison"; _ } as r) ] ->
+            let* p = Exec.poison_of_record r in
+            if p.Exec.index < 0 || p.Exec.index >= cfg.cells then
+              Error
+                (Printf.sprintf "poison index %d outside campaign [0, %d)"
+                   p.Exec.index cfg.cells)
+            else begin
+              Hashtbl.replace tbl i (Exec.Poisoned p);
+              Ok ()
+            end
+        | [ r ] ->
+            let* result = result_of_record cfg r in
+            Hashtbl.replace tbl i (Exec.Done result);
+            Ok ()
+        | rs ->
+            Error
+              (Printf.sprintf "cell %d: expected one journal record, got %d"
+                 i (List.length rs)))
+      (Ok ()) groups
+  in
+  Ok (orig, tbl, had_shards)
 
 let run ?(progress = fun _ -> ()) cfg =
-  let completed =
+  let* orig_config, completed, had_shards =
     match cfg.journal with
     | Some path when cfg.resume && Sys.file_exists path ->
         load_completed cfg path
     | Some path ->
         Journal.create ~path ~format [ config_record cfg ];
-        Ok (Hashtbl.create 0)
-    | None -> Ok (Hashtbl.create 0)
+        Ok (config_record cfg, Hashtbl.create 0, false)
+    | None -> Ok (config_record cfg, Hashtbl.create 0, false)
   in
-  let* completed = completed in
-  let append result =
-    match cfg.journal with
-    | Some path -> Journal.append ~path (record_of_result result)
-    | None -> ()
+  let journal_spec =
+    Option.map
+      (fun path ->
+        {
+          Exec.path;
+          format;
+          config = orig_config;
+          records_of = (fun _ r -> [ record_of_result r ]);
+        })
+      cfg.journal
   in
-  let resumed = ref 0 and executed = ref 0 in
-  let results =
-    List.init cfg.cells (fun i ->
-        match Hashtbl.find_opt completed i with
-        | Some r ->
-            incr resumed;
-            r
-        | None ->
-            let r = run_cell cfg (cell_of_index cfg i) in
-            incr executed;
-            append r;
-            progress i;
-            r)
+  let run_one i =
+    if List.mem i cfg.kill_cells then
+      raise
+        (Exec.Worker_killed (Printf.sprintf "injected kill at cell %d" i));
+    run_cell cfg (cell_of_index cfg i)
   in
-  Ok { config = cfg; results; resumed = !resumed; executed = !executed }
+  let outcomes, stats =
+    Exec.run ~jobs:cfg.jobs ?journal:journal_spec ~rewrite:had_shards
+      ~already:(Hashtbl.find_opt completed)
+      ~context:(fun i ->
+        let c = cell_of_index cfg i in
+        Printf.sprintf "%s under %s" c.kernel.Lfk.Kernel.name
+          (Fault.to_spec c.plan))
+      ~progress ~cells:cfg.cells run_one
+  in
+  let results = ref [] and quarantined = ref [] in
+  Array.iter
+    (function
+      | Some (Exec.Done r) -> results := r :: !results
+      | Some (Exec.Poisoned p) -> quarantined := p :: !quarantined
+      | None -> ())
+    outcomes;
+  Ok
+    {
+      config = cfg;
+      results = List.rev !results;
+      quarantined = List.rev !quarantined;
+      resumed = stats.Exec.replayed;
+      executed = stats.Exec.executed;
+    }
 
 (* ---- rendering ---- *)
 
@@ -362,13 +417,18 @@ let render t =
        t.config.seed t.config.cells t.config.machine_name
        (Fcc.Opt_level.name t.config.opt)
        t.config.guard);
+  let quarantine_note =
+    match t.quarantined with
+    | [] -> ""
+    | ps -> Printf.sprintf ", %d quarantined" (List.length ps)
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       "  %d pass, %d degraded (typed diagnostics), %d violation%s; %d \
+       "  %d pass, %d degraded (typed diagnostics), %d violation%s%s; %d \
         replayed from journal, %d executed\n\n"
        passed degraded (List.length viols)
        (if List.length viols = 1 then "" else "s")
-       t.resumed t.executed);
+       quarantine_note t.resumed t.executed);
   Buffer.add_string buf
     (Macs_report.Matrix.render
        ~title:
@@ -396,4 +456,13 @@ let render t =
             r.minimized
       | _ -> ())
     viols;
+  List.iter
+    (fun (p : Exec.poison) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\ncell %d QUARANTINED after %d attempt%s: %s\n  context: %s\n"
+           p.Exec.index p.Exec.attempts
+           (if p.Exec.attempts = 1 then "" else "s")
+           p.Exec.error p.Exec.context))
+    t.quarantined;
   Buffer.contents buf

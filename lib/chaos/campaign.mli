@@ -32,11 +32,21 @@ type config = {
   journal : string option;
   resume : bool;
   max_shrink_steps : int;
+  jobs : int;
+      (** worker domains ({!Convex_exec.Executor}); 1 = the historical
+          sequential behaviour.  The merged parallel journal is
+          byte-identical to the [jobs = 1] journal for the same seed. *)
+  kill_cells : int list;
+      (** harness-level fault injection: these cells raise
+          {!Convex_exec.Executor.Worker_killed} instead of running, so
+          quarantine and graceful worker loss can be exercised end to
+          end.  Not part of the journaled config (like [budget]). *)
 }
 
 val default_config : config
 (** seed 42, 24 cells, healthy c240 at v61, no budget,
-    {!Macs_report.Suite.faulted_guard}, no journal. *)
+    {!Macs_report.Suite.faulted_guard}, no journal, one worker, no
+    injected kills. *)
 
 type cell = { index : int; kernel : Lfk.Kernel.t; plan : Fault.t }
 
@@ -64,12 +74,18 @@ type cell_result = {
 type t = {
   config : config;
   results : cell_result list;
+  quarantined : Convex_exec.Executor.poison list;
+      (** cells whose exception escaped the SLO machinery entirely (or
+          that were killed via [kill_cells]): journaled as [poison]
+          records with minimal context, no verdict *)
   resumed : int;  (** cells replayed from the journal *)
   executed : int;  (** cells actually run this invocation *)
 }
 
 val violations : t -> cell_result list
+
 val clean : t -> bool
+(** No violations and nothing quarantined. *)
 
 val run_cell : config -> cell -> cell_result
 (** Run one cell and, on violation, delta-debug its plan.  Pure in the
@@ -79,13 +95,16 @@ val format : string
 (** Journal schema name, ["macs-chaos-campaign"]. *)
 
 val run : ?progress:(int -> unit) -> config -> (t, string) result
-(** Run the campaign.  With a journal path: a fresh run writes the
-    config record then appends one cell record per completed cell; with
-    [resume] and an existing file, the journal is first
-    {!Macs_util.Journal.repair}ed (torn tail from a killed writer),
-    replayed — refusing a config mismatch or a record that disagrees
-    with the regenerated cell — and only the missing cells run.
-    [progress] is called with each freshly executed cell index.
+(** Run the campaign through the fault-tolerant executor.  With a
+    journal path: a fresh run writes the config record then journals one
+    record per completed cell ([jobs = 1] appends to the main journal
+    exactly as before; [jobs > 1] goes through per-worker shards and a
+    final canonical rewrite, byte-identical to the sequential journal).
+    With [resume] and an existing file, shards left by a killed parallel
+    run are merged back first ({!Macs_util.Journal.merge_shards}), the
+    journal replayed — refusing a config mismatch or a record that
+    disagrees with the regenerated cell — and only the missing cells
+    run.  [progress] is called with each freshly executed cell index.
     [Error] means the journal could not be used; the campaign itself
     never aborts on a cell. *)
 

@@ -12,14 +12,16 @@ let retryable = function
   | Macs_error.Interp_fault _ ->
       false
 
-let with_relaxed_guard f =
-  let rec go = function
+let with_relaxed_guard_attempts f =
+  let rec go failed = function
     | [] -> assert false
-    | [ scale ] -> f ~guard_scale:scale
+    | [ scale ] -> (f ~guard_scale:scale, List.rev failed)
     | scale :: rest -> (
         match f ~guard_scale:scale with
-        | Ok _ as ok -> ok
-        | Error e when retryable e -> go rest
-        | Error _ as err -> err)
+        | Ok _ as ok -> (ok, List.rev failed)
+        | Error e when retryable e -> go ((scale, e) :: failed) rest
+        | Error _ as err -> (err, List.rev failed))
   in
-  go guard_scales
+  go [] guard_scales
+
+let with_relaxed_guard f = fst (with_relaxed_guard_attempts f)

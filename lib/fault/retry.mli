@@ -19,3 +19,13 @@ val with_relaxed_guard :
     error (or the last attempt's error) is returned as-is.  In particular
     [Budget_exceeded] is never retried: watchdog budgets are hard caps
     that compose with this policy by cancelling the whole attempt chain. *)
+
+val with_relaxed_guard_attempts :
+  (guard_scale:int -> ('a, Macs_util.Macs_error.t) result) ->
+  ('a, Macs_util.Macs_error.t) result * (int * Macs_util.Macs_error.t) list
+(** Like {!with_relaxed_guard}, but also returns the spent attempts: one
+    [(guard_scale, diagnostic)] pair per earlier attempt whose retryable
+    error was consumed by a retry.  The final result's own error is not
+    in the list.  A supervisor journaling a cell that exhausted its
+    retries can thus record {e every} attempt's diagnostic, not only the
+    last one. *)

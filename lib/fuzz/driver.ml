@@ -3,6 +3,7 @@ module Fault = Convex_fault.Fault
 module Budget = Convex_harness.Budget
 module Clock = Macs_util.Clock
 module Table = Macs_util.Table
+module Exec = Convex_exec.Executor
 
 type config = {
   seed : int;
@@ -14,6 +15,7 @@ type config = {
   max_wall_s : float option;
   corpus : string option;
   sim : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -27,6 +29,7 @@ let default_config =
     max_wall_s = None;
     corpus = None;
     sim = true;
+    jobs = 1;
   }
 
 type violation = {
@@ -138,8 +141,70 @@ let asm_case ~index tally p =
 
 (* ---- the campaign ---- *)
 
+let persist cfg v =
+  match cfg.corpus with
+  | None -> ()
+  | Some path ->
+      Corpus.append ~path
+        {
+          Corpus.kind = v.kind;
+          machine = cfg.machine_name;
+          seed = cfg.seed;
+          expect = Corpus.Violation v.check;
+          payload = v.payload;
+        }
+
+(* what one fuzz case reports back through the executor *)
+type case_out = {
+  label : string;
+  passed : int;
+  skipped : int;
+  violation : violation option;
+}
+
 let run ?(progress = fun _ -> ()) cfg =
   let started = Clock.now () in
+  let over_budget () =
+    match cfg.max_wall_s with
+    | None -> false
+    | Some cap -> Clock.elapsed ~since:started > cap
+  in
+  let one_case index =
+    let tally = { passed = 0; skipped = 0 } in
+    let rand = Random.State.make [| cfg.seed; index |] in
+    let mix = Random.State.int rand 10 in
+    let label, violation =
+      if mix < 2 then
+        ( "asm",
+          asm_case ~index tally (QCheck.Gen.generate1 ~rand Gen.program_gen) )
+      else begin
+        let label, profile =
+          if mix < 4 then ("scalar", Gen.Scalar_profile)
+          else ("vector", Gen.Vector_profile)
+        in
+        let plans =
+          match cfg.fault_plans with
+          | [] -> []
+          | ps -> [ List.nth ps (index mod List.length ps) ]
+        in
+        ( label,
+          kernel_case cfg ~index ~label ~plans tally
+            (QCheck.Gen.generate1 ~rand (Gen.fuzz_kernel_gen profile)) )
+      end
+    in
+    (* a sequential run persists incrementally, exactly as it always has;
+       a parallel run defers to the index-ordered pass below so the
+       corpus bytes come out identical *)
+    (match violation with
+    | Some v when cfg.jobs <= 1 -> persist cfg v
+    | _ -> ());
+    { label; passed = tally.passed; skipped = tally.skipped; violation }
+  in
+  let outcomes, estats =
+    Exec.run ~jobs:cfg.jobs ~progress ~should_stop:over_budget
+      ~context:(fun i -> Printf.sprintf "fuzz case %d of seed %d" i cfg.seed)
+      ~cells:cfg.count one_case
+  in
   let tally = { passed = 0; skipped = 0 } in
   let violations = ref [] in
   let by_label = Hashtbl.create 4 in
@@ -147,64 +212,39 @@ let run ?(progress = fun _ -> ()) cfg =
     Hashtbl.replace by_label l
       (1 + Option.value ~default:0 (Hashtbl.find_opt by_label l))
   in
-  let persist v =
-    match cfg.corpus with
-    | None -> ()
-    | Some path ->
-        Corpus.append ~path
-          {
-            Corpus.kind = v.kind;
-            machine = cfg.machine_name;
-            seed = cfg.seed;
-            expect = Corpus.Violation v.check;
-            payload = v.payload;
-          }
-  in
-  let over_budget () =
-    match cfg.max_wall_s with
-    | None -> false
-    | Some cap -> Clock.elapsed ~since:started > cap
-  in
   let cases_run = ref 0 in
-  let stopped_early = ref false in
-  (let i = ref 0 in
-   while !i < cfg.count && not !stopped_early do
-     if over_budget () then stopped_early := true
-     else begin
-       let index = !i in
-       progress index;
-       let rand = Random.State.make [| cfg.seed; index |] in
-       let mix = Random.State.int rand 10 in
-       let outcome =
-         if mix < 2 then begin
-           count_label "asm";
-           asm_case ~index tally
-             (QCheck.Gen.generate1 ~rand Gen.program_gen)
-         end
-         else begin
-           let label, profile =
-             if mix < 4 then ("scalar", Gen.Scalar_profile)
-             else ("vector", Gen.Vector_profile)
-           in
-           count_label label;
-           let plans =
-             match cfg.fault_plans with
-             | [] -> []
-             | ps -> [ List.nth ps (index mod List.length ps) ]
-           in
-           kernel_case cfg ~index ~label ~plans tally
-             (QCheck.Gen.generate1 ~rand (Gen.fuzz_kernel_gen profile))
-         end
-       in
-       (match outcome with
-       | None -> ()
-       | Some v ->
-           persist v;
-           violations := v :: !violations);
-       incr cases_run
-     end;
-     incr i
-   done);
+  Array.iter
+    (function
+      | Some (Exec.Done o) ->
+          incr cases_run;
+          count_label o.label;
+          tally.passed <- tally.passed + o.passed;
+          tally.skipped <- tally.skipped + o.skipped;
+          Option.iter
+            (fun v ->
+              if cfg.jobs > 1 then persist cfg v;
+              violations := v :: !violations)
+            o.violation
+      | Some (Exec.Poisoned p) ->
+          (* the case escaped the oracle stack entirely: surface it as a
+             violation (never persisted — its payload is not a test case) *)
+          incr cases_run;
+          count_label "quarantined";
+          violations :=
+            {
+              case_index = p.Exec.index;
+              case_label = "quarantined";
+              check = "quarantine";
+              detail = p.Exec.error;
+              kind = Corpus.Kernel_case;
+              payload = p.Exec.context;
+              shrink_steps = 0;
+              shrink_tried = 0;
+            }
+            :: !violations
+      | None -> ())
+    outcomes;
+  let stopped_early = ref estats.Exec.stopped_early in
   (* the probe-based fault oracle, once per plan *)
   let probe_violations =
     if not cfg.sim then []

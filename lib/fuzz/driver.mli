@@ -30,16 +30,22 @@ type config = {
   max_wall_s : float option;  (** whole-campaign wall-clock cap *)
   corpus : string option;  (** append shrunk counterexamples here *)
   sim : bool;  (** false = functional stages only *)
+  jobs : int;
+      (** worker domains ({!Convex_exec.Executor}); 1 = the historical
+          sequential behaviour, byte-identical corpus included *)
 }
 
 val default_config : config
 (** Seed 42, 500 cases, healthy C-240, the stock fault presets, a
     10-second-per-simulation watchdog, no campaign cap, no corpus,
-    simulation on. *)
+    simulation on, one worker. *)
 
 type violation = {
   case_index : int;
-  case_label : string;  (** ["vector"], ["scalar"] or ["asm"] *)
+  case_label : string;
+      (** ["vector"], ["scalar"], ["asm"] — or ["quarantined"] for a
+          case whose exception escaped the oracle stack and was poisoned
+          by the executor *)
   check : string;  (** failing check id *)
   detail : string;
   kind : Corpus.kind;

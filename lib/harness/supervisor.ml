@@ -1,9 +1,16 @@
 open Convex_machine
 open Convex_fault
 open Macs_report
+module Exec = Convex_exec.Executor
+module J = Macs_util.Journal
 
 type stats = { resumed : int; executed : int; estimated : int }
-type outcome = { suite : Suite.t; stats : stats }
+
+type outcome = {
+  suite : Suite.t;
+  stats : stats;
+  quarantined : Exec.poison list;
+}
 
 let ( let* ) = Result.bind
 
@@ -40,26 +47,19 @@ let degrade ~machine ~opt (row : Suite.row) err =
     source = Suite.Estimated err;
   }
 
-let load_prior ~path ~config ~retry_failed =
-  if not (Sys.file_exists path) then Ok ([], [])
-  else
-    (* the previous writer may have died mid-record: truncate the torn
-       tail so our appends start a fresh line *)
-    let* () = Suite_journal.repair ~path in
-    let* got, rows, violations = Suite_journal.load ~path in
+let records_of_prior = function
+  | Exec.Done c -> Suite_journal.records_of_cell c
+  | Exec.Poisoned p -> [ Exec.poison_record p ]
+
+(* Resume: merge any journal shards a killed parallel run left behind
+   back into the main journal ({!J.merge_shards}), then decode each
+   cell block — retry attempts and violations close with their row; a
+   lone poison record is a quarantined cell. *)
+let load_prior ~path ~config ~retry_failed ~karr =
+  let config_ok r =
+    let* got = Suite_journal.config_of_record r in
     match config_mismatch config got with
-    | [] ->
-        let keep =
-          if retry_failed then
-            List.filter
-              (fun (r : Suite.row) ->
-                match (r.Suite.outcome, r.Suite.source) with
-                | Ok _, Suite.Measured -> true
-                | _ -> false)
-              rows
-          else rows
-        in
-        Ok (keep, violations)
+    | [] -> Ok ()
     | diffs ->
         Error
           (Printf.sprintf
@@ -68,11 +68,64 @@ let load_prior ~path ~config ~retry_failed =
               start over"
              path
              (String.concat ", " diffs))
+  in
+  let kernel_index id =
+    let rec go i =
+      if i >= Array.length karr then None
+      else if karr.(i).Lfk.Kernel.id = id then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let index_of r =
+    match r.J.tag with
+    | "row" ->
+        Option.bind (Option.bind (J.field r "lfk") J.get_int) kernel_index
+    | "poison" -> Option.bind (J.field r "index") J.get_int
+    | _ -> None
+  in
+  let had_shards = J.shards ~path <> [] in
+  let* orig, groups =
+    J.merge_shards ~path ~format:Suite_journal.format ~config_ok ~index_of
+  in
+  let* prior =
+    List.fold_left
+      (fun acc (i, records) ->
+        let* acc = acc in
+        match records with
+        | [ r ] when r.J.tag = "poison" ->
+            let* p = Exec.poison_of_record r in
+            Ok ((i, Exec.Poisoned p) :: acc)
+        | _ ->
+            let* cell = Suite_journal.cell_of_records records in
+            Ok ((i, Exec.Done cell) :: acc))
+      (Ok []) groups
+  in
+  let prior = List.rev prior in
+  let keep =
+    if retry_failed then
+      List.filter
+        (fun (_, o) ->
+          match o with
+          | Exec.Done (c : Suite_journal.cell) -> (
+              match
+                (c.Suite_journal.row.Suite.outcome, c.Suite_journal.row.Suite.source)
+              with
+              | Ok _, Suite.Measured -> true
+              | _ -> false)
+          | Exec.Poisoned _ -> false)
+        prior
+    else prior
+  in
+  if retry_failed then
+    J.write_atomic ~path ~format:Suite_journal.format
+      (orig :: List.concat_map (fun (_, o) -> records_of_prior o) keep);
+  Ok (orig, keep, retry_failed || had_shards)
 
 let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
     ?(faults = Fault.none) ?guard ?(budget = Budget.none)
-    ?(oracle_tol = Macs.Oracle.default_tol) ?journal ?(resume = false)
-    ?(retry_failed = false) () =
+    ?(oracle_tol = Macs.Oracle.default_tol) ?(jobs = 1) ?journal
+    ?(resume = false) ?(retry_failed = false) () =
   let guard =
     match guard with
     | Some g -> g
@@ -85,82 +138,97 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
       ~faults ~guard
   in
   let resume = resume || retry_failed in
-  let* prior_rows, prior_violations =
+  let karr = Array.of_list (Suite.kernels ()) in
+  let cells = Array.length karr in
+  let* orig_config, prior, rewrite =
     match journal with
-    | Some path when resume -> load_prior ~path ~config ~retry_failed
-    | Some _ | None -> Ok ([], [])
+    | Some path when resume && Sys.file_exists path ->
+        load_prior ~path ~config ~retry_failed ~karr
+    | Some _ | None -> Ok (Suite_journal.config_record config, [], false)
   in
-  (* Set the journal up so completed work is never journaled twice: a
-     resumed run appends after the existing rows (leaving them
-     byte-identical); a retry rewrites the kept rows through a temp file;
-     a fresh run truncates. *)
+  (* a fresh run (or a resume aimed at a missing file) starts the journal
+     with just the config record; a true resume appends after — or, when
+     shards were merged, rewrites over — the existing records *)
   (match journal with
-  | None -> ()
-  | Some path ->
-      if retry_failed && Sys.file_exists path then (
-        let tmp = path ^ ".tmp" in
-        Suite_journal.write ~path:tmp config ~rows:prior_rows
-          ~violations:prior_violations;
-        Sys.rename tmp path)
-      else if (not resume) || not (Sys.file_exists path) then
-        Suite_journal.start ~path config);
-  let resumed = List.length prior_rows in
-  let executed = ref 0 and estimated = ref 0 in
-  let new_violations = ref [] in
-  let checkpoint_row row =
-    Option.iter (fun path -> Suite_journal.append_row ~path row) journal
-  in
-  let checkpoint_violation v =
-    Option.iter (fun path -> Suite_journal.append_violation ~path v) journal
-  in
-  let run_one (k : Lfk.Kernel.t) =
-    incr executed;
+  | Some path when (not resume) || not (Sys.file_exists path) ->
+      Suite_journal.start ~path config
+  | _ -> ());
+  let replayed = Hashtbl.create 16 in
+  List.iter (fun (i, o) -> Hashtbl.replace replayed i o) prior;
+  let run_cell i =
+    let k = karr.(i) in
     let watchdog =
       Budget.watchdog
         ~site:(Printf.sprintf "Supervisor(%s)" k.Lfk.Kernel.name)
         budget
     in
-    let row = Suite.run_kernel ?watchdog ~machine ~opt ~faults ~guard k in
-    let row =
-      match row.Suite.outcome with
-      | Ok p ->
-          (* cross-check every measured row against the bounds hierarchy *)
-          let vs =
-            Macs.Oracle.check_row ~tol:oracle_tol ~machine
-              (Fcc.Compiler.compile ~opt k)
-              ~measured_cpl:p.Suite.cpl
-          in
-          List.iter
-            (fun v ->
-              new_violations := v :: !new_violations;
-              checkpoint_violation v)
-            vs;
-          row
-      | Error e ->
-          incr estimated;
-          degrade ~machine ~opt row e
+    let row, attempts =
+      Suite.run_kernel_attempts ?watchdog ~machine ~opt ~faults ~guard k
     in
-    checkpoint_row row;
-    row
+    match row.Suite.outcome with
+    | Ok p ->
+        (* cross-check every measured row against the bounds hierarchy *)
+        let vs =
+          Macs.Oracle.check_row ~tol:oracle_tol ~machine
+            (Fcc.Compiler.compile ~opt k)
+            ~measured_cpl:p.Suite.cpl
+        in
+        { Suite_journal.row; attempts; violations = vs }
+    | Error e ->
+        {
+          Suite_journal.row = degrade ~machine ~opt row e;
+          attempts;
+          violations = [];
+        }
   in
-  let rows =
-    List.map
-      (fun (k : Lfk.Kernel.t) ->
-        match
-          List.find_opt
-            (fun (r : Suite.row) ->
-              r.Suite.kernel.Lfk.Kernel.id = k.Lfk.Kernel.id)
-            prior_rows
-        with
-        | Some r -> r
-        | None -> run_one k)
-      (Suite.kernels ())
+  let journal_spec =
+    Option.map
+      (fun path ->
+        {
+          Exec.path;
+          format = Suite_journal.format;
+          config = orig_config;
+          records_of = (fun _ c -> Suite_journal.records_of_cell c);
+        })
+      journal
   in
-  let violations = prior_violations @ List.rev !new_violations in
-  let suite = Suite.of_rows ~violations ~machine ~faults rows in
+  let outcomes, estats =
+    Exec.run ~jobs ?journal:journal_spec ~rewrite
+      ~already:(fun i -> Hashtbl.find_opt replayed i)
+      ~context:(fun i ->
+        Printf.sprintf "LFK%d (%s)" karr.(i).Lfk.Kernel.id
+          karr.(i).Lfk.Kernel.name)
+      ~cells run_cell
+  in
+  let rows = ref [] and violations = ref [] in
+  let poisons = ref [] and estimated = ref 0 in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Exec.Done (c : Suite_journal.cell)) ->
+          rows := c.Suite_journal.row :: !rows;
+          violations :=
+            List.rev_append c.Suite_journal.violations !violations;
+          if not (Hashtbl.mem replayed i) then (
+            match c.Suite_journal.row.Suite.source with
+            | Suite.Estimated _ -> incr estimated
+            | Suite.Measured -> ())
+      | Some (Exec.Poisoned p) -> poisons := p :: !poisons
+      | None -> ())
+    outcomes;
+  let suite =
+    Suite.of_rows
+      ~violations:(List.rev !violations)
+      ~machine ~faults (List.rev !rows)
+  in
   Ok
     {
       suite;
       stats =
-        { resumed; executed = !executed; estimated = !estimated };
+        {
+          resumed = estats.Exec.replayed;
+          executed = estats.Exec.executed;
+          estimated = !estimated;
+        };
+      quarantined = List.rev !poisons;
     }

@@ -23,7 +23,14 @@ open Convex_machine
 
     Every measured row is also cross-checked against the bound oracle
     ({!Macs.Oracle.check_row}); violations ride along in the suite result
-    and the journal. *)
+    and the journal.
+
+    Kernels run through the fault-tolerant executor
+    ({!Convex_exec.Executor}): [~jobs] fans the suite out over worker
+    domains with per-worker journal shards, and a kernel whose cell
+    raises is quarantined into {!outcome.quarantined} (no row) instead of
+    sinking the run.  [~jobs:1] (the default) is pinned byte-identical to
+    the historical sequential journaling. *)
 
 type stats = {
   resumed : int;  (** rows replayed from the journal *)
@@ -32,7 +39,13 @@ type stats = {
       (** of the executed rows, how many degraded to analytic estimates *)
 }
 
-type outcome = { suite : Macs_report.Suite.t; stats : stats }
+type outcome = {
+  suite : Macs_report.Suite.t;
+  stats : stats;
+  quarantined : Convex_exec.Executor.poison list;
+      (** cells whose exception escaped the suite machinery entirely;
+          they contribute no row and [--retry-failed] re-runs them *)
+}
 
 val run :
   ?machine:Machine.t ->
@@ -41,6 +54,7 @@ val run :
   ?guard:int ->
   ?budget:Budget.t ->
   ?oracle_tol:float ->
+  ?jobs:int ->
   ?journal:string ->
   ?resume:bool ->
   ?retry_failed:bool ->

@@ -48,11 +48,12 @@ let kernels () =
     (fun (a : Lfk.Kernel.t) b -> compare a.id b.id)
     (Lfk.Kernels.all @ Lfk.Kernels.scalar_kernels)
 
-let run_kernel ?watchdog ~machine ~opt ~faults ~guard (k : Lfk.Kernel.t) =
+let run_kernel_attempts ?watchdog ~machine ~opt ~faults ~guard
+    (k : Lfk.Kernel.t) =
   let c = Fcc.Compiler.compile ~opt k in
   let layout = Macs.Hierarchy.layout_of c in
-  let outcome =
-    Retry.with_relaxed_guard (fun ~guard_scale ->
+  let outcome, attempts =
+    Retry.with_relaxed_guard_attempts (fun ~guard_scale ->
         match
           Measure.run ?watchdog ~machine ~layout ~faults
             ~guard:(guard * guard_scale)
@@ -78,7 +79,10 @@ let run_kernel ?watchdog ~machine ~opt ~faults ~guard (k : Lfk.Kernel.t) =
                 checksum_ok;
               })
   in
-  { kernel = k; mode = c.mode; outcome; source = Measured }
+  ({ kernel = k; mode = c.mode; outcome; source = Measured }, attempts)
+
+let run_kernel ?watchdog ~machine ~opt ~faults ~guard k =
+  fst (run_kernel_attempts ?watchdog ~machine ~opt ~faults ~guard k)
 
 let of_rows ?(violations = []) ~machine ~faults rows =
   let hmean sel =

@@ -69,6 +69,19 @@ val run_kernel :
     from inside the simulator's stepping loop; returning [Some err]
     cancels the run with that diagnostic (see {!Convex_vpsim.Sim.run}). *)
 
+val run_kernel_attempts :
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
+  machine:Machine.t ->
+  opt:Fcc.Opt_level.t ->
+  faults:Convex_fault.Fault.t ->
+  guard:int ->
+  Lfk.Kernel.t ->
+  row * (int * Macs_util.Macs_error.t) list
+(** Like {!run_kernel}, but also returns the retry history: one
+    [(guard_scale, diagnostic)] pair for every earlier attempt a relaxed
+    retry consumed ({!Convex_fault.Retry.with_relaxed_guard_attempts}),
+    so a supervisor can journal every attempt's diagnostic. *)
+
 val of_rows :
   ?violations:Macs.Oracle.violation list ->
   machine:Machine.t ->

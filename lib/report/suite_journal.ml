@@ -215,6 +215,27 @@ let row_of_record r : (Suite.row, string) result =
         Ok { Suite.kernel; mode; outcome = Error e; source = Suite.Measured }
     | s -> Error (Printf.sprintf "unknown row status %S" s)
 
+(* Retry accounting: a cell that spent relaxed-guard retries journals one
+   [attempt] record per consumed attempt, before its row, so exhausted
+   retries keep every attempt's diagnostic instead of only the last. *)
+let record_of_attempt ~lfk (guard_scale, e) =
+  {
+    Journal.tag = "attempt";
+    fields =
+      ("lfk", Journal.put_int lfk)
+      :: ("guard_scale", Journal.put_int guard_scale)
+      :: fields_of_error e;
+  }
+
+let attempt_of_record r =
+  if r.Journal.tag <> "attempt" then
+    Error (Printf.sprintf "expected attempt record, got %S" r.Journal.tag)
+  else
+    let* lfk = int_field r "lfk" in
+    let* guard_scale = int_field r "guard_scale" in
+    let* e = error_of_record r in
+    Ok (lfk, guard_scale, e)
+
 let record_of_violation (v : Macs.Oracle.violation) =
   {
     Journal.tag = "violation";
@@ -234,6 +255,40 @@ let violation_of_record r : (Macs.Oracle.violation, string) result =
     let* subject = str_field r "subject" in
     let* detail = str_field r "detail" in
     Ok { Macs.Oracle.invariant; subject; detail }
+
+(* One suite cell = one kernel's complete journal footprint, in the order
+   a sequential run appends it: consumed retry attempts, then any oracle
+   violations found on the fresh result, then the row itself (the row
+   record closes the cell, which is what lets a resume attribute pending
+   attempt/violation records to it). *)
+type cell = {
+  row : Suite.row;
+  attempts : (int * Macs_error.t) list;
+  violations : Macs.Oracle.violation list;
+}
+
+let records_of_cell c =
+  List.map (record_of_attempt ~lfk:c.row.Suite.kernel.Lfk.Kernel.id) c.attempts
+  @ List.map record_of_violation c.violations
+  @ [ record_of_row c.row ]
+
+let cell_of_records records =
+  let rec go attempts violations = function
+    | [] -> Error "cell block has no closing row record"
+    | [ r ] when r.Journal.tag = "row" ->
+        let* row = row_of_record r in
+        Ok { row; attempts = List.rev attempts; violations = List.rev violations }
+    | r :: rest -> (
+        match r.Journal.tag with
+        | "attempt" ->
+            let* _, scale, e = attempt_of_record r in
+            go ((scale, e) :: attempts) violations rest
+        | "violation" ->
+            let* v = violation_of_record r in
+            go attempts (v :: violations) rest
+        | t -> Error (Printf.sprintf "unexpected record %S inside a cell" t))
+  in
+  go [] [] records
 
 let repair ~path = Journal.repair ~path ~format
 let start ~path config = Journal.create ~path ~format [ config_record config ]
@@ -265,6 +320,9 @@ let load ~path =
             | "violation" ->
                 let* v = violation_of_record r in
                 Ok (rows, v :: violations)
+            | "attempt" | "poison" ->
+                (* retry history and quarantined cells carry no row data *)
+                Ok (rows, violations)
             | t -> Error (Printf.sprintf "unknown record tag %S" t))
           (Ok ([], [])) rest
       in

@@ -49,6 +49,31 @@ val record_of_violation : Macs.Oracle.violation -> Journal.record
 val violation_of_record :
   Journal.record -> (Macs.Oracle.violation, string) result
 
+val record_of_attempt :
+  lfk:int -> int * Macs_util.Macs_error.t -> Journal.record
+(** One consumed relaxed-guard retry: the kernel number, the guard scale
+    of the attempt and its structured diagnostic (tag ["attempt"]). *)
+
+val attempt_of_record :
+  Journal.record -> (int * int * Macs_util.Macs_error.t, string) result
+(** [(lfk, guard_scale, diagnostic)]. *)
+
+(** {1 Cells}
+
+    One cell is one kernel's complete journal footprint, in the order a
+    sequential run appends it: consumed retry attempts, then oracle
+    violations found on the fresh result, then the closing row. *)
+
+type cell = {
+  row : Suite.row;
+  attempts : (int * Macs_error.t) list;
+      (** [(guard_scale, diagnostic)] per consumed retry *)
+  violations : Macs.Oracle.violation list;
+}
+
+val records_of_cell : cell -> Journal.record list
+val cell_of_records : Journal.record list -> (cell, string) result
+
 (** {1 File operations} *)
 
 val repair : path:string -> (unit, string) result

@@ -1,12 +1,20 @@
 (* Wall-clock time source for watchdog budgets.  [Unix.gettimeofday] can
    step backwards under NTP adjustment; a budget must never be refunded by
-   a clock step, so [now] clamps to the latest time ever observed. *)
+   a clock step, so [now] clamps to the latest time ever observed.  The
+   high-water mark is an [Atomic.t] so that watchdogs polling from several
+   worker domains never race: each domain advances the shared clamp with a
+   compare-and-set loop and every reader sees a nondecreasing sequence. *)
 
-let last = ref neg_infinity
+let last = Atomic.make neg_infinity
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+  let rec clamp () =
+    let seen = Atomic.get last in
+    if t <= seen then seen
+    else if Atomic.compare_and_set last seen t then t
+    else clamp ()
+  in
+  clamp ()
 
 let elapsed ~since = Float.max 0.0 (now () -. since)

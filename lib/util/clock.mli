@@ -4,7 +4,8 @@
     seconds against a per-run allowance; a system clock stepping backwards
     (NTP) must never refund spent budget.  [now] therefore reports the
     maximum system time observed so far — nondecreasing across calls within
-    a process. *)
+    a process.  The clamp is an atomic high-water mark, so [now] is safe to
+    call concurrently from several domains. *)
 
 val now : unit -> float
 (** Monotonic wall-clock seconds (Unix epoch based, clamped to be

@@ -195,6 +195,71 @@ let repair ~path ~format =
               end))
   end
 
+let write_atomic ~path ~format records =
+  let tmp = path ^ ".tmp" in
+  create ~path:tmp ~format records;
+  Sys.rename tmp path
+
+(* ---- per-worker shards ----
+
+   A parallel run gives each worker domain its own append-only shard file
+   [<path>.shard<K>] so no two domains ever write the same journal.  A
+   shard opens with the same header and config record as the main journal
+   and then carries one [shard-cell] wrapper per inner record; the inner
+   record travels as its own encoded line inside a [rec=] field (the
+   percent-escaping nests cleanly).  [merge_shards] folds any surviving
+   shards back into the main journal in cell-index order, reconstructing
+   the byte-identical sequential journal. *)
+
+let shard_tag = "shard-cell"
+let shard_path ~path k = Printf.sprintf "%s.shard%d" path k
+
+let shards ~path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path ^ ".shard" in
+  let bn = String.length base in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             if String.length e > bn && String.sub e 0 bn = base then
+               match int_of_string_opt (String.sub e bn (String.length e - bn)) with
+               | Some k when k >= 0 -> Some (k, Filename.concat dir e)
+               | _ -> None
+             else None)
+      |> List.sort compare
+
+let remove_shards ~path =
+  List.iter
+    (fun (_, file) -> try Sys.remove file with Sys_error _ -> ())
+    (shards ~path)
+
+let shard_start ~path ~shard ~format ~config =
+  create ~path:(shard_path ~path shard) ~format [ config ]
+
+let shard_wrap ~index ~seq r =
+  {
+    tag = shard_tag;
+    fields = [ ("i", put_int index); ("n", put_int seq); ("rec", encode r) ];
+  }
+
+let shard_unwrap r =
+  if r.tag <> shard_tag then
+    Error (Printf.sprintf "expected a %S record, got %S" shard_tag r.tag)
+  else
+    let* i = field_err r "i" in
+    let* n = field_err r "n" in
+    let* line = field_err r "rec" in
+    match (get_int i, get_int n) with
+    | Some i, Some n ->
+        let* inner = decode line in
+        Ok (i, n, inner)
+    | _ -> Error (Printf.sprintf "%s record: non-integer cell coordinates" shard_tag)
+
+let shard_append ~path ~shard ~index ~seq r =
+  append ~path:(shard_path ~path shard) (shard_wrap ~index ~seq r)
+
 let load ~path ~format =
   if not (Sys.file_exists path) then
     Error (Printf.sprintf "journal %s does not exist" path)
@@ -231,3 +296,81 @@ let load ~path ~format =
             in
             decode_rows [] rest)
   end
+
+(* ---- merge-on-resume ---- *)
+
+let merge_shards ~path ~format ~config_ok ~index_of =
+  let* () = repair ~path ~format in
+  let* records = load ~path ~format in
+  match records with
+  | [] -> Error (Printf.sprintf "journal %s holds no config record" path)
+  | config :: body ->
+      let* () = config_ok config in
+      (* Group the main journal's records into per-cell blocks: every
+         record up to and including the next closer ([index_of] = [Some i])
+         belongs to cell [i].  A trailing block without a closer is a torn
+         cell — dropped, so the cell simply re-runs. *)
+      let main_cells =
+        let rec go pending acc = function
+          | [] -> List.rev acc
+          | r :: rest -> (
+              match index_of r with
+              | Some i -> go [] ((i, List.rev (r :: pending)) :: acc) rest
+              | None -> go (r :: pending) acc rest)
+        in
+        go [] [] body
+      in
+      let shard_files = shards ~path in
+      let load_shard (_, file) =
+        let* () = repair ~path:file ~format in
+        let* records = load ~path:file ~format in
+        match records with
+        | [] -> Error (Printf.sprintf "shard %s holds no config record" file)
+        | cfg :: body ->
+            let* () =
+              match config_ok cfg with
+              | Ok () -> Ok ()
+              | Error e ->
+                  Error
+                    (Printf.sprintf
+                       "shard %s: config header mismatch, refusing to merge: %s"
+                       file e)
+            in
+            List.fold_left
+              (fun acc r ->
+                let* acc = acc in
+                let* cell = shard_unwrap r in
+                Ok (cell :: acc))
+              (Ok []) body
+      in
+      let* triples =
+        List.fold_left
+          (fun acc sf ->
+            let* acc = acc in
+            let* cells = load_shard sf in
+            Ok (List.rev_append cells acc))
+          (Ok []) shard_files
+      in
+      let sorted =
+        List.sort (fun (i, n, _) (j, m, _) -> compare (i, n) (j, m)) triples
+      in
+      let shard_cells =
+        let rec go acc = function
+          | [] -> List.rev_map (fun (i, rs) -> (i, List.rev rs)) acc
+          | (i, _, r) :: rest -> (
+              match acc with
+              | (j, rs) :: tl when j = i -> go ((j, r :: rs) :: tl) rest
+              | _ -> go ((i, [ r ]) :: acc) rest)
+        in
+        go [] sorted
+      in
+      let module IMap = Map.Make (Int) in
+      let add m (i, rs) = if IMap.mem i m then m else IMap.add i rs m in
+      let merged = List.fold_left add IMap.empty main_cells in
+      let merged = List.fold_left add merged shard_cells in
+      let cells = IMap.bindings merged in
+      if shard_files <> [] then begin
+        write_atomic ~path ~format (config :: List.concat_map snd cells);
+        List.iter (fun (_, file) -> Sys.remove file) shard_files
+      end;
+      Ok (config, cells)

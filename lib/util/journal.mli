@@ -65,3 +65,65 @@ val load : path:string -> format:string -> (record list, string) result
 (** Read every record after the header, verifying magic, version and
     format.  A torn final line (interrupted writer) is dropped; earlier
     corruption is an error. *)
+
+val write_atomic : path:string -> format:string -> record list -> unit
+(** Like {!create}, but writes to a temporary file first and renames it
+    into place, so a crash mid-write never leaves a half-written journal
+    where a complete one used to be. *)
+
+(** {1 Per-worker shards}
+
+    A parallel run gives each worker domain a private append-only shard
+    file [<path>.shard<K>], so no two domains ever write the same file.
+    A shard opens with the same header and config record as the main
+    journal, then carries one [shard-cell] wrapper per inner record: the
+    wrapper stores the cell index, a per-cell sequence number and the
+    inner record's encoded line (percent-escaping nests cleanly).
+    {!merge_shards} folds surviving shards back into the main journal in
+    cell-index order, reconstructing the byte-identical sequential
+    journal. *)
+
+val shard_path : path:string -> int -> string
+(** [shard_path ~path k] is ["<path>.shard<K>"]. *)
+
+val shards : path:string -> (int * string) list
+(** Shard files currently present beside [path], sorted by shard index.
+    Empty when the directory cannot be read. *)
+
+val remove_shards : path:string -> unit
+(** Delete every shard file beside [path]; missing files are ignored. *)
+
+val shard_start :
+  path:string -> shard:int -> format:string -> config:record -> unit
+(** Create (truncating) shard [shard] of [path]: header then [config].
+    The config record must be byte-identical to the main journal's so
+    {!merge_shards} can refuse mismatched resumes. *)
+
+val shard_append :
+  path:string -> shard:int -> index:int -> seq:int -> record -> unit
+(** Append inner record number [seq] of cell [index] to shard [shard]. *)
+
+val shard_unwrap : record -> (int * int * record, string) result
+(** Decode a [shard-cell] wrapper back to [(index, seq, inner record)]. *)
+
+val merge_shards :
+  path:string ->
+  format:string ->
+  config_ok:(record -> (unit, string) result) ->
+  index_of:(record -> int option) ->
+  (record * (int * record list) list, string) result
+(** Merge-on-resume.  Repairs and loads the main journal at [path],
+    checks its config record (the first record after the header) with
+    [config_ok], and groups the remaining records into per-cell blocks:
+    a record with [index_of r = Some i] closes the block for cell [i],
+    records mapped to [None] belong to the next closer (a trailing block
+    with no closer is a torn cell and is dropped).  Then loads every
+    shard file beside [path] — refusing if a shard's config record fails
+    [config_ok] — and merges its cells in.  When a cell somehow appears
+    both in the main journal and in a shard, the main journal wins.
+
+    If any shards were present, the main journal is atomically rewritten
+    as header, config, then every cell's records in ascending cell-index
+    order — byte-identical to what a sequential run would have produced
+    for those cells — and the shards are deleted.  Returns the config
+    record (original bytes) and the merged cells, sorted by index. *)

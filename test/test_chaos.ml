@@ -353,6 +353,87 @@ let test_campaign_refuses_config_mismatch () =
         (contains ~needle:"different campaign configuration" e)
   | Ok _ -> Alcotest.fail "resume under a different seed must refuse"
 
+(* ---- parallel execution: jobs parity, quarantine, shard recovery ---- *)
+
+let test_campaign_parallel_byte_identical () =
+  with_tmp @@ fun j1 ->
+  with_tmp @@ fun j4 ->
+  let cfg j jobs =
+    { Campaign.default_config with seed = 11; cells = 8; journal = Some j;
+      jobs }
+  in
+  let t1 = run_ok (cfg j1 1) in
+  let t4 = run_ok (cfg j4 4) in
+  Alcotest.(check string) "jobs=4 journal byte-identical to jobs=1"
+    (read_file j1) (read_file j4);
+  Alcotest.(check string) "renders identical" (Campaign.render t1)
+    (Campaign.render t4);
+  Alcotest.(check (list (pair int string))) "no shards left behind" []
+    (Macs_util.Journal.shards ~path:j4)
+
+let test_campaign_kill_cell_quarantined () =
+  with_tmp @@ fun j ->
+  let cfg =
+    { Campaign.default_config with seed = 7; cells = 6; journal = Some j;
+      jobs = 3; kill_cells = [ 2 ] }
+  in
+  let t = run_ok cfg in
+  Alcotest.(check bool) "not clean" false (Campaign.clean t);
+  Alcotest.(check int) "five cells completed" 5
+    (List.length t.Campaign.results);
+  (match t.Campaign.quarantined with
+  | [ p ] ->
+      Alcotest.(check int) "the killed cell" 2 p.Convex_exec.Executor.index;
+      Alcotest.(check bool) "kill is named" true
+        (contains ~needle:"injected kill" p.Convex_exec.Executor.error)
+  | ps -> Alcotest.failf "expected one poison, got %d" (List.length ps));
+  Alcotest.(check bool) "poison journaled" true
+    (contains ~needle:"\npoison\t" (read_file j));
+  Alcotest.(check bool) "render reports the quarantine" true
+    (contains ~needle:"QUARANTINED" (Campaign.render t));
+  (* resume replays the poison record instead of re-running the cell *)
+  let t2 =
+    run_ok { cfg with Campaign.resume = true; kill_cells = [] }
+  in
+  Alcotest.(check int) "all six replayed" 6 t2.Campaign.resumed;
+  Alcotest.(check int) "none executed" 0 t2.Campaign.executed;
+  Alcotest.(check int) "quarantine survives the resume" 1
+    (List.length t2.Campaign.quarantined)
+
+let test_campaign_shard_resume_loses_nothing () =
+  (* manufacture the wreckage of a parallel campaign killed mid-run: the
+     main journal holds one completed cell, a shard holds two more, and
+     the rest never ran.  Resume must merge the shard, replay all three,
+     run only the missing cells, and converge on the uninterrupted
+     sequential bytes. *)
+  with_tmp @@ fun j ->
+  let cfg =
+    { Campaign.default_config with seed = 3; cells = 6; journal = Some j }
+  in
+  let (_ : Campaign.t) = run_ok cfg in
+  let full = read_file j in
+  let records =
+    match Macs_util.Journal.load ~path:j ~format:Campaign.format with
+    | Ok rs -> rs
+    | Error e -> Alcotest.failf "journal load: %s" e
+  in
+  let config, cells =
+    match records with c :: rest -> (c, Array.of_list rest) | [] -> assert false
+  in
+  Macs_util.Journal.create ~path:j ~format:Campaign.format
+    [ config; cells.(0) ];
+  Macs_util.Journal.shard_start ~path:j ~shard:1 ~format:Campaign.format
+    ~config;
+  Macs_util.Journal.shard_append ~path:j ~shard:1 ~index:2 ~seq:0 cells.(2);
+  Macs_util.Journal.shard_append ~path:j ~shard:1 ~index:1 ~seq:0 cells.(1);
+  let t = run_ok { cfg with Campaign.resume = true; jobs = 4 } in
+  Alcotest.(check int) "main + shard cells replayed" 3 t.Campaign.resumed;
+  Alcotest.(check int) "only missing cells run" 3 t.Campaign.executed;
+  Alcotest.(check string) "journal converges on the sequential bytes" full
+    (read_file j);
+  Alcotest.(check (list (pair int string))) "shards consumed" []
+    (Macs_util.Journal.shards ~path:j)
+
 (* ---- violations and delta-debugged minimal plans ---- *)
 
 let test_broken_hierarchy_minimal_plans () =
@@ -447,6 +528,12 @@ let () =
             test_campaign_resume_survives_torn_tail;
           Alcotest.test_case "config mismatch refused" `Slow
             test_campaign_refuses_config_mismatch;
+          Alcotest.test_case "parallel journal byte-identical" `Slow
+            test_campaign_parallel_byte_identical;
+          Alcotest.test_case "kill-cell quarantined and resumable" `Slow
+            test_campaign_kill_cell_quarantined;
+          Alcotest.test_case "shard resume loses nothing" `Slow
+            test_campaign_shard_resume_loses_nothing;
           Alcotest.test_case "minimal plans on broken hierarchy" `Slow
             test_broken_hierarchy_minimal_plans;
           Alcotest.test_case "healthy campaign clean" `Slow

@@ -1,0 +1,345 @@
+(* Tests for the fault-tolerant domain-parallel executor: deterministic
+   backoff, transient retry, poison quarantine, graceful worker loss,
+   sharded journals and their merge-on-resume byte identity. *)
+
+open Macs_util
+module Exec = Convex_exec.Executor
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let tmp_journal name = Filename.temp_file ("macs_exec_" ^ name) ".journal"
+
+(* ---- backoff ---- *)
+
+let test_backoff_deterministic () =
+  let retry = { Exec.default_retry with seed = 7 } in
+  for index = 0 to 5 do
+    for attempt = 1 to 4 do
+      let a = Exec.backoff_delay ~retry ~index ~attempt in
+      let b = Exec.backoff_delay ~retry ~index ~attempt in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "same delay for cell %d attempt %d" index attempt)
+        a b
+    done
+  done;
+  (* different cells get different jitter (with overwhelming probability) *)
+  let d0 = Exec.backoff_delay ~retry ~index:0 ~attempt:1 in
+  let d1 = Exec.backoff_delay ~retry ~index:1 ~attempt:1 in
+  Alcotest.(check bool) "jitter varies per cell" true (d0 <> d1)
+
+let test_backoff_bounds () =
+  let retry =
+    { Exec.max_attempts = 10; base_delay_s = 0.005; max_delay_s = 0.05;
+      seed = 3 }
+  in
+  for attempt = 1 to 8 do
+    let d = Exec.backoff_delay ~retry ~index:2 ~attempt in
+    let floor = retry.base_delay_s *. (2.0 ** float_of_int (attempt - 1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d at least the exponential floor" attempt)
+      true
+      (d >= Float.min floor retry.max_delay_s);
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d capped" attempt)
+      true
+      (d <= retry.max_delay_s)
+  done
+
+(* ---- retry and quarantine ---- *)
+
+let fast_retry =
+  { Exec.max_attempts = 3; base_delay_s = 1e-6; max_delay_s = 1e-5; seed = 0 }
+
+let test_transient_retries_then_succeeds () =
+  let attempts = Atomic.make 0 in
+  let cell i =
+    if i = 2 && Atomic.fetch_and_add attempts 1 < 2 then
+      raise (Exec.Transient "flaky");
+    i * 10
+  in
+  let results, stats = Exec.run ~retry:fast_retry ~cells:4 cell in
+  Alcotest.(check int) "two retries consumed" 2 stats.Exec.retried;
+  Alcotest.(check int) "nothing quarantined" 0 stats.Exec.quarantined;
+  (match results.(2) with
+  | Some (Exec.Done v) -> Alcotest.(check int) "third attempt's value" 20 v
+  | _ -> Alcotest.fail "cell 2 must succeed after retries")
+
+let test_transient_exhaustion_poisons () =
+  let attempts = Atomic.make 0 in
+  let cell i =
+    if i = 1 then (
+      Atomic.incr attempts;
+      raise (Exec.Transient "never recovers"));
+    i
+  in
+  let results, stats = Exec.run ~retry:fast_retry ~cells:3 cell in
+  Alcotest.(check int) "all attempts consumed" 3 (Atomic.get attempts);
+  Alcotest.(check int) "one cell quarantined" 1 stats.Exec.quarantined;
+  match results.(1) with
+  | Some (Exec.Poisoned p) ->
+      Alcotest.(check int) "attempts recorded" 3 p.Exec.attempts;
+      Alcotest.(check bool) "transient error surfaced" true
+        (String.length p.Exec.error > 0)
+  | _ -> Alcotest.fail "exhausted cell must be poisoned"
+
+let poison_exactly_once jobs () =
+  let executions = Array.init 8 (fun _ -> Atomic.make 0) in
+  let cell i =
+    Atomic.incr executions.(i);
+    if i = 3 then failwith "lethal";
+    i
+  in
+  let results, stats =
+    Exec.run ~jobs ~retry:fast_retry ~context:(Printf.sprintf "cell %d")
+      ~cells:8 cell
+  in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "cell %d ran exactly once" i)
+        1 (Atomic.get c))
+    executions;
+  Alcotest.(check int) "one quarantine" 1 stats.Exec.quarantined;
+  (match results.(3) with
+  | Some (Exec.Poisoned p) ->
+      Alcotest.(check int) "poisoned on first attempt" 1 p.Exec.attempts;
+      Alcotest.(check string) "context captured" "cell 3" p.Exec.context
+  | _ -> Alcotest.fail "raising cell must be poisoned exactly once");
+  Array.iteri
+    (fun i r ->
+      if i <> 3 then
+        match r with
+        | Some (Exec.Done v) -> Alcotest.(check int) "value" i v
+        | _ -> Alcotest.failf "cell %d lost" i)
+    results
+
+let test_worker_killed_retires_worker () =
+  let cell i =
+    if i = 0 then raise (Exec.Worker_killed "injected");
+    i
+  in
+  let results, stats = Exec.run ~jobs:2 ~cells:6 cell in
+  Alcotest.(check int) "one worker lost" 1 stats.Exec.lost_workers;
+  Alcotest.(check int) "one quarantine" 1 stats.Exec.quarantined;
+  for i = 1 to 5 do
+    match results.(i) with
+    | Some (Exec.Done v) -> Alcotest.(check int) "survivor" i v
+    | _ -> Alcotest.failf "cell %d lost with the worker" i
+  done
+
+let test_all_workers_killed_backstop () =
+  (* kill every worker immediately: the coordinator itself must finish
+     the remaining cells *)
+  let kills = Atomic.make 0 in
+  let cell i =
+    if Atomic.fetch_and_add kills 1 < 2 then
+      raise (Exec.Worker_killed "mass casualty");
+    i
+  in
+  let results, stats = Exec.run ~jobs:2 ~cells:8 cell in
+  Alcotest.(check int) "both workers lost" 2 stats.Exec.lost_workers;
+  let done_ = ref 0 and poisoned = ref 0 in
+  Array.iter
+    (function
+      | Some (Exec.Done _) -> incr done_
+      | Some (Exec.Poisoned _) -> incr poisoned
+      | None -> Alcotest.fail "no cell may be skipped")
+    results;
+  Alcotest.(check int) "two cells quarantined" 2 !poisoned;
+  Alcotest.(check int) "the rest completed" 6 !done_
+
+(* ---- poison codec ---- *)
+
+let test_poison_record_roundtrip () =
+  let p =
+    { Exec.index = 4; attempts = 3; error = "odd\tbytes % and = here";
+      context = "lfk7 under jitter=9" }
+  in
+  match Exec.poison_of_record (Exec.poison_record p) with
+  | Ok p' -> Alcotest.(check bool) "identical" true (p = p')
+  | Error e -> Alcotest.failf "poison did not round-trip: %s" e
+
+(* ---- sharded journals ---- *)
+
+let cell_record i =
+  { Journal.tag = "cell";
+    fields = [ ("i", Journal.put_int i); ("v", Printf.sprintf "value-%d" i) ]
+  }
+
+let config = { Journal.tag = "config"; fields = [ ("seed", "42") ] }
+let format = "exec-test"
+
+let journal_spec path =
+  { Exec.path; format; config; records_of = (fun i () -> [ cell_record i ]) }
+
+let index_of r =
+  if r.Journal.tag = "cell" then Journal.get_int (List.assoc "i" r.fields)
+  else None
+
+let config_ok r =
+  if r = config then Ok () else Error "config mismatch"
+
+let test_parallel_journal_byte_identical () =
+  let p1 = tmp_journal "seq" and p4 = tmp_journal "par" in
+  let run path jobs =
+    ignore (Exec.run ~jobs ~journal:(journal_spec path) ~cells:13 (fun _ -> ()))
+  in
+  run p1 1;
+  run p4 4;
+  Alcotest.(check string) "jobs=4 journal byte-identical to jobs=1"
+    (read_file p1) (read_file p4);
+  Alcotest.(check (list (pair int string))) "no shards left behind" []
+    (Journal.shards ~path:p4);
+  Sys.remove p1;
+  Sys.remove p4
+
+let test_stop_then_resume_loses_nothing () =
+  (* a parallel run stopped early, then resumed: the merged journal must
+     equal an uninterrupted sequential run's bytes *)
+  let full = tmp_journal "stopfull" and part = tmp_journal "stoppart" in
+  ignore (Exec.run ~journal:(journal_spec full) ~cells:10 (fun _ -> ()));
+  let started = Atomic.make 0 in
+  let stop () = Atomic.fetch_and_add started 1 >= 5 in
+  let _, s1 =
+    Exec.run ~jobs:3 ~journal:(journal_spec part) ~should_stop:stop ~cells:10
+      (fun _ -> ())
+  in
+  Alcotest.(check bool) "stopped early" true s1.Exec.stopped_early;
+  (* resume: merge whatever landed (main or shards), rerun the rest *)
+  match
+    Journal.merge_shards ~path:part ~format ~config_ok ~index_of
+  with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok (orig, cells) ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (i, _) -> Hashtbl.replace tbl i (Exec.Done ())) cells;
+      let _, s2 =
+        Exec.run ~jobs:3
+          ~journal:{ (journal_spec part) with config = orig }
+          ~rewrite:true
+          ~already:(Hashtbl.find_opt tbl) ~cells:10
+          (fun _ -> ())
+      in
+      Alcotest.(check int) "every completed cell replayed"
+        (List.length cells) s2.Exec.replayed;
+      Alcotest.(check string) "resumed journal byte-identical"
+        (read_file full) (read_file part);
+      Sys.remove full;
+      Sys.remove part
+
+let test_shard_config_mismatch_refused () =
+  let path = tmp_journal "shardcfg" in
+  Journal.create ~path ~format [ config ];
+  let bad = { Journal.tag = "config"; fields = [ ("seed", "99") ] } in
+  Journal.shard_start ~path ~shard:0 ~format ~config:bad;
+  Journal.shard_append ~path ~shard:0 ~index:0 ~seq:0 (cell_record 0);
+  (match Journal.merge_shards ~path ~format ~config_ok ~index_of with
+  | Error e ->
+      Alcotest.(check bool) "shard named in refusal" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "mismatched shard config must refuse the merge");
+  Journal.remove_shards ~path;
+  Sys.remove path
+
+(* any interleaving of shard writes merges back to the canonical
+   sequential journal, byte for byte *)
+let prop_shard_merge_canonical =
+  QCheck.Test.make ~count:100
+    ~name:"shard merge is canonical under any interleaving"
+    QCheck.(
+      pair (int_range 1 12)
+        (pair (int_range 1 4) (int_range 0 1000)))
+    (fun (cells, (shards, salt)) ->
+      let path = tmp_journal "prop" in
+      let rng = Random.State.make [| cells; shards; salt |] in
+      (* canonical: what a sequential run writes *)
+      let canonical = tmp_journal "canon" in
+      Journal.create ~path:canonical ~format
+        (config :: List.init cells cell_record);
+      (* shards: assign each cell to a random shard, then write each
+         shard's cells in a random order *)
+      Journal.create ~path ~format [ config ];
+      let assignment = Array.init cells (fun _ -> Random.State.int rng shards) in
+      for s = 0 to shards - 1 do
+        let mine =
+          List.filter (fun i -> assignment.(i) = s) (List.init cells Fun.id)
+        in
+        if mine <> [] then begin
+          Journal.shard_start ~path ~shard:s ~format ~config;
+          let shuffled =
+            List.sort
+              (fun _ _ -> if Random.State.bool rng then 1 else -1)
+              mine
+          in
+          List.iter
+            (fun i ->
+              Journal.shard_append ~path ~shard:s ~index:i ~seq:0
+                (cell_record i))
+            shuffled
+        end
+      done;
+      let ok =
+        match Journal.merge_shards ~path ~format ~config_ok ~index_of with
+        | Error _ -> false
+        | Ok (_, got) ->
+            List.length got = cells
+            && read_file path = read_file canonical
+            && Journal.shards ~path = []
+      in
+      Journal.remove_shards ~path;
+      Sys.remove path;
+      Sys.remove canonical;
+      ok)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_shard_merge_canonical ]
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic per (seed, cell, attempt)" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "exponential and capped" `Quick
+            test_backoff_bounds;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient retries then succeeds" `Quick
+            test_transient_retries_then_succeeds;
+          Alcotest.test_case "exhaustion poisons" `Quick
+            test_transient_exhaustion_poisons;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "poison exactly once, jobs=1" `Quick
+            (poison_exactly_once 1);
+          Alcotest.test_case "poison exactly once, jobs=4" `Quick
+            (poison_exactly_once 4);
+          Alcotest.test_case "poison record round-trips" `Quick
+            test_poison_record_roundtrip;
+        ] );
+      ( "worker-loss",
+        [
+          Alcotest.test_case "lethal cell retires its worker" `Quick
+            test_worker_killed_retires_worker;
+          Alcotest.test_case "coordinator backstops total loss" `Quick
+            test_all_workers_killed_backstop;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "parallel journal byte-identical" `Quick
+            test_parallel_journal_byte_identical;
+          Alcotest.test_case "stop then resume loses nothing" `Quick
+            test_stop_then_resume_loses_nothing;
+          Alcotest.test_case "shard config mismatch refused" `Quick
+            test_shard_config_mismatch_refused;
+        ] );
+      ("journal-properties", qcheck_tests);
+    ]

@@ -213,7 +213,7 @@ let test_supervisor_budget_degrades_not_aborts () =
     Supervisor.run ~budget:(Budget.make ~max_cycles:500.0 ()) ()
   with
   | Error e -> Alcotest.failf "supervisor errored: %s" e
-  | Ok { suite; stats } ->
+  | Ok { suite; stats; _ } ->
       Alcotest.(check int) "all rows present" 12 (List.length suite.rows);
       Alcotest.(check int) "all estimated" 12 stats.Supervisor.estimated;
       Alcotest.(check int) "none failed" 0
@@ -291,6 +291,69 @@ let test_supervisor_retry_failed () =
   Alcotest.(check int) "everything replayed" 12
     again.Supervisor.stats.Supervisor.resumed;
   Sys.remove path
+
+let test_supervisor_journals_every_attempt () =
+  (* satellite fix: a kernel that exhausts its retries must journal one
+     "attempt" record per consumed retry, diagnostics included, and the
+     journal must still replay byte-identically afterwards *)
+  let path = tmp_journal "attempts" in
+  let faults = Result.get_ok (Convex_fault.Fault.parse "dead-bank") in
+  (match Supervisor.run ~faults ~journal:path () with
+  | Error e -> Alcotest.failf "supervisor errored: %s" e
+  | Ok o ->
+      Alcotest.(check int) "all rows present" 12
+        (List.length o.Supervisor.suite.Macs_report.Suite.rows));
+  let lines = String.split_on_char '\n' (read_file path) in
+  let attempts =
+    List.filter
+      (fun l -> String.length l >= 8 && String.sub l 0 8 = "attempt\t")
+      lines
+  in
+  Alcotest.(check bool) "attempt records journaled" true (attempts <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "attempt carries its diagnostic" true
+        (String.length l > 0
+        && (let has needle =
+              let nl = String.length needle and ll = String.length l in
+              let rec go i =
+                i + nl <= ll && (String.sub l i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            has "guard_scale=" && has "err=")))
+    attempts;
+  let before = read_file path in
+  (match Supervisor.run ~faults ~journal:path ~resume:true () with
+  | Error e -> Alcotest.failf "resume errored: %s" e
+  | Ok o ->
+      Alcotest.(check int) "every cell replayed" 12
+        o.Supervisor.stats.Supervisor.resumed);
+  Alcotest.(check string) "replay leaves attempt records untouched" before
+    (read_file path);
+  Sys.remove path
+
+let test_supervisor_parallel_byte_identical () =
+  (* --jobs 4 merged journal must match the --jobs 1 bytes; a cycle
+     budget keeps every cell deterministic and fast *)
+  let j1 = tmp_journal "jobs1" and j4 = tmp_journal "jobs4" in
+  let budget = Budget.make ~max_cycles:500.0 () in
+  let run path jobs =
+    match Supervisor.run ~budget ~journal:path ~jobs () with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "supervisor errored: %s" e
+  in
+  let o1 = run j1 1 in
+  let o4 = run j4 4 in
+  Alcotest.(check string) "journals byte-identical" (read_file j1)
+    (read_file j4);
+  Alcotest.(check bool) "renders identical" true
+    (Macs_report.Suite.render o1.Supervisor.suite
+    = Macs_report.Suite.render o4.Supervisor.suite);
+  Alcotest.(check (list (pair int string))) "no shards left behind" []
+    (Journal.shards ~path:j4);
+  Sys.remove j1;
+  Sys.remove j4
 
 let test_supervisor_refuses_config_mismatch () =
   let path = tmp_journal "mismatch" in
@@ -386,6 +449,10 @@ let () =
             test_supervisor_resume_after_torn_write;
           Alcotest.test_case "retry-failed re-runs diagnostics" `Quick
             test_supervisor_retry_failed;
+          Alcotest.test_case "every retry attempt journaled" `Quick
+            test_supervisor_journals_every_attempt;
+          Alcotest.test_case "parallel journal byte-identical" `Quick
+            test_supervisor_parallel_byte_identical;
           Alcotest.test_case "config mismatch refused" `Quick
             test_supervisor_refuses_config_mismatch;
         ] );
