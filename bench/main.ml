@@ -224,7 +224,65 @@ let run_exec_bench () =
       [ (name, 1, t1); (name, n, tn) ])
     tasks
 
-let write_bench_json path ~stage_rows ~exec_rows =
+(* ------------------------------------------------------------------ *)
+(* Result-cache pass: cold (populate) vs warm (all hits) wall clock    *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let run_suite_cached cache =
+  match Convex_harness.Supervisor.run ~cache () with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench suite/cache: " ^ e)
+
+let run_fuzz_cached cache =
+  let cfg =
+    { Convex_fuzz.Driver.default_config with count = 16; cache = Some cache }
+  in
+  ignore (Convex_fuzz.Driver.run cfg)
+
+let run_chaos_cached cache =
+  let cfg =
+    { Convex_chaos.Campaign.default_config with cells = 8; cache = Some cache }
+  in
+  match Convex_chaos.Campaign.run cfg with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench chaos/cache: " ^ e)
+
+let run_cache_bench () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "macs-bench-cache.%d" (Unix.getpid ()))
+  in
+  let tasks =
+    [
+      ("suite", run_suite_cached);
+      ("fuzz", run_fuzz_cached);
+      ("chaos", run_chaos_cached);
+    ]
+  in
+  Printf.printf "\nResult cache (cold populate vs warm re-run):\n";
+  let rows =
+    List.concat_map
+      (fun (name, f) ->
+        let dir = Filename.concat root name in
+        let cold = wall (fun () -> f dir) in
+        let warm = wall (fun () -> f dir) in
+        Printf.printf
+          "  %-8s cold %7.3f s   warm %7.3f s   speedup %.2fx\n" name cold
+          warm (cold /. warm);
+        [ (name, "cold", cold); (name, "warm", warm) ])
+      tasks
+  in
+  rm_rf root;
+  rows
+
+let write_bench_json path ~stage_rows ~exec_rows ~cache_rows =
   let oc = open_out path in
   let json_row (name, jobs, s) =
     Printf.sprintf "    { \"task\": %S, \"jobs\": %d, \"wall_s\": %.6f }" name
@@ -233,13 +291,19 @@ let write_bench_json path ~stage_rows ~exec_rows =
   let json_stage (name, ns) =
     Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %.3f }" name ns
   in
+  let json_cache (name, phase, s) =
+    Printf.sprintf "    { \"task\": %S, \"phase\": %S, \"wall_s\": %.6f }"
+      name phase s
+  in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"macs-bench-exec/1\",\n\
+    \  \"schema\": \"macs-bench-exec/2\",\n\
     \  \"exec\": [\n%s\n  ],\n\
+    \  \"cache\": [\n%s\n  ],\n\
     \  \"stages\": [\n%s\n  ]\n\
      }\n"
     (String.concat ",\n" (List.map json_row exec_rows))
+    (String.concat ",\n" (List.map json_cache cache_rows))
     (String.concat ",\n" (List.map json_stage stage_rows));
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -251,5 +315,7 @@ let () =
   if not print_only then begin
     let stage_rows = run_benchmarks () in
     let exec_rows = run_exec_bench () in
+    let cache_rows = run_cache_bench () in
     write_bench_json "BENCH_exec.json" ~stage_rows ~exec_rows
+      ~cache_rows
   end

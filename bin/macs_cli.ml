@@ -79,6 +79,37 @@ let jobs_arg =
            per-worker shards that are merged back into the same canonical \
            bytes.")
 
+(* --cache DIR (or MACS_CACHE in the environment) turns on the
+   content-addressed result cache for suite/fuzz/chaos; --no-cache wins
+   over both.  Counters go to stderr only — stdout renders are pinned
+   byte-identical between cold and warm runs. *)
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "MACS_CACHE")
+        ~doc:
+          "Content-addressed result cache directory: completed cells and \
+           cases are memoised under a digest of everything that determines \
+           them, so a warm re-run replays them without simulating — with \
+           byte-identical output.  Created if missing.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore $(b,--cache) and $(b,MACS_CACHE); compute everything.")
+
+let cache_of cache no_cache = if no_cache then None else cache
+
+let report_cache_counters = function
+  | None -> ()
+  | Some c ->
+      Printf.eprintf "%s\n"
+        (Format.asprintf "%a" Convex_cache.Cache.pp_counters c);
+      flush stderr
+
 let kernels_of = function
   | None -> Lfk.Kernels.all
   | Some id -> (
@@ -475,7 +506,8 @@ let suite_cmd =
           ~doc:
             "Watchdog cap on host wall-clock seconds per kernel run.")
   in
-  let run machine opt faults journal resume retry_failed cycles wall jobs =
+  let run machine opt faults journal resume retry_failed cycles wall jobs
+      cache no_cache =
     let budget =
       Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
     in
@@ -484,9 +516,11 @@ let suite_cmd =
       exit 2);
     match
       Convex_harness.Supervisor.run ~machine ~opt ~faults ~budget ?journal
-        ~resume ~retry_failed ~jobs ()
+        ~resume ~retry_failed ~jobs
+        ?cache:(cache_of cache no_cache) ()
     with
-    | Ok { suite; stats; quarantined } ->
+    | Ok { suite; stats; quarantined; cache_counters } ->
+        report_cache_counters cache_counters;
         print_string (Macs_report.Suite.render suite);
         if stats.Convex_harness.Supervisor.resumed > 0 then
           Printf.printf
@@ -516,7 +550,8 @@ let suite_cmd =
          "Run the full Livermore suite (10 vector + 2 scalar kernels) with           output verification, supervised: watchdog budgets, journal           checkpoint/resume, graceful degradation to analytic estimates")
     Term.(
       const run $ machine_arg $ opt_arg $ faults_arg $ journal $ resume
-      $ retry_failed $ budget_cycles $ budget_wall $ jobs_arg)
+      $ retry_failed $ budget_cycles $ budget_wall $ jobs_arg $ cache_arg
+      $ no_cache_arg)
 
 let resilience_cmd =
   let plans =
@@ -654,7 +689,8 @@ let fuzz_cmd =
            ^ " Repeatable; defaults to every stock preset.  Each kernel \
               case samples one plan, rotating."))
   in
-  let run seed count machine_name budget sim_budget corpus no_sim plans jobs =
+  let run seed count machine_name budget sim_budget corpus no_sim plans jobs
+      cache no_cache =
     let machine = Result.get_ok (machine_of_name machine_name) in
     let cfg =
       {
@@ -667,6 +703,7 @@ let fuzz_cmd =
         corpus;
         sim = not no_sim;
         jobs;
+        cache = cache_of cache no_cache;
         fault_plans =
           (match plans with
           | [] -> Convex_fuzz.Driver.default_config.fault_plans
@@ -679,6 +716,7 @@ let fuzz_cmd =
         flush stderr)
     in
     let summary = Convex_fuzz.Driver.run ~progress cfg in
+    report_cache_counters summary.Convex_fuzz.Driver.cache_counters;
     print_endline (Convex_fuzz.Driver.render_summary summary);
     if not (Convex_fuzz.Driver.clean summary) then exit 1
   in
@@ -693,7 +731,7 @@ let fuzz_cmd =
           corpus; exits non-zero on any violation")
     Term.(
       const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
-      $ no_sim $ plans $ jobs_arg)
+      $ no_sim $ plans $ jobs_arg $ cache_arg $ no_cache_arg)
 
 let chaos_cmd =
   let seed =
@@ -754,7 +792,8 @@ let chaos_cmd =
              the cell is quarantined as a poison record and the campaign \
              degrades to fewer workers instead of aborting.")
   in
-  let run seed cells machine_name journal resume budget jobs kill_cells =
+  let run seed cells machine_name journal resume budget jobs kill_cells cache
+      no_cache =
     let machine = Result.get_ok (machine_of_name machine_name) in
     if resume && journal = None then (
       prerr_endline "macs_cli chaos: --resume needs --journal";
@@ -770,6 +809,7 @@ let chaos_cmd =
         resume;
         jobs;
         kill_cells;
+        cache = cache_of cache no_cache;
         budget =
           (match budget with
           | Some c -> Convex_harness.Budget.make ~max_cycles:c ()
@@ -786,6 +826,7 @@ let chaos_cmd =
         prerr_endline ("macs_cli chaos: " ^ e);
         exit 2
     | Ok outcome ->
+        report_cache_counters outcome.Convex_chaos.Campaign.cache_counters;
         print_string (Convex_chaos.Campaign.render outcome);
         if not (Convex_chaos.Campaign.clean outcome) then exit 1
   in
@@ -801,7 +842,173 @@ let chaos_cmd =
           violation")
     Term.(
       const run $ seed $ cells $ machine_name $ journal $ resume $ budget
-      $ jobs_arg $ kill_cells)
+      $ jobs_arg $ kill_cells $ cache_arg $ no_cache_arg)
+
+let cache_cmd =
+  let module Cache = Convex_cache.Cache in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Cache directory (created if missing).")
+  in
+  let stat_cmd =
+    let run dir =
+      let t = Cache.open_dir dir in
+      let s = Cache.stat t in
+      Printf.printf
+        "%s: %d entr%s, %d bytes, %d quarantined file%s\n%d logged run%s \
+         (total: %s)\n"
+        dir s.Cache.entries
+        (if s.Cache.entries = 1 then "y" else "ies")
+        s.Cache.bytes s.Cache.quarantine
+        (if s.Cache.quarantine = 1 then "" else "s")
+        s.Cache.runs
+        (if s.Cache.runs = 1 then "" else "s")
+        (Format.asprintf "%a" Cache.pp_counters s.Cache.total)
+    in
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Entry count, size, quarantine, logged runs")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let t = Cache.open_dir dir in
+      let r = Cache.verify t in
+      Printf.printf "%s: %d entries checked, %d ok, %d quarantined\n" dir
+        r.Cache.checked r.Cache.ok
+        (List.length r.Cache.bad);
+      List.iter
+        (fun (key, reason) -> Printf.printf "  %s: %s\n" key reason)
+        r.Cache.bad;
+      if r.Cache.bad <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-verify every entry's checksum; corrupt entries are moved to \
+            quarantine/ (exit 1 if any were)")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_bytes =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:
+              "Evict oldest entries until the object store fits $(docv) \
+               bytes.")
+    in
+    let run dir max_bytes =
+      let t = Cache.open_dir dir in
+      let r = Cache.gc ?max_bytes t in
+      Printf.printf
+        "%s: kept %d, evicted %d (%d bytes freed), purged %d quarantined \
+         and %d orphaned tmp file%s\n"
+        dir r.Cache.kept r.Cache.evicted r.Cache.freed_bytes
+        r.Cache.purged_quarantine r.Cache.purged_tmp
+        (if r.Cache.purged_tmp = 1 then "" else "s")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Purge quarantined and orphaned tmp files; with --max-bytes, \
+            also evict oldest entries to fit the budget")
+      Term.(const run $ dir_arg $ max_bytes)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain a content-addressed result cache directory \
+          (see --cache on suite, fuzz and chaos)")
+    [ stat_cmd; verify_cmd; gc_cmd ]
+
+let crash_sweep_cmd =
+  let module Sweep = Convex_chaos.Crash_sweep in
+  let scenarios_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenarios to sweep: exec-shards, corpus, chaos, fuzz-warm, \
+             suite.  Default: every one but the (expensive) suite.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"N"
+          ~doc:
+            "Arm every $(docv)'th write boundary instead of all of them \
+             (the first and last are always included).")
+  in
+  let cross =
+    Arg.(
+      value & flag
+      & info [ "cross" ]
+          ~doc:
+            "Run every crash mode (before, torn, after) at every boundary \
+             instead of rotating the modes across boundaries.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Sweep workspace (default: a fresh directory under the system \
+             temp dir).  Failing injection points leave their wreckage \
+             here for inspection.")
+  in
+  let keep =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep the workspace even when every point passed.")
+  in
+  let run names stride cross dir keep =
+    let names =
+      match names with
+      | [] -> [ "exec-shards"; "corpus"; "chaos"; "fuzz-warm" ]
+      | ns -> ns
+    in
+    let scenarios =
+      List.map
+        (fun n ->
+          match Sweep.scenario_of_name n with
+          | Some s -> s
+          | None ->
+              prerr_endline ("macs_cli crash-sweep: unknown scenario " ^ n);
+              exit 2)
+        names
+    in
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "macs-crash-sweep.%d" (Unix.getpid ()))
+    in
+    let failed = ref false in
+    List.iter
+      (fun (s : Sweep.scenario) ->
+        let r = Sweep.sweep ~cross ~stride ~dir:(Filename.concat dir s.Sweep.name) s in
+        print_string (Sweep.render r);
+        if not (Sweep.ok r) then failed := true)
+      scenarios;
+    if !failed then (
+      Printf.printf "crash sweep FAILED; evidence kept under %s\n" dir;
+      exit 1)
+    else if not keep then Sweep.cleanup dir
+  in
+  Cmd.v
+    (Cmd.info "crash-sweep"
+       ~doc:
+         "Deterministic crash-point injection: run each scenario once per \
+          durable write boundary with a simulated process death armed at \
+          that boundary, recover, and require byte-identical artifacts — \
+          exits non-zero if any injection point breaks recovery")
+    Term.(const run $ scenarios_arg $ stride $ cross $ dir $ keep)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -820,5 +1027,6 @@ let () =
             analyze_cmd; tables_cmd; figures_cmd; listing_cmd; simulate_cmd;
             calibrate_cmd; example_cmd; extensions_cmd; export_cmd;
             advise_cmd; suite_cmd; resilience_cmd; bound_cmd; trace_cmd;
-            validate_cmd; report_cmd; fuzz_cmd; chaos_cmd;
+            validate_cmd; report_cmd; fuzz_cmd; chaos_cmd; cache_cmd;
+            crash_sweep_cmd;
           ]))

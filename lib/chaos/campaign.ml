@@ -5,6 +5,7 @@ module Journal = Macs_util.Journal
 module Budget = Convex_harness.Budget
 module Suite = Macs_report.Suite
 module Exec = Convex_exec.Executor
+module Cache = Convex_cache.Cache
 
 (* ---- configuration ---- *)
 
@@ -26,6 +27,11 @@ type config = {
       (** fault injection into the harness itself: these cells raise
           {!Exec.Worker_killed} instead of running — not part of the
           journaled config, like [budget] *)
+  cache : string option;
+      (** content-addressed result cache directory; keyed on the cell's
+          (kernel, plan, machine, opt, guard, budget, shrink cap) — not
+          on seed or index, so any campaign sharing the cache reuses
+          matching cells *)
 }
 
 let default_config =
@@ -42,6 +48,7 @@ let default_config =
     max_shrink_steps = 200;
     jobs = 1;
     kill_cells = [];
+    cache = None;
   }
 
 (* ---- cells ---- *)
@@ -78,6 +85,9 @@ type t = {
       (** cells whose exception escaped the SLO machinery — no verdict *)
   resumed : int;  (** cells replayed from the journal *)
   executed : int;  (** cells actually run this invocation *)
+  cache_counters : Cache.counters option;
+      (** per-run hit/miss/store/quarantine counts when a cache was
+          configured; never rendered, so cold and warm runs match *)
 }
 
 let violations t =
@@ -180,15 +190,11 @@ let config_matches cfg r =
   in
   List.for_all (fun (k, v) -> Journal.field r k = Some v) want
 
-let record_of_result (r : cell_result) =
-  let base =
-    [
-      ("index", Journal.put_int r.cell.index);
-      ("lfk", Journal.put_int r.cell.kernel.Lfk.Kernel.id);
-      ("name", r.cell.plan.Fault.name);
-      ("plan", Fault.to_spec r.cell.plan);
-    ]
-  in
+(* everything about a result that is not the cell's identity — shared
+   between the journal codec and the cache payload, which stores only
+   these fields (identity is pinned by the cache key and rebuilt from
+   [cell_of_index]) *)
+let verdict_fields (r : cell_result) =
   let verdict =
     match r.verdict with
     | Pass -> [ ("verdict", "pass") ]
@@ -212,7 +218,48 @@ let record_of_result (r : cell_result) =
         ]
     | None -> []
   in
-  { Journal.tag = "cell"; fields = base @ verdict @ cpl @ min }
+  verdict @ cpl @ min
+
+let verdict_of_record ~cell r : (cell_result, string) result =
+  let* verdict_tag = str_field r "verdict" in
+  let* verdict =
+    match verdict_tag with
+    | "pass" -> Ok Pass
+    | "degraded" ->
+        let* kind = str_field r "kind" in
+        let* detail = str_field r "detail" in
+        Ok (Degraded { kind; detail })
+    | "violation" ->
+        let* check = str_field r "check" in
+        let* detail = str_field r "detail" in
+        Ok (Violation { check; detail })
+    | v -> Error (Printf.sprintf "unknown verdict %S" v)
+  in
+  let cpl = Option.bind (Journal.field r "cpl") Journal.get_float in
+  let minimized = Journal.field r "min" in
+  let opt_int k =
+    Option.value ~default:0 (Option.bind (Journal.field r k) Journal.get_int)
+  in
+  Ok
+    {
+      cell;
+      verdict;
+      cpl;
+      minimized;
+      shrink_steps = opt_int "min_steps";
+      shrink_tried = opt_int "min_tried";
+    }
+
+let record_of_result (r : cell_result) =
+  let base =
+    [
+      ("index", Journal.put_int r.cell.index);
+      ("lfk", Journal.put_int r.cell.kernel.Lfk.Kernel.id);
+      ("name", r.cell.plan.Fault.name);
+      ("plan", Fault.to_spec r.cell.plan);
+    ]
+  in
+  { Journal.tag = "cell"; fields = base @ verdict_fields r }
 
 let result_of_record cfg r : (cell_result, string) result =
   if r.Journal.tag <> "cell" then
@@ -234,36 +281,37 @@ let result_of_record cfg r : (cell_result, string) result =
           (Printf.sprintf
              "cell %d: journal plan %S differs from the generated %S" index
              plan_spec (Fault.to_spec cell.plan))
-      else
-        let* verdict_tag = str_field r "verdict" in
-        let* verdict =
-          match verdict_tag with
-          | "pass" -> Ok Pass
-          | "degraded" ->
-              let* kind = str_field r "kind" in
-              let* detail = str_field r "detail" in
-              Ok (Degraded { kind; detail })
-          | "violation" ->
-              let* check = str_field r "check" in
-              let* detail = str_field r "detail" in
-              Ok (Violation { check; detail })
-          | v -> Error (Printf.sprintf "unknown verdict %S" v)
-        in
-        let cpl = Option.bind (Journal.field r "cpl") Journal.get_float in
-        let minimized = Journal.field r "min" in
-        let opt_int k =
-          Option.value ~default:0
-            (Option.bind (Journal.field r k) Journal.get_int)
-        in
-        Ok
-          {
-            cell;
-            verdict;
-            cpl;
-            minimized;
-            shrink_steps = opt_int "min_steps";
-            shrink_tried = opt_int "min_tried";
-          }
+      else verdict_of_record ~cell r
+
+(* ---- result cache ---- *)
+
+let machine_fingerprint m =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Machine.pp m))
+
+(* no seed, no index: any campaign evaluating the same (kernel, plan)
+   under the same conditions shares the entry *)
+let cell_key cfg (cell : cell) =
+  Cache.key ~kind:"chaos-cell"
+    [
+      ("machine", cfg.machine_name);
+      ("machine-fp", machine_fingerprint cfg.machine);
+      ("opt", Fcc.Opt_level.name cfg.opt);
+      ("guard", Journal.put_int cfg.guard);
+      ("budget", Budget.to_string cfg.budget);
+      ("shrink", Journal.put_int cfg.max_shrink_steps);
+      ("kernel",
+       Digest.to_hex (Digest.string (Marshal.to_string cell.kernel [])));
+      ("plan", Fault.to_spec cell.plan);
+    ]
+
+let payload_of_result r =
+  Journal.encode { Journal.tag = "chaos-verdict"; fields = verdict_fields r }
+
+let result_of_payload ~cell s =
+  let* r = Journal.decode s in
+  if r.Journal.tag <> "chaos-verdict" then
+    Error (Printf.sprintf "expected chaos-verdict record, got %S" r.Journal.tag)
+  else verdict_of_record ~cell r
 
 (* ---- the campaign loop ---- *)
 
@@ -320,7 +368,9 @@ let load_completed cfg path =
 let run ?(progress = fun _ -> ()) cfg =
   let* orig_config, completed, had_shards =
     match cfg.journal with
-    | Some path when cfg.resume && Sys.file_exists path ->
+    (* a [Fresh] journal — missing, empty, or an interrupted create —
+       holds no cells, so resuming into it just starts over *)
+    | Some path when cfg.resume && not (Journal.is_fresh ~path ~format) ->
         load_completed cfg path
     | Some path ->
         Journal.create ~path ~format [ config_record cfg ];
@@ -338,11 +388,26 @@ let run ?(progress = fun _ -> ()) cfg =
         })
       cfg.journal
   in
+  let cache = Option.map Cache.open_dir cfg.cache in
   let run_one i =
     if List.mem i cfg.kill_cells then
       raise
         (Exec.Worker_killed (Printf.sprintf "injected kill at cell %d" i));
-    run_cell cfg (cell_of_index cfg i)
+    let cell = cell_of_index cfg i in
+    match cache with
+    | None -> run_cell cfg cell
+    | Some c -> (
+        let key = cell_key cfg cell in
+        let hit =
+          Option.bind (Cache.find c ~key) (fun payload ->
+              Result.to_option (result_of_payload ~cell payload))
+        in
+        match hit with
+        | Some r -> r
+        | None ->
+            let r = run_cell cfg cell in
+            Cache.store c ~key (payload_of_result r);
+            r)
   in
   let outcomes, stats =
     Exec.run ~jobs:cfg.jobs ?journal:journal_spec ~rewrite:had_shards
@@ -360,6 +425,13 @@ let run ?(progress = fun _ -> ()) cfg =
       | Some (Exec.Poisoned p) -> quarantined := p :: !quarantined
       | None -> ())
     outcomes;
+  Option.iter
+    (fun c ->
+      Cache.log_run c
+        ~label:
+          (Printf.sprintf "chaos seed=%d cells=%d jobs=%d" cfg.seed cfg.cells
+             cfg.jobs))
+    cache;
   Ok
     {
       config = cfg;
@@ -367,6 +439,7 @@ let run ?(progress = fun _ -> ()) cfg =
       quarantined = List.rev !quarantined;
       resumed = stats.Exec.replayed;
       executed = stats.Exec.executed;
+      cache_counters = Option.map Cache.counters cache;
     }
 
 (* ---- rendering ---- *)

@@ -41,12 +41,19 @@ type config = {
           {!Convex_exec.Executor.Worker_killed} instead of running, so
           quarantine and graceful worker loss can be exercised end to
           end.  Not part of the journaled config (like [budget]). *)
+  cache : string option;
+      (** content-addressed result cache ({!Convex_cache.Cache}): each
+          cell's verdict is memoised under a key of (kernel, plan,
+          machine, opt, guard, budget, shrink cap) — deliberately not
+          seed or index, so any campaign sharing the cache directory
+          reuses matching cells.  Journals stay byte-identical between
+          cold and warm runs. *)
 }
 
 val default_config : config
 (** seed 42, 24 cells, healthy c240 at v61, no budget,
     {!Macs_report.Suite.faulted_guard}, no journal, one worker, no
-    injected kills. *)
+    injected kills, no cache. *)
 
 type cell = { index : int; kernel : Lfk.Kernel.t; plan : Fault.t }
 
@@ -80,6 +87,10 @@ type t = {
           records with minimal context, no verdict *)
   resumed : int;  (** cells replayed from the journal *)
   executed : int;  (** cells actually run this invocation *)
+  cache_counters : Convex_cache.Cache.counters option;
+      (** hit/miss/store/quarantine counts when a cache was configured;
+          deliberately absent from {!render}, so cold and warm renders
+          stay byte-identical *)
 }
 
 val violations : t -> cell_result list

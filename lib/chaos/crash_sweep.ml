@@ -1,0 +1,411 @@
+(* The deterministic crash-point sweep harness.
+
+   Every durable write in the repo is a numbered {!Macs_util.Sink}
+   boundary.  A sweep first runs a scenario once with the sink disarmed
+   to learn how many boundaries the workload has and what its final
+   artifacts look like, then replays it from scratch once per boundary
+   with the sink armed to kill the (simulated) process right there —
+   before, mid-write, or just after — and drives the scenario's own
+   recovery path against whatever the crash left on disk.  The contract
+   checked at every point is the repo's crash-consistency invariant: the
+   recovered artifacts are byte-identical to an uninterrupted run's, no
+   cell lost, none duplicated, and no torn or stale cache entry ever
+   served (a served one would change the recomputed bytes). *)
+
+module Sink = Macs_util.Sink
+module Journal = Macs_util.Journal
+module Exec = Convex_exec.Executor
+module Driver = Convex_fuzz.Driver
+module Corpus = Convex_fuzz.Corpus
+module Supervisor = Convex_harness.Supervisor
+module Budget = Convex_harness.Budget
+
+(* ---- scenarios ---- *)
+
+type phases = {
+  run : unit -> unit;
+  recover : unit -> unit;
+  artifacts : string list;
+}
+
+type scenario = { name : string; prepare : dir:string -> phases }
+
+(* ---- small file helpers ---- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_opt path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Some
+      (Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> rm_rf (Filename.concat path e))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* ---- the sweep ---- *)
+
+type failure = {
+  point : int;
+  mode : Sink.mode;
+  stage : string;  (** ["run"], ["recover"], or the artifact that differed *)
+  detail : string;
+}
+
+type report = {
+  scenario : string;
+  boundaries : int;
+  points : int;  (** armed runs performed *)
+  crashes : int;  (** of those, how many actually died at their boundary *)
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "crash sweep %-12s %3d boundaries, %3d injection points, %3d crashes, \
+        %d failure%s\n"
+       (r.scenario ^ ":") r.boundaries r.points r.crashes
+       (List.length r.failures)
+       (if List.length r.failures = 1 then "" else "s"));
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  FAIL point %d (%s) at %s: %s\n" f.point
+           (Sink.mode_name f.mode) f.stage f.detail))
+    r.failures;
+  Buffer.contents buf
+
+(* Boundary numbers to arm, 1-based: every [stride]'th one, always
+   including the first and the last. *)
+let pick_points ~boundaries ~stride =
+  let stride = max 1 stride in
+  let rec go i acc = if i > boundaries then acc else go (i + stride) (i :: acc) in
+  let pts = go 1 [] in
+  let pts = if List.mem boundaries pts then pts else boundaries :: pts in
+  List.rev pts
+
+let sweep ?(modes = [ Sink.Before; Sink.Torn; Sink.After ]) ?(cross = false)
+    ?(stride = 1) ~dir scenario =
+  let modes = if modes = [] then [ Sink.Before ] else modes in
+  mkdir_p dir;
+  (* golden pass: disarmed, count the boundaries, capture the artifacts *)
+  Sink.reset ();
+  let golden_dir = Filename.concat dir "golden" in
+  mkdir_p golden_dir;
+  let g = scenario.prepare ~dir:golden_dir in
+  g.run ();
+  let boundaries = Sink.boundaries () in
+  let golden = List.map read_opt g.artifacts in
+  let points = ref 0 and crashes = ref 0 and failures = ref [] in
+  let fail point mode stage detail =
+    failures := { point; mode; stage; detail } :: !failures
+  in
+  let run_point rank point mode =
+    incr points;
+    let pdir =
+      Filename.concat dir (Printf.sprintf "p%03d-%s" point (Sink.mode_name mode))
+    in
+    mkdir_p pdir;
+    let p = scenario.prepare ~dir:pdir in
+    Sink.reset ();
+    Sink.arm ~at:point ~mode;
+    let crashed =
+      match p.run () with
+      | () -> false
+      | exception Sink.Crashed _ -> true
+    in
+    Sink.reset ();
+    if crashed then incr crashes
+    else
+      (* deterministic workloads hit the same boundaries every run; not
+         crashing at an in-range point means the run diverged *)
+      fail point mode "run"
+        (Printf.sprintf "completed without crashing (golden run had %d \
+                         boundaries)" boundaries);
+    (match p.recover () with
+    | () -> ()
+    | exception e -> fail point mode "recover" (Printexc.to_string e));
+    List.iter2
+      (fun want path ->
+        let got = read_opt path in
+        if got <> want then
+          fail point mode (Filename.basename path)
+            (match (want, got) with
+            | Some _, None -> "artifact missing after recovery"
+            | None, Some _ -> "unexpected artifact after recovery"
+            | _ ->
+                Printf.sprintf "bytes differ from the uninterrupted run \
+                                (rank %d)" rank))
+      golden p.artifacts;
+    (* keep the evidence when a point failed, reclaim the disk otherwise *)
+    if
+      not
+        (List.exists
+           (fun f -> f.point = point && f.mode = mode)
+           !failures)
+    then rm_rf pdir
+  in
+  List.iteri
+    (fun rank point ->
+      if cross then List.iter (fun m -> run_point rank point m) modes
+      else run_point rank point (List.nth modes (rank mod List.length modes)))
+    (pick_points ~boundaries ~stride);
+  Sink.reset ();
+  {
+    scenario = scenario.name;
+    boundaries;
+    points = !points;
+    crashes = !crashes;
+    failures = List.rev !failures;
+  }
+
+(* ---- canned scenario: bare executor with sharded journaling ----
+
+   The cheapest workload that still drives every journal write boundary:
+   [Exec.run ~jobs:1 ~rewrite:true] journals through a per-worker shard
+   and a final canonical rewrite (shard create, shard appends, tmp
+   create, publish rename), all with a pure-arithmetic cell body.
+   Recovery is exactly what the harnesses do: merge surviving shards,
+   replay completed cells, run the rest, rewrite canonically. *)
+
+let exec_format = "macs-crash-exec"
+
+let scenario_exec_shards ?(cells = 6) () =
+  let config =
+    { Journal.tag = "config"; fields = [ ("cells", Journal.put_int cells) ] }
+  in
+  let body i = (i * i) + 7 in
+  let records_of i v =
+    [
+      {
+        Journal.tag = "cell";
+        fields = [ ("index", Journal.put_int i); ("value", Journal.put_int v) ];
+      };
+    ]
+  in
+  let prepare ~dir =
+    let path = Filename.concat dir "exec.journal" in
+    let spec = { Exec.path; format = exec_format; config; records_of } in
+    let run () =
+      ignore (Exec.run ~jobs:1 ~rewrite:true ~journal:spec ~cells body)
+    in
+    let recover () =
+      let prior = Hashtbl.create 8 in
+      (* a [Fresh] main journal (missing, or a torn rewrite that never
+         published) holds nothing to replay; otherwise fold any surviving
+         shards back in and replay the completed cells *)
+      if not (Journal.is_fresh ~path ~format:exec_format) then begin
+        let config_ok r =
+          if r = config then Ok ()
+          else Error (Printf.sprintf "unexpected config record %S" r.Journal.tag)
+        in
+        let index_of r =
+          if r.Journal.tag = "cell" then
+            Option.bind (Journal.field r "index") Journal.get_int
+          else None
+        in
+        match Journal.merge_shards ~path ~format:exec_format ~config_ok ~index_of with
+        | Error e -> failwith ("merge_shards: " ^ e)
+        | Ok (_, groups) ->
+            List.iter
+              (fun (i, records) ->
+                match records with
+                | [ r ] -> (
+                    match Option.bind (Journal.field r "value") Journal.get_int with
+                    | Some v -> Hashtbl.replace prior i (Exec.Done v)
+                    | None -> failwith "cell record without an integer value")
+                | rs ->
+                    failwith
+                      (Printf.sprintf "cell %d: %d records, expected 1" i
+                         (List.length rs)))
+              groups
+      end;
+      ignore
+        (Exec.run ~jobs:1 ~rewrite:true ~journal:spec
+           ~already:(Hashtbl.find_opt prior) ~cells body)
+    in
+    { run; recover; artifacts = [ path ] }
+  in
+  { name = "exec-shards"; prepare }
+
+(* ---- canned scenario: chaos campaign with journal and cache ----
+
+   Journal create and appends, cache stores and publishes, and the cache
+   run log, with the campaign's own [~resume] as the recovery path.  A
+   cycle-only budget keeps every cell (and thus every boundary count)
+   deterministic. *)
+
+let scenario_chaos ?(cells = 4) () =
+  let prepare ~dir =
+    let path = Filename.concat dir "chaos.journal" in
+    let cfg =
+      {
+        Campaign.default_config with
+        Campaign.cells;
+        seed = 11;
+        journal = Some path;
+        cache = Some (Filename.concat dir "cache");
+      }
+    in
+    let go c =
+      match Campaign.run c with
+      | Ok _ -> ()
+      | Error e -> failwith ("chaos: " ^ e)
+    in
+    {
+      run = (fun () -> go cfg);
+      recover = (fun () -> go { cfg with Campaign.resume = true });
+      artifacts = [ path ];
+    }
+  in
+  { name = "chaos"; prepare }
+
+(* ---- canned scenario: fuzz campaign warmed by the cache ----
+
+   The fuzz driver has no journal to resume; its recovery is simply
+   running the whole campaign again over the same cache directory — every
+   case the crashed run managed to store replays as a hit, the rest
+   recompute.  The artifact is a stable digest of the summary (wall-clock
+   excluded), so a hit whose bytes differ from a recompute cannot hide. *)
+
+let digest_of_summary (s : Driver.summary) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "cases=%d/%d\n" s.Driver.cases_run s.Driver.cases_requested);
+  List.iter
+    (fun (l, n) -> Buffer.add_string buf (Printf.sprintf "label %s=%d\n" l n))
+    s.Driver.by_label;
+  Buffer.add_string buf
+    (Printf.sprintf "passed=%d\nskipped=%d\n" s.Driver.checks_passed
+       s.Driver.checks_skipped);
+  List.iter
+    (fun (v : Driver.violation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "violation %d %s %s steps=%d tried=%d\n%s\n"
+           v.Driver.case_index v.Driver.case_label v.Driver.check
+           v.Driver.shrink_steps v.Driver.shrink_tried v.Driver.payload))
+    s.Driver.violations;
+  Buffer.contents buf
+
+let scenario_fuzz ?(count = 6) () =
+  let prepare ~dir =
+    let digest = Filename.concat dir "fuzz.digest" in
+    let cfg =
+      {
+        Driver.default_config with
+        Driver.seed = 5;
+        count;
+        fault_plans = [];
+        budget = Budget.none;
+        cache = Some (Filename.concat dir "cache");
+      }
+    in
+    let go () =
+      let s = Driver.run cfg in
+      let oc = open_out_bin digest in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (digest_of_summary s))
+    in
+    { run = go; recover = go; artifacts = [ digest ] }
+  in
+  { name = "fuzz-warm"; prepare }
+
+(* ---- canned scenario: the corpus file ----
+
+   Corpus appends are journal appends with a repair-before-append
+   contract; recovery models a restarted fuzzer that knows the full set
+   of counterexamples: load whatever survived (a torn tail drops), then
+   append only the missing entries — nothing lost, nothing duplicated. *)
+
+let scenario_corpus ?(entries = 4) () =
+  let entry i =
+    {
+      Corpus.kind = (if i mod 2 = 0 then Corpus.Kernel_case else Corpus.Asm_case);
+      machine = "c240";
+      seed = 100 + i;
+      expect =
+        (if i mod 3 = 0 then Corpus.Clean
+         else Corpus.Violation (Printf.sprintf "check-%d" i));
+      payload = Printf.sprintf "payload %d\nline two of %d" i i;
+    }
+  in
+  let all = List.init entries entry in
+  let prepare ~dir =
+    let path = Filename.concat dir "corpus.journal" in
+    let append_missing () =
+      let existing =
+        match Corpus.load ~path with
+        | Ok es -> es
+        | Error _ ->
+            (* no complete header ever landed: start the file over *)
+            (try Sys.remove path with Sys_error _ -> ());
+            []
+      in
+      List.iter
+        (fun e -> if not (List.mem e existing) then Corpus.append ~path e)
+        all
+    in
+    { run = append_missing; recover = append_missing; artifacts = [ path ] }
+  in
+  { name = "corpus"; prepare }
+
+(* ---- canned scenario: supervised suite run ----
+
+   The full Livermore suite under the supervisor, journal and cache on;
+   recovery is [~resume].  By far the most expensive scenario — meant
+   for strided sweeps from the CLI, not the unit-test sweep. *)
+
+let scenario_suite () =
+  let prepare ~dir =
+    let path = Filename.concat dir "suite.journal" in
+    let cache = Filename.concat dir "cache" in
+    let go ~resume () =
+      match Supervisor.run ~journal:path ~resume ~cache () with
+      | Ok _ -> ()
+      | Error e -> failwith ("suite: " ^ e)
+    in
+    { run = go ~resume:false; recover = go ~resume:true; artifacts = [ path ] }
+  in
+  { name = "suite"; prepare }
+
+let scenarios ?cells ?count ?entries () =
+  [
+    scenario_exec_shards ?cells ();
+    scenario_corpus ?entries ();
+    scenario_chaos ?cells ();
+    scenario_fuzz ?count ();
+  ]
+
+let scenario_of_name ?cells ?count ?entries name =
+  match name with
+  | "exec-shards" -> Some (scenario_exec_shards ?cells ())
+  | "corpus" -> Some (scenario_corpus ?entries ())
+  | "chaos" -> Some (scenario_chaos ?cells ())
+  | "fuzz-warm" -> Some (scenario_fuzz ?count ())
+  | "suite" -> Some (scenario_suite ())
+  | _ -> None
+
+let cleanup = rm_rf

@@ -142,6 +142,9 @@ let run ?(jobs = 1) ?(retry = default_retry) ?journal ?(rewrite = false)
                   context = context i;
                 },
               false )
+      (* a simulated process death is not a cell failure: it must tear
+         through every barrier, never quarantine *)
+      | exception (Macs_util.Sink.Crashed _ as c) -> raise c
       | exception Worker_killed msg ->
           ( Poisoned
               {
@@ -203,7 +206,9 @@ let run ?(jobs = 1) ?(retry = default_retry) ?journal ?(rewrite = false)
                sink i o;
                if lethal then Atomic.incr lost else loop ()
        in
-       try loop () with _ -> Atomic.incr lost
+       try loop () with
+       | Macs_util.Sink.Crashed _ as c -> raise c
+       | _ -> Atomic.incr lost
      in
      if jobs > 1 then begin
        let doms = List.init jobs (fun w -> Domain.spawn (fun () -> worker w)) in
@@ -247,15 +252,8 @@ let run ?(jobs = 1) ?(retry = default_retry) ?journal ?(rewrite = false)
      (* sequential append mode: the historical byte-identical path.
         Start the journal ourselves when the caller has not (harnesses
         with their own header-writing helpers create it first). *)
-     let fresh path =
-       (not (Sys.file_exists path))
-       || (let ic = open_in_bin path in
-           let n = in_channel_length ic in
-           close_in ic;
-           n = 0)
-     in
      (match journal with
-     | Some j when fresh j.path ->
+     | Some j when Journal.is_fresh ~path:j.path ~format:j.format ->
          Journal.create ~path:j.path ~format:j.format [ j.config ]
      | _ -> ());
      let i = ref 0 in

@@ -4,6 +4,8 @@ module Budget = Convex_harness.Budget
 module Clock = Macs_util.Clock
 module Table = Macs_util.Table
 module Exec = Convex_exec.Executor
+module Cache = Convex_cache.Cache
+module Journal = Macs_util.Journal
 
 type config = {
   seed : int;
@@ -16,6 +18,7 @@ type config = {
   corpus : string option;
   sim : bool;
   jobs : int;
+  cache : string option;
 }
 
 let default_config =
@@ -30,6 +33,7 @@ let default_config =
     corpus = None;
     sim = true;
     jobs = 1;
+    cache = None;
   }
 
 type violation = {
@@ -53,6 +57,7 @@ type summary = {
   probe_violations : (string * string) list;
   wall_s : float;
   stopped_early : bool;
+  cache_counters : Cache.counters option;
 }
 
 let clean s = s.violations = [] && s.probe_violations = []
@@ -98,7 +103,7 @@ let kernel_case cfg ~index ~label ~plans tally k =
         in
         Oracle_stack.fails r ~id:check
       in
-      let shrunk = Shrink.kernel ~still_fails k in
+      let shrunk = Shrink.kernel ~jobs:cfg.jobs ~still_fails k in
       Some
         {
           case_index = index;
@@ -111,7 +116,7 @@ let kernel_case cfg ~index ~label ~plans tally k =
           shrink_tried = shrunk.Shrink.tried;
         }
 
-let asm_case ~index tally p =
+let asm_case ~index ~jobs tally p =
   let check = Oracle_stack.check_program p in
   match check.Oracle_stack.outcome with
   | Oracle_stack.Pass ->
@@ -126,7 +131,7 @@ let asm_case ~index tally p =
         | Oracle_stack.Fail _ -> true
         | _ -> false
       in
-      let shrunk = Shrink.program ~still_fails p in
+      let shrunk = Shrink.program ~jobs ~still_fails p in
       Some
         {
           case_index = index;
@@ -162,6 +167,130 @@ type case_out = {
   violation : violation option;
 }
 
+(* ---- result cache ----
+
+   A case is fully determined by (seed, index) — the generator draws
+   from [Random.State.make [| seed; index |]] — plus the machine, the
+   fault-plan list (selection rotates by index over the whole list), the
+   watchdog budget and the sim switch.  All of that goes into the key;
+   the payload is the journal-encoded [case_out], so a hit replays
+   exactly what a recompute would have produced, corpus bytes
+   included. *)
+
+let kind_name = function
+  | Corpus.Kernel_case -> "kernel"
+  | Corpus.Asm_case -> "asm"
+
+let kind_of_name = function
+  | "kernel" -> Some Corpus.Kernel_case
+  | "asm" -> Some Corpus.Asm_case
+  | _ -> None
+
+let machine_fingerprint m =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Machine.pp m))
+
+let case_key cfg ~index =
+  Cache.key ~kind:"fuzz-case"
+    [
+      ("seed", string_of_int cfg.seed);
+      ("index", string_of_int index);
+      ("machine", cfg.machine_name);
+      ("machine-fp", machine_fingerprint cfg.machine);
+      ("sim", Journal.put_bool cfg.sim);
+      ("budget", Budget.to_string cfg.budget);
+      ("plans", String.concat ";" (List.map Fault.to_spec cfg.fault_plans));
+    ]
+
+let case_out_payload (o : case_out) =
+  let case_r =
+    {
+      Journal.tag = "fuzz-case";
+      fields =
+        [
+          ("label", o.label);
+          ("passed", Journal.put_int o.passed);
+          ("skipped", Journal.put_int o.skipped);
+        ];
+    }
+  in
+  let violation_r v =
+    {
+      Journal.tag = "fuzz-violation";
+      fields =
+        [
+          ("index", Journal.put_int v.case_index);
+          ("label", v.case_label);
+          ("check", v.check);
+          ("detail", v.detail);
+          ("kind", kind_name v.kind);
+          ("payload", v.payload);
+          ("steps", Journal.put_int v.shrink_steps);
+          ("tried", Journal.put_int v.shrink_tried);
+        ];
+    }
+  in
+  String.concat "\n"
+    (List.map Journal.encode
+       (case_r :: (match o.violation with None -> [] | Some v -> [ violation_r v ])))
+
+let ( let* ) = Result.bind
+
+let case_out_of_payload s =
+  let* records =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* r = Journal.decode line in
+        Ok (r :: acc))
+      (Ok [])
+      (String.split_on_char '\n' s)
+  in
+  let int_field r k =
+    let* v = Journal.field_err r k in
+    match Journal.get_int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %s: not an integer" k)
+  in
+  let violation_of r =
+    let* case_index = int_field r "index" in
+    let* case_label = Journal.field_err r "label" in
+    let* check = Journal.field_err r "check" in
+    let* detail = Journal.field_err r "detail" in
+    let* kind_s = Journal.field_err r "kind" in
+    let* payload = Journal.field_err r "payload" in
+    let* shrink_steps = int_field r "steps" in
+    let* shrink_tried = int_field r "tried" in
+    match kind_of_name kind_s with
+    | None -> Error (Printf.sprintf "unknown case kind %S" kind_s)
+    | Some kind ->
+        Ok
+          {
+            case_index;
+            case_label;
+            check;
+            detail;
+            kind;
+            payload;
+            shrink_steps;
+            shrink_tried;
+          }
+  in
+  let case_of r violation =
+    if r.Journal.tag <> "fuzz-case" then
+      Error (Printf.sprintf "expected fuzz-case record, got %S" r.Journal.tag)
+    else
+      let* label = Journal.field_err r "label" in
+      let* passed = int_field r "passed" in
+      let* skipped = int_field r "skipped" in
+      Ok { label; passed; skipped; violation }
+  in
+  match List.rev records with
+  | [ case_r ] -> case_of case_r None
+  | [ case_r; v_r ] ->
+      let* v = violation_of v_r in
+      case_of case_r (Some v)
+  | _ -> Error "fuzz cache payload: expected one or two records"
+
 let run ?(progress = fun _ -> ()) cfg =
   let started = Clock.now () in
   let over_budget () =
@@ -169,14 +298,16 @@ let run ?(progress = fun _ -> ()) cfg =
     | None -> false
     | Some cap -> Clock.elapsed ~since:started > cap
   in
-  let one_case index =
+  let cache = Option.map Cache.open_dir cfg.cache in
+  let compute index =
     let tally = { passed = 0; skipped = 0 } in
     let rand = Random.State.make [| cfg.seed; index |] in
     let mix = Random.State.int rand 10 in
     let label, violation =
       if mix < 2 then
         ( "asm",
-          asm_case ~index tally (QCheck.Gen.generate1 ~rand Gen.program_gen) )
+          asm_case ~index ~jobs:cfg.jobs tally
+            (QCheck.Gen.generate1 ~rand Gen.program_gen) )
       else begin
         let label, profile =
           if mix < 4 then ("scalar", Gen.Scalar_profile)
@@ -192,13 +323,32 @@ let run ?(progress = fun _ -> ()) cfg =
             (QCheck.Gen.generate1 ~rand (Gen.fuzz_kernel_gen profile)) )
       end
     in
+    { label; passed = tally.passed; skipped = tally.skipped; violation }
+  in
+  let one_case index =
+    let o =
+      match cache with
+      | None -> compute index
+      | Some c -> (
+          let key = case_key cfg ~index in
+          let hit =
+            Option.bind (Cache.find c ~key) (fun payload ->
+                Result.to_option (case_out_of_payload payload))
+          in
+          match hit with
+          | Some o -> o
+          | None ->
+              let o = compute index in
+              Cache.store c ~key (case_out_payload o);
+              o)
+    in
     (* a sequential run persists incrementally, exactly as it always has;
        a parallel run defers to the index-ordered pass below so the
        corpus bytes come out identical *)
-    (match violation with
+    (match o.violation with
     | Some v when cfg.jobs <= 1 -> persist cfg v
     | _ -> ());
-    { label; passed = tally.passed; skipped = tally.skipped; violation }
+    o
   in
   let outcomes, estats =
     Exec.run ~jobs:cfg.jobs ~progress ~should_stop:over_budget
@@ -263,6 +413,13 @@ let run ?(progress = fun _ -> ()) cfg =
               [ (plan.Fault.name, "exception: " ^ Printexc.to_string e) ])
         cfg.fault_plans
   in
+  Option.iter
+    (fun c ->
+      Cache.log_run c
+        ~label:
+          (Printf.sprintf "fuzz seed=%d count=%d jobs=%d" cfg.seed cfg.count
+             cfg.jobs))
+    cache;
   {
     cases_requested = cfg.count;
     cases_run = !cases_run;
@@ -275,6 +432,7 @@ let run ?(progress = fun _ -> ()) cfg =
     probe_violations;
     wall_s = Clock.elapsed ~since:started;
     stopped_early = !stopped_early;
+    cache_counters = Option.map Cache.counters cache;
   }
 
 (* ---- rendering ---- *)

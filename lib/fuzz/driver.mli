@@ -33,6 +33,12 @@ type config = {
   jobs : int;
       (** worker domains ({!Convex_exec.Executor}); 1 = the historical
           sequential behaviour, byte-identical corpus included *)
+  cache : string option;
+      (** content-addressed result cache directory
+          ({!Convex_cache.Cache}): case outcomes are memoised under a
+          key of (seed, index, machine, plans, budget, sim), and a warm
+          re-run replays them without touching the oracle stack — with
+          byte-identical corpus and summary, hit counters excepted *)
 }
 
 val default_config : config
@@ -65,6 +71,10 @@ type summary = {
       (** (fault plan, detail) from faulted-never-faster *)
   wall_s : float;
   stopped_early : bool;
+  cache_counters : Convex_cache.Cache.counters option;
+      (** per-run hit/miss/store/quarantine counts when a cache was
+          configured; deliberately absent from {!render_summary} so
+          cold and warm renders stay byte-identical *)
 }
 
 val clean : summary -> bool

@@ -239,18 +239,53 @@ module type Case = sig
   val candidates : t -> t list
 end
 
+module Exec = Convex_exec.Executor
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
+
 module Make (C : Case) = struct
-  let shrink ?(max_steps = 200) ~still_fails start =
+  let shrink ?(max_steps = 200) ?(jobs = 1) ~still_fails start =
     let tried = ref 0 in
     let steps = ref 0 in
     let current = ref start in
     let progress = ref true in
+    (* [jobs > 1] evaluates candidates in executor-parallel chunks but
+       accepts the *lowest-indexed* failing candidate and counts [tried]
+       exactly as the sequential scan would: every candidate before the
+       accepted one, plus the accepted one itself (chunk-mates evaluated
+       beyond it are wasted work, not counted).  Same input → same
+       shrunk value, steps and tried at every [jobs]. *)
+    let eval_chunk chunk =
+      let arr = Array.of_list chunk in
+      let results, _ =
+        Exec.run ~jobs ~cells:(Array.length arr) (fun i -> still_fails arr.(i))
+      in
+      let rec first i =
+        if i >= Array.length arr then None
+        else
+          match results.(i) with
+          | Some (Exec.Done true) -> Some i
+          | _ -> first (i + 1)
+      in
+      first 0
+    in
     while !progress && !steps < max_steps do
       progress := false;
-      let rec try_list = function
-        | [] -> ()
-        | c :: rest ->
-            if (not (C.equal c !current)) && C.valid c then begin
+      let cands =
+        List.filter
+          (fun c -> (not (C.equal c !current)) && C.valid c)
+          (C.candidates !current)
+      in
+      if jobs <= 1 then begin
+        let rec try_list = function
+          | [] -> ()
+          | c :: rest ->
               incr tried;
               if still_fails c then begin
                 current := c;
@@ -258,10 +293,27 @@ module Make (C : Case) = struct
                 progress := true
               end
               else try_list rest
-            end
-            else try_list rest
-      in
-      try_list (C.candidates !current)
+        in
+        try_list cands
+      end
+      else begin
+        let chunk_size = jobs * 2 in
+        let rec scan = function
+          | [] -> ()
+          | cands -> (
+              let chunk = take chunk_size cands in
+              match eval_chunk chunk with
+              | Some j ->
+                  tried := !tried + j + 1;
+                  current := List.nth chunk j;
+                  incr steps;
+                  progress := true
+              | None ->
+                  tried := !tried + List.length chunk;
+                  scan (drop chunk_size cands))
+        in
+        scan cands
+      end
     done;
     { value = !current; steps = !steps; tried = !tried }
 end
@@ -276,8 +328,8 @@ module Kernel_shrink = Make (struct
   let candidates = kernel_candidates
 end)
 
-let kernel ?max_steps ~still_fails k =
-  Kernel_shrink.shrink ?max_steps ~still_fails k
+let kernel ?max_steps ?jobs ~still_fails k =
+  Kernel_shrink.shrink ?max_steps ?jobs ~still_fails k
 
 let program_candidates (p : Convex_isa.Program.t) =
   let body = Convex_isa.Program.body p in
@@ -301,5 +353,5 @@ module Program_shrink = Make (struct
   let candidates = program_candidates
 end)
 
-let program ?max_steps ~still_fails p =
-  Program_shrink.shrink ?max_steps ~still_fails p
+let program ?max_steps ?jobs ~still_fails p =
+  Program_shrink.shrink ?max_steps ?jobs ~still_fails p

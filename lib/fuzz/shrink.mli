@@ -41,14 +41,23 @@ end
 
 module Make (C : Case) : sig
   val shrink :
-    ?max_steps:int -> still_fails:(C.t -> bool) -> C.t -> C.t result
+    ?max_steps:int ->
+    ?jobs:int ->
+    still_fails:(C.t -> bool) ->
+    C.t ->
+    C.t result
   (** [max_steps] (default 200) bounds accepted rewrites; the run is a
       fixpoint otherwise — it stops when no valid candidate still
-      fails. *)
+      fails.  [jobs] (default 1) evaluates candidates in
+      executor-parallel chunks while accepting the lowest-indexed
+      failing candidate and counting [tried] exactly as the sequential
+      scan would, so the result — value, steps and tried — is identical
+      at every [jobs]. *)
 end
 
 val kernel :
   ?max_steps:int ->
+  ?jobs:int ->
   still_fails:(Lfk.Kernel.t -> bool) ->
   Lfk.Kernel.t ->
   Lfk.Kernel.t result
@@ -58,6 +67,7 @@ val kernel :
 
 val program :
   ?max_steps:int ->
+  ?jobs:int ->
   still_fails:(Convex_isa.Program.t -> bool) ->
   Convex_isa.Program.t ->
   Convex_isa.Program.t result

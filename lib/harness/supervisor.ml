@@ -3,6 +3,7 @@ open Convex_fault
 open Macs_report
 module Exec = Convex_exec.Executor
 module J = Macs_util.Journal
+module Cache = Convex_cache.Cache
 
 type stats = { resumed : int; executed : int; estimated : int }
 
@@ -10,6 +11,7 @@ type outcome = {
   suite : Suite.t;
   stats : stats;
   quarantined : Exec.poison list;
+  cache_counters : Cache.counters option;
 }
 
 let ( let* ) = Result.bind
@@ -122,10 +124,27 @@ let load_prior ~path ~config ~retry_failed ~karr =
       (orig :: List.concat_map (fun (_, o) -> records_of_prior o) keep);
   Ok (orig, keep, retry_failed || had_shards)
 
+(* a cell's cache payload is exactly its journal record block, so a hit
+   re-journals the same bytes a recompute would have written *)
+let cell_of_payload s =
+  let* records =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* r = J.decode line in
+        Ok (r :: acc))
+      (Ok [])
+      (String.split_on_char '\n' s)
+  in
+  Suite_journal.cell_of_records (List.rev records)
+
+let payload_of_cell c =
+  String.concat "\n" (List.map J.encode (Suite_journal.records_of_cell c))
+
 let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
     ?(faults = Fault.none) ?guard ?(budget = Budget.none)
     ?(oracle_tol = Macs.Oracle.default_tol) ?(jobs = 1) ?journal
-    ?(resume = false) ?(retry_failed = false) () =
+    ?(resume = false) ?(retry_failed = false) ?cache () =
   let guard =
     match guard with
     | Some g -> g
@@ -140,9 +159,15 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
   let resume = resume || retry_failed in
   let karr = Array.of_list (Suite.kernels ()) in
   let cells = Array.length karr in
+  (* a file in the [Fresh] state — missing, empty, or an interrupted
+     create — never received a cell, so resuming into it degenerates to
+     starting over *)
+  let live path =
+    not (J.is_fresh ~path ~format:Suite_journal.format)
+  in
   let* orig_config, prior, rewrite =
     match journal with
-    | Some path when resume && Sys.file_exists path ->
+    | Some path when resume && live path ->
         load_prior ~path ~config ~retry_failed ~karr
     | Some _ | None -> Ok (Suite_journal.config_record config, [], false)
   in
@@ -150,12 +175,22 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
      with just the config record; a true resume appends after — or, when
      shards were merged, rewrites over — the existing records *)
   (match journal with
-  | Some path when (not resume) || not (Sys.file_exists path) ->
+  | Some path when (not resume) || not (live path) ->
       Suite_journal.start ~path config
   | _ -> ());
   let replayed = Hashtbl.create 16 in
   List.iter (fun (i, o) -> Hashtbl.replace replayed i o) prior;
-  let run_cell i =
+  let cache = Option.map Cache.open_dir cache in
+  let cell_key k =
+    Cache.key ~kind:"suite-cell"
+      [
+        ("config", J.encode (Suite_journal.config_record config));
+        ("budget", Budget.to_string budget);
+        ("tol", J.put_float oracle_tol);
+        ("kernel", Digest.to_hex (Digest.string (Marshal.to_string k [])));
+      ]
+  in
+  let compute_cell i =
     let k = karr.(i) in
     let watchdog =
       Budget.watchdog
@@ -180,6 +215,22 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
           attempts;
           violations = [];
         }
+  in
+  let run_cell i =
+    match cache with
+    | None -> compute_cell i
+    | Some c -> (
+        let key = cell_key karr.(i) in
+        let hit =
+          Option.bind (Cache.find c ~key) (fun payload ->
+              Result.to_option (cell_of_payload payload))
+        in
+        match hit with
+        | Some cell -> cell
+        | None ->
+            let cell = compute_cell i in
+            Cache.store c ~key (payload_of_cell cell);
+            cell)
   in
   let journal_spec =
     Option.map
@@ -221,6 +272,12 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
       ~violations:(List.rev !violations)
       ~machine ~faults (List.rev !rows)
   in
+  Option.iter
+    (fun c ->
+      Cache.log_run c
+        ~label:
+          (Printf.sprintf "suite machine=%s jobs=%d" machine.Machine.name jobs))
+    cache;
   Ok
     {
       suite;
@@ -231,4 +288,5 @@ let run ?(machine = Machine.c240) ?(opt = Fcc.Opt_level.v61)
           estimated = !estimated;
         };
       quarantined = List.rev !poisons;
+      cache_counters = Option.map Cache.counters cache;
     }

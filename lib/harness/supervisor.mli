@@ -45,6 +45,10 @@ type outcome = {
   quarantined : Convex_exec.Executor.poison list;
       (** cells whose exception escaped the suite machinery entirely;
           they contribute no row and [--retry-failed] re-runs them *)
+  cache_counters : Convex_cache.Cache.counters option;
+      (** hit/miss/store/quarantine counts when [~cache] was given;
+          never rendered into the suite report, so cold and warm runs
+          stay byte-identical *)
 }
 
 val run :
@@ -58,6 +62,7 @@ val run :
   ?journal:string ->
   ?resume:bool ->
   ?retry_failed:bool ->
+  ?cache:string ->
   unit ->
   (outcome, string) result
 (** Errors only on journal problems the caller must decide about: an
@@ -65,4 +70,11 @@ val run :
     (machine, opt level, fault plan, guard) differs from the requested
     run — replaying rows measured under different conditions would
     silently mix incomparable numbers.  [retry_failed] implies resume.
-    Simulation failures never surface here; they degrade to estimates. *)
+    Simulation failures never surface here; they degrade to estimates.
+
+    [cache] points at a {!Convex_cache.Cache} directory: each cell's
+    journal record block is memoised under a key of (config, budget,
+    oracle tolerance, kernel), so a warm re-run journals byte-identical
+    records without simulating.  A resume aimed at a [Fresh] journal
+    (missing, empty, or an interrupted create — see
+    {!Macs_util.Journal.inspect}) starts over instead of failing. *)

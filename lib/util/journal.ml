@@ -116,19 +116,26 @@ let check_header ~format r =
       Error (Printf.sprintf "journal format %S, expected %S" f format)
     else Ok ()
 
-let create ~path ~format records =
+(* All journal bytes pass through [Sink] as explicit write boundaries so
+   the crash-sweep harness can kill a simulated process at any of them.
+   [create] is a single boundary (header + initial records in one write):
+   a torn create leaves a byte prefix, never interleaved lines. *)
+
+let create ?(sync = false) ~path ~format records =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (encode (header ~format));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (encode r);
+      Buffer.add_char buf '\n')
+    records;
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (encode (header ~format));
-      output_char oc '\n';
-      List.iter
-        (fun r ->
-          output_string oc (encode r);
-          output_char oc '\n')
-        records;
-      flush oc)
+      Sink.write oc ~site:("journal-create:" ^ path) (Buffer.contents buf);
+      if sync then Sink.fsync_out oc)
 
 let append ~path r =
   let oc =
@@ -137,9 +144,7 @@ let append ~path r =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (encode r);
-      output_char oc '\n';
-      flush oc)
+      Sink.write oc ~site:("journal-append:" ^ path) (encode r ^ "\n"))
 
 let repair ~path ~format =
   if not (Sys.file_exists path) then
@@ -195,10 +200,52 @@ let repair ~path ~format =
               end))
   end
 
+(* ---- crash triage ----
+
+   A journal is born in one [create] write of header + initial records,
+   and a torn write can only leave a byte *prefix* — it can never
+   manufacture a newline.  So a file with no complete first line, or a
+   complete header but no complete record after it, is just a create
+   that never finished: nothing can have been appended to it, and it is
+   safe to start over.  A complete first line that is not a matching
+   header is genuine damage (or somebody else's file) and must not be
+   clobbered. *)
+
+type inspection = Fresh | Intact | Damaged of string
+
+let inspect ~path ~format =
+  if not (Sys.file_exists path) then Fresh
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match String.index_opt s '\n' with
+    | None -> Fresh
+    | Some nl -> (
+        match decode (String.sub s 0 nl) with
+        | Error e ->
+            Damaged (Printf.sprintf "journal %s: undecodable first line: %s" path e)
+        | Ok hd -> (
+            match check_header ~format hd with
+            | Error e -> Damaged (Printf.sprintf "journal %s: %s" path e)
+            | Ok () ->
+                if String.index_from_opt s (nl + 1) '\n' = None then Fresh
+                else Intact))
+  end
+
+let is_fresh ~path ~format = inspect ~path ~format = Fresh
+
 let write_atomic ~path ~format records =
   let tmp = path ^ ".tmp" in
-  create ~path:tmp ~format records;
-  Sys.rename tmp path
+  (* two-phase publish: the tmp bytes are forced to disk *before* the
+     rename, and the directory entry after it, so a power cut right
+     after publish cannot surface an empty or torn main journal *)
+  create ~sync:true ~path:tmp ~format records;
+  Sink.rename ~site:("journal-publish:" ^ path) tmp path;
+  Sink.fsync_dir (Filename.dirname path)
 
 (* ---- per-worker shards ----
 
@@ -321,6 +368,14 @@ let merge_shards ~path ~format ~config_ok ~index_of =
         go [] [] body
       in
       let shard_files = shards ~path in
+      (* a worker killed inside [shard_start] leaves a shard with a torn
+         or absent header: no cell can have landed in it, so it merges as
+         empty (and is still swept away below) *)
+      let usable =
+        List.filter
+          (fun (_, file) -> inspect ~path:file ~format <> Fresh)
+          shard_files
+      in
       let load_shard (_, file) =
         let* () = repair ~path:file ~format in
         let* records = load ~path:file ~format in
@@ -349,7 +404,7 @@ let merge_shards ~path ~format ~config_ok ~index_of =
             let* acc = acc in
             let* cells = load_shard sf in
             Ok (List.rev_append cells acc))
-          (Ok []) shard_files
+          (Ok []) usable
       in
       let sorted =
         List.sort (fun (i, n, _) (j, m, _) -> compare (i, n) (j, m)) triples

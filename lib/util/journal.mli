@@ -44,13 +44,15 @@ val get_bool : string -> bool option
 
 (** {1 File operations} *)
 
-val create : path:string -> format:string -> record list -> unit
-(** Write a fresh journal: header then [records].  Truncates any existing
-    file at [path]. *)
+val create : ?sync:bool -> path:string -> format:string -> record list -> unit
+(** Write a fresh journal: header then [records], as a single {!Sink}
+    write boundary (a torn create leaves a byte prefix, never
+    interleaved lines).  Truncates any existing file at [path].  With
+    [~sync:true] the bytes are fsynced before the channel closes. *)
 
 val append : path:string -> record -> unit
-(** Append one record and flush.  The file must already carry a header
-    (see {!create}). *)
+(** Append one record and flush (one {!Sink} write boundary).  The file
+    must already carry a header (see {!create}). *)
 
 val repair : path:string -> format:string -> (unit, string) result
 (** Truncate a torn tail in place: everything after the longest prefix of
@@ -66,10 +68,28 @@ val load : path:string -> format:string -> (record list, string) result
     format.  A torn final line (interrupted writer) is dropped; earlier
     corruption is an error. *)
 
+type inspection =
+  | Fresh  (** missing, empty, or an interrupted {!create}: safe to recreate *)
+  | Intact  (** header plus at least one complete record *)
+  | Damaged of string  (** a complete first line that is not a matching header *)
+
+val inspect : path:string -> format:string -> inspection
+(** Crash triage for resume paths.  Because {!create} is one write and a
+    torn write can only leave a byte prefix (it cannot manufacture a
+    newline), a file with no complete first line — or a matching header
+    with no complete record after it — is an interrupted create: nothing
+    was ever appended to it, and recreating it loses no data.  A
+    complete first line that fails to decode as a matching header is
+    [Damaged] and must not be clobbered. *)
+
+val is_fresh : path:string -> format:string -> bool
+(** [inspect ~path ~format = Fresh]. *)
+
 val write_atomic : path:string -> format:string -> record list -> unit
-(** Like {!create}, but writes to a temporary file first and renames it
-    into place, so a crash mid-write never leaves a half-written journal
-    where a complete one used to be. *)
+(** Like {!create}, but two-phase: writes a temporary file, fsyncs it,
+    renames it into place, then fsyncs the parent directory — so neither
+    a crash mid-write nor a power cut just after publish can leave an
+    empty or torn journal where a complete one used to be. *)
 
 (** {1 Per-worker shards}
 

@@ -296,6 +296,28 @@ let prop_shard_merge_canonical =
       Sys.remove canonical;
       ok)
 
+(* ---- a simulated process death is not a cell failure ---- *)
+
+let test_sink_crash_tears_through_the_barrier () =
+  (* [Sink.Crashed] stands for "the process died": the executor must
+     re-raise it, never quarantine the cell and carry on *)
+  List.iter
+    (fun jobs ->
+      let ran = Atomic.make 0 in
+      let cell i =
+        Atomic.incr ran;
+        if i = 1 then raise (Sink.Crashed { site = "test"; point = 99 });
+        i
+      in
+      match Exec.run ~jobs ~cells:4 cell with
+      | _ ->
+          Alcotest.failf "jobs=%d: crash swallowed by the barrier" jobs
+      | exception Sink.Crashed { point; _ } ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: the crash point survives" jobs)
+            99 point)
+    [ 1; 2 ]
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest [ prop_shard_merge_canonical ]
 
@@ -324,6 +346,8 @@ let () =
             (poison_exactly_once 4);
           Alcotest.test_case "poison record round-trips" `Quick
             test_poison_record_roundtrip;
+          Alcotest.test_case "simulated process death is re-raised" `Quick
+            test_sink_crash_tears_through_the_barrier;
         ] );
       ( "worker-loss",
         [

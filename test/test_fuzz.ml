@@ -87,7 +87,46 @@ let test_broken_hierarchy_caught_and_shrunk_deterministically () =
   Alcotest.(check bool) "shrunk to at most three statements" true
     (List.length a.Shrink.value.Lfk.Kernel.body <= 3);
   Alcotest.(check bool) "shrunk case still fails the same check" true
-    (still_fails a.Shrink.value)
+    (still_fails a.Shrink.value);
+  (* candidate evaluation on worker domains is an optimization, not a
+     different algorithm: value, steps and tried all pinned to jobs=1 *)
+  let p = Shrink.kernel ~jobs:4 ~still_fails k in
+  Alcotest.(check string) "parallel shrink reaches the same value"
+    (Codec.to_string a.Shrink.value)
+    (Codec.to_string p.Shrink.value);
+  Alcotest.(check (pair int int)) "parallel shrink does the same accounting"
+    (a.Shrink.steps, a.Shrink.tried)
+    (p.Shrink.steps, p.Shrink.tried)
+
+let test_parallel_shrink_matches_sequential_accounting () =
+  (* a cheap pure predicate exercises the chunked evaluation paths far
+     past what one simulator-backed shrink can: every jobs level must
+     take the identical path through the candidate space *)
+  let program seed =
+    let rand = Random.State.make [| seed; 0x5A |] in
+    QCheck.Gen.generate1 ~rand Gen.program_gen
+  in
+  for seed = 0 to 7 do
+    let p = program seed in
+    let still_fails p' =
+      List.length (Convex_isa.Program.body p') >= 2
+    in
+    if still_fails p then begin
+      let base = Shrink.program ~jobs:1 ~still_fails p in
+      List.iter
+        (fun jobs ->
+          let r = Shrink.program ~jobs ~still_fails p in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d jobs %d: same value" seed jobs)
+            (Convex_isa.Asm.print_program base.Shrink.value)
+            (Convex_isa.Asm.print_program r.Shrink.value);
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "seed %d jobs %d: same steps/tried" seed jobs)
+            (base.Shrink.steps, base.Shrink.tried)
+            (r.Shrink.steps, r.Shrink.tried))
+        [ 2; 3; 4 ]
+    end
+  done
 
 (* ---- corpus journal ---- *)
 
@@ -188,6 +227,8 @@ let () =
         [
           Alcotest.test_case "broken hierarchy caught, shrunk, deterministic"
             `Quick test_broken_hierarchy_caught_and_shrunk_deterministically;
+          Alcotest.test_case "parallel shrink pinned to sequential" `Quick
+            test_parallel_shrink_matches_sequential_accounting;
         ] );
       ( "corpus",
         [

@@ -355,6 +355,72 @@ let test_supervisor_parallel_byte_identical () =
   Sys.remove j1;
   Sys.remove j4
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let test_supervisor_warm_cache_byte_identical () =
+  (* a warm run against the same cache must journal the same bytes
+     without re-measuring: every cell a hit, none simulated *)
+  let j1 = tmp_journal "cold" and j2 = tmp_journal "warm" in
+  let cache =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "macs_sup_cache_%d" (Unix.getpid ()))
+  in
+  rm_rf cache;
+  let budget = Budget.make ~max_cycles:500.0 () in
+  let run path =
+    match Supervisor.run ~budget ~journal:path ~cache () with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "supervisor errored: %s" e
+  in
+  let cold = run j1 in
+  let warm = run j2 in
+  Alcotest.(check string) "warm journal byte-identical to cold"
+    (read_file j1) (read_file j2);
+  let counters o =
+    match o.Supervisor.cache_counters with
+    | Some c -> Convex_cache.Cache.(c.hits, c.misses)
+    | None -> Alcotest.fail "cache counters missing"
+  in
+  Alcotest.(check (pair int int)) "cold run all misses" (0, 12)
+    (counters cold);
+  Alcotest.(check (pair int int)) "warm run all hits" (12, 0)
+    (counters warm);
+  Alcotest.(check bool) "renders identical" true
+    (Macs_report.Suite.render cold.Supervisor.suite
+    = Macs_report.Suite.render warm.Supervisor.suite);
+  rm_rf cache;
+  Sys.remove j1;
+  Sys.remove j2
+
+let test_supervisor_resume_fresh_journal () =
+  (* a create interrupted before its single write completes leaves a
+     header prefix with no newline; resume must treat it as fresh, not
+     refuse it as corrupt *)
+  let full = tmp_journal "freshfull" and part = tmp_journal "freshpart" in
+  let budget = Budget.make ~max_cycles:500.0 () in
+  (match Supervisor.run ~budget ~journal:full () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "supervisor errored: %s" e);
+  let oc = open_out_bin part in
+  output_string oc "macs-jour";
+  close_out oc;
+  (match Supervisor.run ~budget ~journal:part ~resume:true () with
+  | Ok o ->
+      Alcotest.(check int) "nothing replayed" 0
+        o.Supervisor.stats.Supervisor.resumed;
+      Alcotest.(check int) "everything run" 12
+        o.Supervisor.stats.Supervisor.executed
+  | Error e -> Alcotest.failf "resume refused a fresh journal: %s" e);
+  Alcotest.(check string) "journal rebuilt to the uninterrupted bytes"
+    (read_file full) (read_file part);
+  Sys.remove full;
+  Sys.remove part
+
 let test_supervisor_refuses_config_mismatch () =
   let path = tmp_journal "mismatch" in
   ignore (run_supervised path);
@@ -453,6 +519,10 @@ let () =
             test_supervisor_journals_every_attempt;
           Alcotest.test_case "parallel journal byte-identical" `Quick
             test_supervisor_parallel_byte_identical;
+          Alcotest.test_case "warm cache run byte-identical" `Quick
+            test_supervisor_warm_cache_byte_identical;
+          Alcotest.test_case "resume accepts a fresh journal" `Quick
+            test_supervisor_resume_fresh_journal;
           Alcotest.test_case "config mismatch refused" `Quick
             test_supervisor_refuses_config_mismatch;
         ] );
