@@ -282,6 +282,148 @@ let run_cache_bench () =
   rm_rf root;
   rows
 
+(* ------------------------------------------------------------------ *)
+(* Tiered-fidelity pass: cycle vs tiered simulation, per LFK kernel    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall clock per simulation: one warm-up run, then repeat until the
+   quota elapses.  Coarse but stable enough for an order-of-magnitude
+   regression gate — the two fidelities are timed back to back on the
+   same compiled kernel, so systematic noise mostly cancels in the
+   ratio. *)
+let time_per_run f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.2 do
+    f ();
+    incr n
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int !n
+
+(* A bank-conflict-heavy kernel the fast path must refuse: stride 32
+   folds every access onto one bank, so tiered falls back to cycle
+   stepping throughout.  Reported separately (excluded from the geomean)
+   to record the worst-case overhead of attempting-and-rejecting
+   leaps. *)
+let adversarial_job =
+  let v = Convex_isa.Reg.v in
+  let m array offset stride : Convex_isa.Instr.mem =
+    { array; offset; stride }
+  in
+  Convex_vpsim.Job.make ~name:"bank-storm"
+    ~body:
+      [
+        Convex_isa.Instr.Vld { dst = v 0; src = m "A" 0 32 };
+        Convex_isa.Instr.Vbin
+          { op = Add; dst = v 2; src1 = Vr (v 0); src2 = Vr (v 1) };
+        Convex_isa.Instr.Vst { src = v 2; dst = m "B" 0 32 };
+      ]
+    ~segments:[ Convex_vpsim.Job.segment 1024 ]
+    ()
+
+let perf_floor_path = "bench/perf_floor.json"
+
+(* the committed floor: the CI perf gate fails when the tiered geomean
+   speedup over the Livermore suite drops below it *)
+let read_perf_floor () =
+  if not (Sys.file_exists perf_floor_path) then None
+  else
+    let ic = open_in perf_floor_path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let key = "\"tiered_geomean_floor\"" in
+    let rec find i =
+      if i + String.length key > String.length s then None
+      else if String.sub s i (String.length key) = key then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i -> (
+        match String.index_from_opt s i ':' with
+        | None -> None
+        | Some j -> (
+            try
+              Some
+                (Scanf.sscanf
+                   (String.sub s (j + 1) (String.length s - j - 1))
+                   " %f" Fun.id)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> None))
+
+let run_vpsim_bench () =
+  let time_fidelity ~layout ~fidelity job =
+    time_per_run (fun () ->
+        ignore (Convex_vpsim.Sim.run_exn ?layout ~fidelity job))
+  in
+  let row name ~layout job =
+    let cycle_s =
+      time_fidelity ~layout ~fidelity:Convex_vpsim.Fastpath.Cycle job
+    in
+    let tiered_s =
+      time_fidelity ~layout ~fidelity:Convex_vpsim.Fastpath.Tiered job
+    in
+    let speedup = cycle_s /. tiered_s in
+    Printf.printf "  %-14s cycle %8.3f ms   tiered %8.3f ms   speedup %6.2fx\n%!"
+      name (cycle_s *. 1e3) (tiered_s *. 1e3) speedup;
+    (name, cycle_s, tiered_s, speedup)
+  in
+  Printf.printf "\nTiered fidelity (cycle vs tiered simulation):\n";
+  let kernel_rows =
+    List.map
+      (fun (k : Lfk.Kernel.t) ->
+        let c = Fcc.Compiler.compile k in
+        row k.name ~layout:(Some (Macs.Hierarchy.layout_of c))
+          c.Fcc.Compiler.job)
+      Lfk.Kernels.all
+  in
+  let adversarial_row = row "bank-storm" ~layout:None adversarial_job in
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, s) -> a +. log s) 0.0 kernel_rows
+      /. float_of_int (List.length kernel_rows))
+  in
+  Printf.printf "  %-14s geomean speedup %.2fx (adversarial excluded)\n"
+    "livermore" geomean;
+  (kernel_rows @ [ adversarial_row ], geomean)
+
+let write_vpsim_json path ~rows ~geomean ~floor =
+  let oc = open_out path in
+  let json_row (name, cycle_s, tiered_s, speedup) =
+    Printf.sprintf
+      "    { \"kernel\": %S, \"cycle_s\": %.6f, \"tiered_s\": %.6f, \
+       \"speedup\": %.3f }"
+      name cycle_s tiered_s speedup
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"macs-bench-vpsim/1\",\n\
+    \  \"geomean_speedup\": %.3f,\n\
+    \  \"floor\": %s,\n\
+    \  \"kernels\": [\n%s\n  ]\n\
+     }\n"
+    geomean
+    (match floor with Some f -> Printf.sprintf "%.3f" f | None -> "null")
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_vpsim_pass () =
+  let rows, geomean = run_vpsim_bench () in
+  let floor = read_perf_floor () in
+  write_vpsim_json "BENCH_vpsim.json" ~rows ~geomean ~floor;
+  match floor with
+  | None ->
+      Printf.printf "no %s: perf gate skipped\n" perf_floor_path
+  | Some f when geomean < f ->
+      Printf.printf
+        "PERF REGRESSION: tiered geomean %.2fx below committed floor %.2fx\n"
+        geomean f;
+      exit 1
+  | Some f ->
+      Printf.printf "perf gate: geomean %.2fx >= floor %.2fx\n" geomean f
+
 let write_bench_json path ~stage_rows ~exec_rows ~cache_rows =
   let oc = open_out path in
   let json_row (name, jobs, s) =
@@ -311,11 +453,15 @@ let write_bench_json path ~stage_rows ~exec_rows ~cache_rows =
 let () =
   let bench_only = Array.exists (fun a -> a = "--bench-only") Sys.argv in
   let print_only = Array.exists (fun a -> a = "--print-only") Sys.argv in
-  if not bench_only then regenerate ();
-  if not print_only then begin
-    let stage_rows = run_benchmarks () in
-    let exec_rows = run_exec_bench () in
-    let cache_rows = run_cache_bench () in
-    write_bench_json "BENCH_exec.json" ~stage_rows ~exec_rows
-      ~cache_rows
+  let vpsim_only = Array.exists (fun a -> a = "--vpsim-only") Sys.argv in
+  if vpsim_only then run_vpsim_pass ()
+  else begin
+    if not bench_only then regenerate ();
+    if not print_only then begin
+      let stage_rows = run_benchmarks () in
+      let exec_rows = run_exec_bench () in
+      let cache_rows = run_cache_bench () in
+      write_bench_json "BENCH_exec.json" ~stage_rows ~exec_rows ~cache_rows;
+      run_vpsim_pass ()
+    end
   end

@@ -60,6 +60,23 @@ let faults_arg =
     & opt fault_conv Convex_fault.Fault.none
     & info [ "faults" ] ~docv:"SPEC" ~doc:fault_doc)
 
+let fidelity_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Convex_vpsim.Fastpath.of_string s)
+  in
+  Arg.conv (parse, Convex_vpsim.Fastpath.pp)
+
+let fidelity_arg =
+  Arg.(
+    value
+    & opt fidelity_conv Convex_vpsim.Fastpath.Tiered
+    & info [ "fidelity" ] ~docv:"TIER"
+        ~doc:
+          "Simulator tier: 'tiered' (default) advances provably-analytic \
+           regions in closed-form leaps, 'cycle' steps every element.  \
+           Results are bit-identical either way; tiered is several times \
+           faster on healthy streams.")
+
 let kernel_arg =
   Arg.(
     value
@@ -240,7 +257,7 @@ let simulate_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.")
   in
-  let run machine kernel faults trace =
+  let run machine kernel faults trace fidelity =
     List.iter
       (fun k ->
         let c = Fcc.Compiler.compile k in
@@ -249,7 +266,9 @@ let simulate_cmd =
             Convex_vpsim.Sim.default_guard
           else 50_000
         in
-        match Convex_vpsim.Sim.run ~machine ~faults ~guard ~trace c.job with
+        match
+          Convex_vpsim.Sim.run ~machine ~faults ~guard ~trace ~fidelity c.job
+        with
         | Error e ->
             Printf.printf "%s: FAILED %s\n" k.name
               (Macs_util.Macs_error.to_string e)
@@ -273,7 +292,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a kernel on the cycle-level simulator")
-    Term.(const run $ machine_arg $ kernel_arg $ faults_arg $ trace)
+    Term.(
+      const run $ machine_arg $ kernel_arg $ faults_arg $ trace
+      $ fidelity_arg)
 
 let calibrate_cmd =
   let run () = print_endline (Macs_report.Tables.table1 ()) in
@@ -507,7 +528,7 @@ let suite_cmd =
             "Watchdog cap on host wall-clock seconds per kernel run.")
   in
   let run machine opt faults journal resume retry_failed cycles wall jobs
-      cache no_cache =
+      cache no_cache fidelity =
     let budget =
       Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
     in
@@ -516,7 +537,7 @@ let suite_cmd =
       exit 2);
     match
       Convex_harness.Supervisor.run ~machine ~opt ~faults ~budget ?journal
-        ~resume ~retry_failed ~jobs
+        ~resume ~retry_failed ~jobs ~fidelity
         ?cache:(cache_of cache no_cache) ()
     with
     | Ok { suite; stats; quarantined; cache_counters } ->
@@ -551,7 +572,7 @@ let suite_cmd =
     Term.(
       const run $ machine_arg $ opt_arg $ faults_arg $ journal $ resume
       $ retry_failed $ budget_cycles $ budget_wall $ jobs_arg $ cache_arg
-      $ no_cache_arg)
+      $ no_cache_arg $ fidelity_arg)
 
 let resilience_cmd =
   let plans =
@@ -589,11 +610,11 @@ let validate_cmd =
       & info [ "tol" ] ~docv:"FRAC"
           ~doc:"Relative tolerance for every bound comparison (default 0.02).")
   in
-  let run machine opt faults tol =
+  let run machine opt faults tol fidelity =
     let faults =
       if Convex_fault.Fault.is_none faults then None else Some faults
     in
-    let r = Macs.Oracle.validate ~tol ~opt ~machine ?faults () in
+    let r = Macs.Oracle.validate ~tol ~opt ~machine ?faults ~fidelity () in
     print_string (Macs.Oracle.render r);
     if r.Macs.Oracle.violations <> [] then exit 1
   in
@@ -604,7 +625,7 @@ let validate_cmd =
           M <= MA <= MAC <= MACS <= measured, schedule monotonicity and \
           eq. 18 on every vectorized kernel; exits non-zero on any \
           violation")
-    Term.(const run $ machine_arg $ opt_arg $ faults_arg $ tol)
+    Term.(const run $ machine_arg $ opt_arg $ faults_arg $ tol $ fidelity_arg)
 
 let report_cmd =
   let out =
@@ -690,7 +711,7 @@ let fuzz_cmd =
               case samples one plan, rotating."))
   in
   let run seed count machine_name budget sim_budget corpus no_sim plans jobs
-      cache no_cache =
+      cache no_cache fidelity =
     let machine = Result.get_ok (machine_of_name machine_name) in
     let cfg =
       {
@@ -704,6 +725,7 @@ let fuzz_cmd =
         sim = not no_sim;
         jobs;
         cache = cache_of cache no_cache;
+        fidelity;
         fault_plans =
           (match plans with
           | [] -> Convex_fuzz.Driver.default_config.fault_plans
@@ -731,7 +753,7 @@ let fuzz_cmd =
           corpus; exits non-zero on any violation")
     Term.(
       const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
-      $ no_sim $ plans $ jobs_arg $ cache_arg $ no_cache_arg)
+      $ no_sim $ plans $ jobs_arg $ cache_arg $ no_cache_arg $ fidelity_arg)
 
 let chaos_cmd =
   let seed =
@@ -793,7 +815,7 @@ let chaos_cmd =
              degrades to fewer workers instead of aborting.")
   in
   let run seed cells machine_name journal resume budget jobs kill_cells cache
-      no_cache =
+      no_cache fidelity =
     let machine = Result.get_ok (machine_of_name machine_name) in
     if resume && journal = None then (
       prerr_endline "macs_cli chaos: --resume needs --journal";
@@ -810,6 +832,7 @@ let chaos_cmd =
         jobs;
         kill_cells;
         cache = cache_of cache no_cache;
+        fidelity;
         budget =
           (match budget with
           | Some c -> Convex_harness.Budget.make ~max_cycles:c ()
@@ -842,7 +865,7 @@ let chaos_cmd =
           violation")
     Term.(
       const run $ seed $ cells $ machine_name $ journal $ resume $ budget
-      $ jobs_arg $ kill_cells $ cache_arg $ no_cache_arg)
+      $ jobs_arg $ kill_cells $ cache_arg $ no_cache_arg $ fidelity_arg)
 
 let cache_cmd =
   let module Cache = Convex_cache.Cache in

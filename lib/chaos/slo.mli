@@ -33,13 +33,18 @@ type outcome = { verdict : verdict; cpl : float option }
 val probe_tol : float
 
 val recovery_check :
-  machine:Machine.t -> guard:int -> Fault.t -> verdict option
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
+  machine:Machine.t ->
+  guard:int ->
+  Fault.t ->
+  verdict option
 (** [None] for plans without a transient window, or when the windowed
     probe pair converges; [Some] carries the violation (or the
     degradation, if the probe itself stalls under the plan). *)
 
 val check_cell :
   ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   machine:Machine.t ->
   opt:Fcc.Opt_level.t ->
   guard:int ->
@@ -49,4 +54,5 @@ val check_cell :
 (** Run one cell (kernel under plan) through {!Macs_report.Suite.run_kernel}
     and every applicable SLO, first failure wins.  Deterministic: the
     same cell always produces the same outcome, which is what makes
-    delta-debugging over plans sound. *)
+    delta-debugging over plans sound.  [fidelity] selects the stepper
+    tier (default cycle); outcomes are bit-identical across tiers. *)

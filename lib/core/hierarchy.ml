@@ -44,7 +44,8 @@ let layout_of (c : Fcc.Compiler.t) =
     aliases;
   layout
 
-let of_compiled ?(machine = Machine.c240) ?contention (c : Fcc.Compiler.t) =
+let of_compiled ?(machine = Machine.c240) ?contention ?fidelity
+    (c : Fcc.Compiler.t) =
   let kernel = c.kernel in
   let flops = c.flops_per_iteration in
   let ma = Counts.ma_of_kernel kernel in
@@ -55,7 +56,8 @@ let of_compiled ?(machine = Machine.c240) ?contention (c : Fcc.Compiler.t) =
   let t_macs_m = Macs_bound.m_only ~machine body in
   let layout = layout_of c in
   let measure job =
-    Measure.run_exn ~machine ~layout ?contention ~flops_per_iteration:flops job
+    Measure.run_exn ~machine ~layout ?contention ?fidelity
+      ~flops_per_iteration:flops job
   in
   let t_p = measure c.job in
   let t_a = measure (Ax.a_process c.job) in
@@ -77,8 +79,8 @@ let of_compiled ?(machine = Machine.c240) ?contention (c : Fcc.Compiler.t) =
     t_x;
   }
 
-let analyze ?machine ?contention ?opt kernel =
-  of_compiled ?machine ?contention (Fcc.Compiler.compile ?opt kernel)
+let analyze ?machine ?contention ?fidelity ?opt kernel =
+  of_compiled ?machine ?contention ?fidelity (Fcc.Compiler.compile ?opt kernel)
 
 let cpf_of_cpl t cpl = Units.cpf_of_cpl ~cpl ~flops:t.flops
 let t_ma_cpf t = cpf_of_cpl t t.t_ma

@@ -40,14 +40,20 @@ val layout_of : Fcc.Compiler.t -> Layout.t
 val analyze :
   ?machine:Machine.t ->
   ?contention:Contention.t ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   ?opt:Fcc.Opt_level.t ->
   Lfk.Kernel.t ->
   t
 (** Compile the kernel, compute every bound, and run the three
-    measurements. *)
+    measurements.  [fidelity] selects the simulator tier for the
+    measurements (default cycle); both tiers measure identically. *)
 
 val of_compiled :
-  ?machine:Machine.t -> ?contention:Contention.t -> Fcc.Compiler.t -> t
+  ?machine:Machine.t ->
+  ?contention:Contention.t ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
+  Fcc.Compiler.t ->
+  t
 (** Same, for an already-compiled kernel. *)
 
 val cpf_of_cpl : t -> float -> float

@@ -172,7 +172,7 @@ let check_opt_monotonicity ?(tol = default_tol) ~machine (k : Lfk.Kernel.t) =
    kernels are not monotone: delaying one stream can let another through
    earlier.) *)
 let check_faulted_never_faster ?(tol = default_tol)
-    ?(machine = Machine.c240) faults =
+    ?(machine = Machine.c240) ?fidelity faults =
   let body =
     [
       Instr.Vld { dst = Reg.v 0; src = { array = "A"; offset = 0; stride = 1 } };
@@ -182,7 +182,8 @@ let check_faulted_never_faster ?(tol = default_tol)
     Job.make ~name:"oracle-probe" ~body ~segments:[ Job.segment 512 ] ()
   in
   match
-    (Sim.run ~machine job, Sim.run ~machine ~faults ~guard:50_000 job)
+    ( Sim.run ~machine ?fidelity job,
+      Sim.run ~machine ~faults ~guard:50_000 ?fidelity job )
   with
   | Ok h, Ok f
     when f.Sim.stats.Sim.cycles < h.Sim.stats.Sim.cycles *. (1.0 -. tol) ->
@@ -211,20 +212,20 @@ type report = {
 }
 
 let validate ?(tol = default_tol) ?(opt = Fcc.Opt_level.v61)
-    ?(machine = Machine.c240) ?faults () =
+    ?(machine = Machine.c240) ?faults ?fidelity () =
   let kernels =
     List.sort (fun (a : Lfk.Kernel.t) b -> compare a.id b.id) Lfk.Kernels.all
   in
   let per_kernel =
     List.concat_map
       (fun k ->
-        check_hierarchy ~tol (Hierarchy.analyze ~machine ~opt k)
+        check_hierarchy ~tol (Hierarchy.analyze ~machine ?fidelity ~opt k)
         @ check_opt_monotonicity ~tol ~machine k)
       kernels
   in
   let faulted =
     match faults with
-    | Some plan -> check_faulted_never_faster ~tol ~machine plan
+    | Some plan -> check_faulted_never_faster ~tol ~machine ?fidelity plan
     | None -> []
   in
   {

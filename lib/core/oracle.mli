@@ -60,7 +60,11 @@ val check_opt_monotonicity :
     masking flips with chime composition and is not schedule-monotone. *)
 
 val check_faulted_never_faster :
-  ?tol:float -> ?machine:Machine.t -> Convex_fault.Fault.t -> violation list
+  ?tol:float ->
+  ?machine:Machine.t ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
+  Convex_fault.Fault.t ->
+  violation list
 (** Runs the provably-monotone unit-stride load probe healthy and under
     the plan; the faulted run finishing faster is a violation.  A probe
     that stalls out under the plan is a diagnosed outcome, not a
@@ -81,6 +85,7 @@ val validate :
   ?opt:Fcc.Opt_level.t ->
   ?machine:Machine.t ->
   ?faults:Convex_fault.Fault.t ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   unit ->
   report
 (** Check every vectorizable kernel's hierarchy and schedule monotonicity

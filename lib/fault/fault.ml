@@ -53,6 +53,21 @@ let active_at t ~cycle =
   | None -> true
   | Some w -> cycle >= w.opens && cycle < w.closes
 
+(* A plan is quiescent over [lo, hi] when no query with a cycle in that
+   range can answer anything but "healthy": either the plan has no
+   clauses at all, or it is transient and its window misses the range
+   entirely.  A permanent plan with clauses is never quiescent — some
+   query (a blocked bank, a slowed pipe) could fire at any cycle, and
+   proving it cannot would need the access pattern, which is the
+   caller's job.  This is the proof obligation the tiered fast path
+   discharges before leaping over a region (see DESIGN §14). *)
+let quiescent t ~lo ~hi =
+  is_none t
+  ||
+  match t.window with
+  | Some w -> hi < w.opens || lo >= w.closes
+  | None -> false
+
 (* ---- queries ---- *)
 
 let bank_extra_busy t ~bank ~cycle =

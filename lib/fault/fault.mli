@@ -91,6 +91,17 @@ val active_at : t -> cycle:int -> bool
 (** Whether the plan injects at [cycle]: always true for permanent plans,
     the window test for transient ones. *)
 
+val quiescent : t -> lo:int -> hi:int -> bool
+(** [quiescent t ~lo ~hi] is a {e proof} that no query at any cycle in
+    [\[lo, hi\]] (inclusive) can deviate from the healthy answer: true
+    when the plan has no clauses, or when it is transient and its window
+    is disjoint from the range.  A permanent plan with clauses is never
+    quiescent — ruling out its effects would require the access pattern.
+    The tiered fast path ({!Convex_vpsim.Fastpath}) requires this before
+    advancing a region in one analytical leap; a [false] answer merely
+    forces cycle-level stepping, so conservatism costs speed, never
+    correctness. *)
+
 val bank_extra_busy : t -> bank:int -> cycle:int -> int
 (** Extra busy cycles bank [bank] pays for an access accepted at [cycle];
     0 outside a transient window. *)

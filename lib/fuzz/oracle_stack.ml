@@ -5,6 +5,8 @@ module Budget = Convex_harness.Budget
 module Interp = Convex_vpsim.Interp
 module Job = Convex_vpsim.Job
 module Measure = Convex_vpsim.Measure
+module Sim = Convex_vpsim.Sim
+module Fastpath = Convex_vpsim.Fastpath
 module Macs_error = Macs_util.Macs_error
 
 type outcome = Pass | Skip of string | Fail of string
@@ -113,7 +115,7 @@ let diff_check opt (c : Fcc.Compiler.t) =
   | exception e ->
       { id; outcome = Fail ("exception: " ^ Printexc.to_string e) }
 
-let sim_check ~machine ~budget ~faults (c : Fcc.Compiler.t) =
+let sim_check ~machine ~budget ~faults ?fidelity (c : Fcc.Compiler.t) =
   let plan_name = Fault.(if is_none faults then None else Some faults.name) in
   let id =
     match plan_name with
@@ -122,7 +124,7 @@ let sim_check ~machine ~budget ~faults (c : Fcc.Compiler.t) =
   in
   let watchdog = Budget.watchdog ~site:("fuzz." ^ id) budget in
   match
-    Measure.run ~machine ~faults ?watchdog
+    Measure.run ~machine ~faults ?watchdog ?fidelity
       ~flops_per_iteration:(max 1 c.flops_per_iteration)
       c.job
   with
@@ -135,6 +137,79 @@ let sim_check ~machine ~budget ~faults (c : Fcc.Compiler.t) =
   | Error e -> (None, { id; outcome = Fail (Macs_error.to_string e) })
   | exception e ->
       (None, { id; outcome = Fail ("exception: " ^ Printexc.to_string e) })
+
+(* ---- cycle vs tiered bit-identity ---- *)
+
+let same_float a b = Int64.equal (bits a) (bits b)
+
+let same_stats (a : Sim.stats) (b : Sim.stats) =
+  same_float a.cycles b.cycles
+  && a.elements = b.elements
+  && a.instructions = b.instructions
+  && a.strips = b.strips
+  && a.mem_accesses = b.mem_accesses
+  && a.bank_conflict_stalls = b.bank_conflict_stalls
+  && a.refresh_stalls = b.refresh_stalls
+  && a.port_stalls = b.port_stalls
+  && a.fault_stalls = b.fault_stalls
+  && List.length a.pipe_busy = List.length b.pipe_busy
+  && List.for_all2
+       (fun (na, xa) (nb, xb) -> String.equal na nb && same_float xa xb)
+       a.pipe_busy b.pipe_busy
+
+let same_event (a : Sim.event) (b : Sim.event) =
+  a.instr = b.instr && a.strip = b.strip
+  && same_float a.issue b.issue
+  && same_float a.start b.start
+  && same_float a.first_result b.first_result
+  && same_float a.completion b.completion
+
+let fidelity_diff_check ~machine ~faults (c : Fcc.Compiler.t) =
+  let plan_name = Fault.(if is_none faults then None else Some faults.name) in
+  let id =
+    match plan_name with
+    | None -> "fidelity-diff"
+    | Some p -> Printf.sprintf "fidelity-diff:%s" p
+  in
+  (* deterministic guard, no watchdog: both runs must step (or stall out)
+     identically, so even the failure cycle in the diagnostic is part of
+     the contract being diffed *)
+  let guard = if plan_name = None then Sim.default_guard else 50_000 in
+  let once fidelity =
+    let log = ref [] in
+    let r = Sim.run ~machine ~faults ~guard ~trace:true ~access_log:log ~fidelity c.job in
+    (r, !log)
+  in
+  match (once Fastpath.Cycle, once Fastpath.Tiered) with
+  | (Ok rc, lc), (Ok rt, lt) ->
+      if not (same_stats rc.Sim.stats rt.Sim.stats) then
+        { id; outcome = Fail "stats diverge between cycle and tiered" }
+      else if
+        List.length rc.Sim.events <> List.length rt.Sim.events
+        || not (List.for_all2 same_event rc.Sim.events rt.Sim.events)
+      then { id; outcome = Fail "trace events diverge between cycle and tiered" }
+      else if lc <> lt then
+        { id; outcome = Fail "access logs diverge between cycle and tiered" }
+      else { id; outcome = Pass }
+  | (Error ec, _), (Error et, _) ->
+      if String.equal (Macs_error.to_string ec) (Macs_error.to_string et) then
+        { id; outcome = Pass }
+      else
+        { id;
+          outcome =
+            Fail
+              (Printf.sprintf "diagnostics diverge: cycle %s, tiered %s"
+                 (Macs_error.to_string ec) (Macs_error.to_string et)) }
+  | (Error ec, _), (Ok _, _) ->
+      { id;
+        outcome =
+          Fail ("cycle fails, tiered completes: " ^ Macs_error.to_string ec) }
+  | (Ok _, _), (Error et, _) ->
+      { id;
+        outcome =
+          Fail ("tiered fails, cycle completes: " ^ Macs_error.to_string et) }
+  | exception e ->
+      { id; outcome = Fail ("exception: " ^ Printexc.to_string e) }
 
 let oracle_checks ~machine (c : Fcc.Compiler.t) ~cpl =
   let row =
@@ -173,7 +248,7 @@ let oracle_checks ~machine (c : Fcc.Compiler.t) ~cpl =
   row @ mono
 
 let run ?(machine = Machine.c240) ?(sim = true) ?(fault_plans = [])
-    ?(budget = Budget.none) (k : Lfk.Kernel.t) =
+    ?(budget = Budget.none) ?fidelity (k : Lfk.Kernel.t) =
   let checks = ref [] in
   let emit c = checks := c :: !checks in
   (* compile at every level, remembering the functional compilations *)
@@ -214,16 +289,18 @@ let run ?(machine = Machine.c240) ?(sim = true) ?(fault_plans = [])
      match functional with
      | [] -> ()
      | (_, c) :: _ ->
-         let m, check = sim_check ~machine ~budget ~faults:Fault.none c in
+         let m, check = sim_check ~machine ~budget ~faults:Fault.none ?fidelity c in
          emit check;
          (match m with
          | Some m ->
              cpl := Some m.Measure.cpl;
              List.iter emit (oracle_checks ~machine c ~cpl:m.Measure.cpl)
          | None -> ());
+         emit (fidelity_diff_check ~machine ~faults:Fault.none c);
          List.iter
            (fun plan ->
-             let _, check = sim_check ~machine ~budget ~faults:plan c in
-             emit check)
+             let _, check = sim_check ~machine ~budget ~faults:plan ?fidelity c in
+             emit check;
+             emit (fidelity_diff_check ~machine ~faults:plan c))
            fault_plans);
   { kernel = k; mode; cpl = !cpl; checks = List.rev !checks }

@@ -26,7 +26,16 @@
       either completes or degrades to a {e typed} error; an escaping
       exception is a failure.  (Faulted-never-faster is checked once per
       run on the monotone probe — see {!Driver} — because general
-      kernels are not monotone under faults.) *)
+      kernels are not monotone under faults.)
+    - ["fidelity-diff"] / ["fidelity-diff:<plan>"] — the tiered stepper
+      ({!Convex_vpsim.Fastpath.Tiered}) is bit-identical to pure cycle
+      stepping on the same job: total cycles, every stall counter,
+      per-pipe busy time, the full trace event list and the word-level
+      access log are compared bitwise (floats by their IEEE bits), with a
+      deterministic guard and no watchdog.  When both tiers fail, even
+      the rendered diagnostic must match.  This rung is the empirical
+      proof obligation behind the fast path's "never changes the
+      answer" claim. *)
 
 type outcome = Pass | Skip of string | Fail of string
 
@@ -48,12 +57,23 @@ val run :
   ?sim:bool ->
   ?fault_plans:Convex_fault.Fault.t list ->
   ?budget:Convex_harness.Budget.t ->
+  ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   Lfk.Kernel.t ->
   report
 (** Run the whole stack.  [machine] defaults to the healthy C-240;
     [sim:false] stops after the functional stages (compile, diff,
     round-trip) — the cheap mode test properties use.  [budget] caps
-    each simulation through a fresh {!Convex_harness.Budget.watchdog}. *)
+    each simulation through a fresh {!Convex_harness.Budget.watchdog}.
+    [fidelity] selects the tier for the ["sim"]/["fault-sim:*"] rungs
+    (default cycle); the ["fidelity-diff"] rungs always run both tiers
+    regardless. *)
+
+val fidelity_diff_check :
+  machine:Convex_machine.Machine.t ->
+  faults:Convex_fault.Fault.t ->
+  Fcc.Compiler.t ->
+  check
+(** The cycle-vs-tiered bit-identity rung alone, on a compiled kernel. *)
 
 val check_program : Convex_isa.Program.t -> check
 (** The assembly round-trip check alone, on an arbitrary program — the

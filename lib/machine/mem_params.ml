@@ -18,6 +18,21 @@ let c240 =
     ports = 5;
   }
 
+(* Safe upper bound on the last cycle an analytical leap starting at
+   [start] and spanning [span] cycles can touch: every refresh window the
+   stream could cross slips it by at most [refresh_duration] cycles, and
+   the slipped stream can cross at most twice as many windows as the
+   unslipped one (duration < period).  Overestimating only widens the
+   quiescence range a leap must prove fault-free — conservative, never
+   wrong. *)
+let leap_horizon t ~start ~span =
+  let slack =
+    if t.refresh_duration > 0 && t.refresh_period <> max_int then
+      2 * ((span / t.refresh_period) + 2) * t.refresh_duration
+    else 0
+  in
+  start + span + slack
+
 let refresh_factor t =
   1.0 +. (float_of_int t.refresh_duration /. float_of_int t.refresh_period)
 

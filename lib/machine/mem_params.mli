@@ -17,6 +17,12 @@ type t = {
 
 val c240 : t
 
+val leap_horizon : t -> start:int -> span:int -> int
+(** Safe upper bound on the last cycle an analytical leap starting at
+    [start] with an unslipped span of [span] cycles can touch, counting
+    the worst-case refresh slips the stream could absorb.  Used to size
+    the {!Convex_fault.Fault.quiescent} range a leap must prove. *)
+
 val refresh_factor : t -> float
 (** The multiplicative penalty the MACS bound applies to saturated memory
     chime groups: [1 + duration / period] — 1.02 for the C-240. *)

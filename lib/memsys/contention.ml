@@ -2,6 +2,11 @@ type t = { steal : float; seed : int }
 
 let none = { steal = 0.0; seed = 0 }
 
+(* [sampler] can never steal a cycle when the probability is zero, so a
+   zero-steal model is behaviourally [none] whatever its seed — the
+   tiered fast path keys off this, not physical equality *)
+let is_none t = t.steal <= 0.0
+
 let of_steal_probability ?(seed = 0x9e3779b9) steal =
   if steal < 0.0 || steal >= 1.0 then
     invalid_arg "Contention.of_steal_probability: out of [0;1)";

@@ -17,6 +17,11 @@ type t
 val none : t
 (** No contention: the port is always available. *)
 
+val is_none : t -> bool
+(** True when the model can never steal a cycle (zero steal probability,
+    any seed) — the admission test {!Convex_vpsim.Fastpath} uses before
+    leaping over an access stream. *)
+
 val of_steal_probability : ?seed:int -> float -> t
 (** Probability in [0;1) that a cycle's port slot is taken by another CPU. *)
 

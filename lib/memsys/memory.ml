@@ -12,11 +12,35 @@ type t = {
          than a high-water mark because the simulator schedules
          instructions in issue order, so queries arrive out of time
          order *)
+  mutable port_hwm : int;
+      (* highest cycle whose port slot has ever been consumed (-1 when
+         none): an access stream starting strictly above it can never
+         collide with an already-granted slot, the O(1) port-safety
+         test the analytical fast path leans on *)
+  mutable spans : float array array;
+      (* access schedules committed by [admit_stream], in admission
+         order, which is also ascending cycle order (each admitted
+         stream starts strictly above the then-current high-water
+         mark).  Entries are exact integer-valued floats — the array the
+         caller gets back is the array stored here.  Port membership for
+         leapt slots is answered by binary search instead of one
+         hash-table entry per element, so a leap's commit cost is
+         independent of its length *)
+  mutable nspans : int;
+  mutable last_span_dense : bool;
+      (* the most recent span was admitted at z = 1 with no internal
+         conflict gap: every cycle from its first to its last slot is
+         either a consumed slot or inside a refresh window, which is
+         what lets a follow-on stream's element-0 spin across it be
+         charged in closed form *)
   mutable accesses : int;
   mutable conflict_stalls : int;
   mutable refresh_stalls : int;
   mutable port_stalls : int;
   mutable fault_stalls : int;
+  scratch_banks : int array;
+      (* [admit_stream]'s working copy of [bank_free_at]: preallocated
+         so a short leap doesn't pay an allocation *)
 }
 
 let create ?(contention = Contention.none) ?(faults = Fault.none) ?log
@@ -28,16 +52,25 @@ let create ?(contention = Contention.none) ?(faults = Fault.none) ?log
     log;
     bank_free_at = Array.make params.banks 0;
     port_used = Hashtbl.create 4096;
+    port_hwm = -1;
+    spans = [||];
+    nspans = 0;
+    last_span_dense = false;
     accesses = 0;
     conflict_stalls = 0;
     refresh_stalls = 0;
     port_stalls = 0;
     fault_stalls = 0;
+    scratch_banks = Array.make params.banks 0;
   }
 
 let reset t =
   Array.fill t.bank_free_at 0 (Array.length t.bank_free_at) 0;
   Hashtbl.reset t.port_used;
+  t.port_hwm <- -1;
+  t.spans <- [||];
+  t.nspans <- 0;
+  t.last_span_dense <- false;
   t.accesses <- 0;
   t.conflict_stalls <- 0;
   t.refresh_stalls <- 0;
@@ -67,12 +100,52 @@ let bank_of t ~word =
   let b = word mod t.params.banks in
   if b < 0 then b + t.params.banks else b
 
+(* Was [cycle]'s port slot consumed by a leapt stream?  Spans are
+   pairwise disjoint and ascending (admission requires each stream to
+   start strictly above the then-current high-water mark), so binary
+   search finds the one candidate span, then the slot within it. *)
+let span_taken t ~cycle =
+  t.nspans > 0
+  &&
+  (* slots are exact integer-valued floats, so equality against the
+     converted probe is exact *)
+  let c = float_of_int cycle in
+  (* last span whose first slot is <= cycle *)
+  let lo = ref 0 and hi = ref (t.nspans - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.spans.(mid).(0) <= c then begin
+      found := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !found >= 0
+  &&
+  let s = t.spans.(!found) in
+  c <= s.(Array.length s - 1)
+  &&
+  let lo = ref 0 and hi = ref (Array.length s - 1) and hit = ref false in
+  while (not !hit) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid) = c then hit := true
+    else if s.(mid) < c then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !hit
+
+(* every consumed slot is at or below the high-water mark, so probes
+   above it skip both membership structures *)
+let port_taken t ~cycle =
+  cycle <= t.port_hwm
+  && (Hashtbl.mem t.port_used cycle || span_taken t ~cycle)
+
 let try_access t ~cycle ~word =
   if refresh_active t ~cycle then begin
     t.refresh_stalls <- t.refresh_stalls + 1;
     false
   end
-  else if Hashtbl.mem t.port_used cycle then begin
+  else if port_taken t ~cycle then begin
     t.port_stalls <- t.port_stalls + 1;
     false
   end
@@ -95,12 +168,193 @@ let try_access t ~cycle ~word =
         cycle + t.params.bank_busy_cycles
         + Fault.bank_extra_busy t.faults ~bank ~cycle;
       Hashtbl.replace t.port_used cycle ();
+      if cycle > t.port_hwm then t.port_hwm <- cycle;
       t.accesses <- t.accesses + 1;
       (match t.log with
       | Some r -> r := (cycle, word) :: !r
       | None -> ());
       true
     end
+
+(* ---- analytical stream admission (the tiered fast path) ----
+
+   [admit_stream] replaces [count] cycle-by-cycle [try_access] spins with
+   one pure pass that resolves every spin in closed form.  Three stall
+   families are absorbed exactly, each classified as [try_access] would
+   have classified the failed attempt at that cycle:
+
+   - {e refresh} waits: window geometry is static under a quiescent
+     plan, so the cycles lost inside a window are a counting formula;
+   - {e bank drains}: the pass carries its own copy of [bank_free_at],
+     so an element arriving while its bank is busy lands exactly at the
+     bank's release (then slips over any refresh window it lands in);
+   - {e consumed port slots}: element 0 may start at or below the port
+     high-water mark.  That spin is closed-form only when the consumed
+     slots above the stream's start are exactly the most recent span and
+     that span is {e dense} — z = 1 and no internal conflict gaps, so
+     every cycle from its first slot through the high-water mark is
+     either consumed or inside a refresh window.  The probe then fails
+     on every cycle through the mark (port or refresh) and resumes
+     above it.  Anything less provable rejects the leap.
+
+   Remaining obligations:
+
+   1. no contention model (a stolen port cycle would stall the stream);
+   2. the plan is {!Fault.quiescent} from the stream's start through a
+      horizon past its {e actual} last access (so no stuck/scrubbed
+      bank, no extra bank busy, no port spike, no refresh jitter can
+      fire) — checked after the pass, because conflict drains can push
+      the landing past the nominal [start + (count-1) * z] schedule;
+   3. every per-element slip stays within [max_slip] failed attempts, so
+      the cycle stepper would neither have tripped its progress guard
+      nor polled its watchdog mid-access.
+
+   On success the returned array holds each element's access cycle and
+   the model state (bank busy lines, port slots, access/stall counters,
+   access log) is exactly what the spin loop would have left behind —
+   bit-for-bit, which the fuzz oracle stack cross-checks. *)
+
+(* Refresh-window cycles in [0, q) under healthy geometry — valid only
+   when the plan is quiescent over the range in question (no jitter). *)
+let refresh_cycles_below (p : Mem_params.t) q =
+  if p.refresh_duration <= 0 || p.refresh_period = max_int then 0
+  else
+    ((q / p.refresh_period) * p.refresh_duration)
+    + max 0 ((q mod p.refresh_period) - (p.refresh_period - p.refresh_duration))
+
+let admit_stream t ~start ~count ~z ~word0 ~wstride ~max_slip =
+  let p = t.params in
+  if count <= 0 || z < 1 || start < 0 then None
+  else if not (Contention.is_none t.contention) then None
+  else begin
+    let has_refresh = p.refresh_duration > 0 && p.refresh_period <> max_int in
+    let rc lo hi =
+      if has_refresh then
+        refresh_cycles_below p hi - refresh_cycles_below p lo
+      else 0
+    in
+    let hwm = t.port_hwm in
+    let chaseable =
+      t.nspans > 0 && t.last_span_dense
+      &&
+      let s = t.spans.(t.nspans - 1) in
+      float_of_int start >= s.(0)
+      && float_of_int hwm = s.(Array.length s - 1)
+    in
+    let nbanks = p.banks in
+    let bfree = t.scratch_banks in
+    Array.blit t.bank_free_at 0 bfree 0 nbanks;
+    let entries = Array.make count 0.0 in
+    let port_st = ref 0 in
+    let conflict_st = ref 0 in
+    let refresh_st = ref 0 in
+    (* conflict cycles between elements 1..count-1: any such gap breaks
+       the denseness the next stream's chase would rely on *)
+    let drift = ref 0 in
+    let ok = ref true in
+    let prev = ref 0 in
+    let e = ref 0 in
+    (* the loop below runs once per element, so it carries the bank
+       index and the refresh phase incrementally — the common case (bank
+       idle, no window) costs no division *)
+    let b = ref (bank_of t ~word:word0) in
+    let db = ((wstride mod nbanks) + nbanks) mod nbanks in
+    let per = p.refresh_period in
+    let ph = ref 0 in
+    (* cycle whose refresh phase [ph] currently holds *)
+    let ph_at = ref 0 in
+    while !ok && !e < count do
+      let cand = if !e = 0 then start else !prev + z in
+      (* consumed-slot chase: only element 0 can start at or below the
+         high-water mark (every later candidate sits above this
+         element's grant, which lands above the mark) *)
+      let cand2 =
+        if cand > hwm then cand
+        else if !e = 0 && chaseable then begin
+          let r = rc cand (hwm + 1) in
+          port_st := !port_st + (hwm + 1 - cand - r);
+          refresh_st := !refresh_st + r;
+          hwm + 1
+        end
+        else begin
+          ok := false;
+          cand
+        end
+      in
+      if !ok then begin
+        if has_refresh then begin
+          (if !e = 0 then ph := cand2 mod per
+           else begin
+             ph := !ph + (cand2 - !ph_at);
+             while !ph >= per do
+               ph := !ph - per
+             done
+           end);
+          ph_at := cand2
+        end;
+        let bf = bfree.(!b) in
+        let target = if bf > cand2 then bf else cand2 in
+        let pht =
+          if not has_refresh then 0
+          else if target = cand2 then !ph
+          else (!ph + (target - cand2)) mod per
+        in
+        let g =
+          if has_refresh && pht >= per - p.refresh_duration then
+            target + (per - pht)
+          else target
+        in
+        if g - cand > max_slip then ok := false
+        else begin
+          (if g > cand2 then begin
+             let r = rc cand2 g in
+             refresh_st := !refresh_st + r;
+             let c = g - cand2 - r in
+             conflict_st := !conflict_st + c;
+             if !e > 0 then drift := !drift + c
+           end);
+          bfree.(!b) <- g + p.bank_busy_cycles;
+          entries.(!e) <- float_of_int g;
+          prev := g;
+          incr e;
+          b := !b + db;
+          if !b >= nbanks then b := !b - nbanks
+        end
+      end
+    done;
+    if not !ok then None
+    else
+      (* the pass assumed a quiescent plan (no extra busy cycles, no
+         jitter, no faulted banks, no stolen ports) at every cycle it
+         touched — verify through the actual landing, which conflict
+         drains can push past the nominal schedule *)
+      let hi = Mem_params.leap_horizon p ~start:!prev ~span:0 in
+      if not (Fault.quiescent t.faults ~lo:start ~hi) then None
+      else begin
+        (* commit: side effects identical to the spin loop's.  Port
+           slots are recorded as one sorted span instead of per-element
+           hash-table entries; the bank lines are the pass's own copy,
+           written back wholesale *)
+        Array.blit bfree 0 t.bank_free_at 0 nbanks;
+        (match t.log with
+        | Some r ->
+            for e = 0 to count - 1 do
+              r := (int_of_float entries.(e), word0 + (e * wstride)) :: !r
+            done
+        | None -> ());
+        if t.nspans = Array.length t.spans then
+          t.spans <- Array.append t.spans (Array.make (max 8 t.nspans) [||]);
+        t.spans.(t.nspans) <- entries;
+        t.nspans <- t.nspans + 1;
+        t.port_hwm <- !prev;
+        t.last_span_dense <- z = 1 && !drift = 0;
+        t.accesses <- t.accesses + count;
+        t.port_stalls <- t.port_stalls + !port_st;
+        t.conflict_stalls <- t.conflict_stalls + !conflict_st;
+        t.refresh_stalls <- t.refresh_stalls + !refresh_st;
+        Some entries
+      end
+  end
 
 let stats_accesses t = t.accesses
 let stats_conflict_stalls t = t.conflict_stalls

@@ -42,6 +42,36 @@ val try_access : t -> cycle:int -> word:int -> bool
 
 val bank_of : t -> word:int -> int
 
+val admit_stream :
+  t ->
+  start:int ->
+  count:int ->
+  z:int ->
+  word0:int ->
+  wstride:int ->
+  max_slip:int ->
+  float array option
+(** Closed-form admission of an affine access stream: element [e] wants
+    word [word0 + e * wstride] no earlier than cycle [start + e * z]
+    (integer stream rate [z >= 1]).  Returns [Some cycles] — the access
+    cycle of every element, each an exact integer-valued float — exactly
+    when the cycle-by-cycle {!try_access} spin loop would have granted
+    the whole stream with every spin resolvable in closed form: refresh
+    waits from the static window geometry, bank drains from the pass's
+    own copy of the bank busy lines, and — when the stream starts at or
+    below the port high-water mark — an element-0 chase across the most
+    recent span, provided that span is dense.  Every absorbed wait is
+    charged to the same stall counter {!try_access} would have charged,
+    and every per-element slip must stay within [max_slip] failed
+    attempts; the model state afterwards is precisely what the spin loop
+    would have produced.  Returns [None] — leaving the model untouched —
+    whenever any proof obligation fails: active contention, a fault plan
+    not {!Convex_fault.Fault.quiescent} from the stream's start through
+    its actual landing, a start below the mark without a dense span to
+    chase, or an over-long slip.  A [None] is always safe: the caller
+    falls back to the cycle stepper, which computes the same answer the
+    slow way. *)
+
 val stats_accesses : t -> int
 (** Accesses accepted since creation/reset. *)
 

@@ -35,6 +35,7 @@ type t = { cpus : cpu_outcome list; average_slowdown : float }
 val stream_of_job :
   ?machine:Machine.t ->
   ?faults:Convex_fault.Fault.t ->
+  ?fidelity:Fastpath.fidelity ->
   name:string ->
   Job.t ->
   stream

@@ -10,10 +10,13 @@ type t = {
 }
 
 let run ?(machine = Machine.c240) ?layout ?contention ?faults ?guard ?watchdog
-    ~flops_per_iteration job =
+    ?fidelity ~flops_per_iteration job =
   if flops_per_iteration <= 0 then
     invalid_arg "Measure.run: nonpositive flops_per_iteration";
-  match Sim.run ~machine ?layout ?contention ?faults ?guard ?watchdog job with
+  match
+    Sim.run ~machine ?layout ?contention ?faults ?guard ?watchdog ?fidelity
+      job
+  with
   | Error _ as e -> e
   | Ok r ->
       let cpl = Sim.cpl r in
@@ -27,10 +30,10 @@ let run ?(machine = Machine.c240) ?layout ?contention ?faults ?guard ?watchdog
           stats = r.stats;
         }
 
-let run_exn ?machine ?layout ?contention ?faults ?guard ?watchdog
+let run_exn ?machine ?layout ?contention ?faults ?guard ?watchdog ?fidelity
     ~flops_per_iteration job =
   Macs_error.of_result
-    (run ?machine ?layout ?contention ?faults ?guard ?watchdog
+    (run ?machine ?layout ?contention ?faults ?guard ?watchdog ?fidelity
        ~flops_per_iteration job)
 
 let pp fmt m =

@@ -19,10 +19,13 @@ val run :
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
   ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
+  ?fidelity:Fastpath.fidelity ->
   flops_per_iteration:int ->
   Job.t ->
   (t, Macs_util.Macs_error.t) Stdlib.result
-(** Simulate and convert to the paper's units.  Simulation failures
+(** Simulate and convert to the paper's units.  [fidelity] selects the
+    stepper tier exactly as in {!Sim.run} (default [Cycle]); both tiers
+    produce bit-identical measurements.  Simulation failures
     (livelock, fault-induced stall-out, watchdog cancellation) come back
     as [Error].  [watchdog] is threaded to {!Sim.run} unchanged.  Raises
     [Invalid_argument] if [flops_per_iteration <= 0] — a caller bug, not
@@ -35,6 +38,7 @@ val run_exn :
   ?faults:Convex_fault.Fault.t ->
   ?guard:int ->
   ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
+  ?fidelity:Fastpath.fidelity ->
   flops_per_iteration:int ->
   Job.t ->
   t

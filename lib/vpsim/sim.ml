@@ -41,7 +41,17 @@ type inflight = {
   completion : float;
   source_unit : int;
   unit_id : int;
+  rmask : int;
+      (* per-pair vector-read counts, 8 bits per pair id — lets the
+         pair-port scan test chime-concurrent usage without walking
+         register lists *)
+  wmask : int;  (* per-pair vector-write counts, same packing *)
 }
+
+(* packed per-pair register counts: byte [pid] of the int counts the
+   registers of pair [pid] in the list *)
+let pair_mask rs =
+  List.fold_left (fun m r -> m + (1 lsl (8 * Reg.pair_id r))) 0 rs
 
 type unit_state = { mutable used : bool; mutable next_accept : float }
 
@@ -62,12 +72,13 @@ let default_guard = 1_000_000
 
 (* watchdog spin-check interval in acquire_mem: frequent enough to cancel
    a stalled access long before the livelock guard trips, rare enough to
-   stay off the healthy path's profile *)
-let watchdog_spin_mask = 4095
+   stay off the healthy path's profile.  Shared with the fast path so a
+   leap can prove it never absorbs a wait that would have polled. *)
+let watchdog_spin_mask = Fastpath.spin_check_interval - 1
 
 let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     ?(faults = Fault.none) ?(guard = default_guard) ?watchdog ?access_log
-    ?(trace = false) (job : Job.t) =
+    ?(trace = false) ?(fidelity = Fastpath.Cycle) (job : Job.t) =
   let layout =
     match layout with
     | Some l -> l
@@ -116,7 +127,9 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
   let events = ref [] in
   let instructions = ref 0 in
   let strips = ref 0 in
-  let record ev = if trace then events := ev :: !events in
+  (* call sites guard on [trace] themselves, so the non-traced hot loop
+     never even constructs the event record *)
+  let record ev = events := ev :: !events in
   let note_finish t = if t > !finish then finish := t in
 
   let check_watchdog cycle =
@@ -190,9 +203,10 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
           invalid_arg "Sim.exec_scalar: vector instruction"
     in
     note_finish fin;
-    record
-      { instr = i; strip; issue = t0; start = t0; first_result = fin;
-        completion = fin }
+    if trace then
+      record
+        { instr = i; strip; issue = t0; start = t0; first_result = fin;
+          completion = fin }
   in
 
   (* ---- vector instructions ---- *)
@@ -305,44 +319,51 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     active := List.filter (fun w -> w.completion > t0) !active;
     let entry_end w = w.enter.(Array.length w.enter - 1) in
     let my_span = z_at t0 *. float_of_int (max 0 (vl - 1)) in
+    let my_rmask = pair_mask srcs in
+    let my_wmask = pair_mask dsts in
     let pair_conflict_until t0 =
       let my_end = t0 +. my_span in
-      let live =
-        List.filter
-          (fun w -> entry_end w >= t0 && w.enter.(0) <= my_end)
-          !active
-      in
-      let conflicts = ref [] in
+      (* accumulate packed per-pair usage over chime-concurrent windows
+         in one pass; the per-window walk repeats only on the rare
+         violation path *)
+      let tr = ref my_rmask in
+      let tw = ref my_wmask in
+      List.iter
+        (fun w ->
+          if entry_end w >= t0 && w.enter.(0) <= my_end then begin
+            tr := !tr + w.rmask;
+            tw := !tw + w.wmask
+          end)
+        !active;
+      let viol = ref 0 in
       for pid = 0 to Reg.pair_count - 1 do
-        let in_pair rs =
-          List.length (List.filter (fun r -> Reg.pair_id r = pid) rs)
-        in
-        let reads =
-          in_pair srcs
-          + List.fold_left (fun a w -> a + in_pair (Instr.reads_v w.instr)) 0
-              live
-        in
-        let writes =
-          in_pair dsts
-          + List.fold_left (fun a w -> a + in_pair (Instr.writes_v w.instr)) 0
-              live
-        in
         if
-          (in_pair srcs > 0 || in_pair dsts > 0)
-          && (reads > machine.pair_read_limit
-             || writes > machine.pair_write_limit)
-        then
-          List.iter
-            (fun w ->
-              if
-                in_pair (Instr.reads_v w.instr) > 0
-                || in_pair (Instr.writes_v w.instr) > 0
-              then conflicts := entry_end w :: !conflicts)
-            live
+          ((my_rmask lsr (8 * pid)) land 0xff)
+          + ((my_wmask lsr (8 * pid)) land 0xff)
+          > 0
+          && ((!tr lsr (8 * pid)) land 0xff > machine.pair_read_limit
+             || (!tw lsr (8 * pid)) land 0xff > machine.pair_write_limit)
+        then viol := !viol lor (1 lsl pid)
       done;
-      match !conflicts with
-      | [] -> None
-      | cs -> Some (List.fold_left Float.min (List.hd cs) cs)
+      if !viol = 0 then None
+      else begin
+        let best = ref Float.infinity in
+        List.iter
+          (fun w ->
+            if entry_end w >= t0 && w.enter.(0) <= my_end then begin
+              let touches = ref false in
+              for pid = 0 to Reg.pair_count - 1 do
+                if
+                  (!viol lsr pid) land 1 = 1
+                  && ((w.rmask lsr (8 * pid)) land 0xff > 0
+                     || (w.wmask lsr (8 * pid)) land 0xff > 0)
+                then touches := true
+              done;
+              if !touches && entry_end w < !best then best := entry_end w
+            end)
+          !active;
+        if !best = Float.infinity then None else Some !best
+      end
     in
     let rec settle t0 guard =
       if guard > 64 then t0
@@ -375,44 +396,87 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
           w.source_unit
       | _ -> u
     in
-    (* element streaming *)
-    let enter = Array.make vl t0 in
+    (* element streaming: in tiered mode, first try to advance the whole
+       stream in one analytical leap — sound only when Fastpath can prove
+       the cycle loop below would have produced exactly the closed-form
+       schedule (see DESIGN §14); any failed obligation falls back to
+       stepping the seam cycle by cycle *)
     let indexed =
       match i with Instr.Vgather _ | Instr.Vscatter _ -> true | _ -> false
     in
-    let place e earliest =
-      match (is_vmem, mem) with
-      | true, Some m ->
-          let word =
-            if indexed then
-              (* the timing model carries no register values: indexed
-                 elements address synthetic uniformly-distributed words
-                 (a mixed integer hash, so banks are genuinely random),
-                 the statistically faithful stand-in for a data-dependent
-                 gather/scatter pattern *)
-              let h = (e + (base_index * 131) + m.offset) * 0x9E3779B1 in
-              let h = h land 0x3FFFFFFF in
-              let h = h lxor (h lsr 15) in
-              let h = h * 0x85EBCA77 land 0x3FFFFFFF in
-              let h = h lxor (h lsr 13) in
-              Layout.base_of layout m.array + (h land 0xFFFF)
-            else word_for seg m ~base_index ~element:e
+    let leap =
+      match fidelity with
+      | Fastpath.Cycle -> None
+      | Fastpath.Tiered ->
+          let stream =
+            match (is_vmem, mem) with
+            | true, Some m ->
+                if indexed then Fastpath.Opaque
+                else
+                  let word0 = word_for seg m ~base_index ~element:0 in
+                  Fastpath.Affine
+                    {
+                      word0;
+                      wstride =
+                        word_for seg m ~base_index ~element:1 - word0;
+                    }
+            | _ -> Fastpath.Compute
           in
-          acquire_mem ~earliest ~word
-      | _ -> earliest
+          let deps =
+            List.map
+              (fun w -> { Fastpath.curve = w.enter; lift = w.y })
+              producers
+            @ List.map
+                (fun w -> { Fastpath.curve = w.enter; lift = 1.0 })
+                (waw @ war)
+          in
+          Fastpath.try_leap ~memory ~mem_params:machine.memory ~faults
+            ~guard ~watchdog_armed:(watchdog <> None) ~t0 ~vl ~z:(z_at t0)
+            ~deps stream
     in
-    enter.(0) <- place 0 t0;
-    for e = 1 to vl - 1 do
-      let t = Float.max (enter.(e - 1) +. z_at enter.(e - 1)) (ready e) in
-      enter.(e) <- place e t
-    done;
+    let enter =
+      match leap with
+      | Some entries -> entries
+      | None ->
+          let enter = Array.make vl t0 in
+          let place e earliest =
+            match (is_vmem, mem) with
+            | true, Some m ->
+                let word =
+                  if indexed then
+                    (* the timing model carries no register values: indexed
+                       elements address synthetic uniformly-distributed words
+                       (a mixed integer hash, so banks are genuinely random),
+                       the statistically faithful stand-in for a
+                       data-dependent gather/scatter pattern *)
+                    let h = (e + (base_index * 131) + m.offset) * 0x9E3779B1 in
+                    let h = h land 0x3FFFFFFF in
+                    let h = h lxor (h lsr 15) in
+                    let h = h * 0x85EBCA77 land 0x3FFFFFFF in
+                    let h = h lxor (h lsr 13) in
+                    Layout.base_of layout m.array + (h land 0xFFFF)
+                  else word_for seg m ~base_index ~element:e
+                in
+                acquire_mem ~earliest ~word
+            | _ -> earliest
+          in
+          enter.(0) <- place 0 t0;
+          for e = 1 to vl - 1 do
+            let t =
+              Float.max (enter.(e - 1) +. z_at enter.(e - 1)) (ready e)
+            in
+            enter.(e) <- place e t
+          done;
+          enter
+    in
     let completion = enter.(vl - 1) +. float_of_int p.y +. 1.0 in
     (match (i, mem_range) with
     | (Instr.Vst _ | Instr.Vscatter _), Some (lo, hi) ->
         note_store ~lo ~hi ~completion ~now:t0
     | _ -> ());
     let me = { instr = i; enter; y = float_of_int p.y; completion;
-               source_unit; unit_id = u } in
+               source_unit; unit_id = u;
+               rmask = my_rmask; wmask = my_wmask } in
     let tail_z = z_at enter.(vl - 1) in
     units.(u).used <- true;
     units.(u).next_accept <- enter.(vl - 1) +. tail_z;
@@ -437,9 +501,10 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
     if Instr.writes_merge i then vm_writer := Some me;
     active := me :: !active;
     note_finish completion;
-    record
-      { instr = i; strip; issue = issue_t; start = t0;
-        first_result = enter.(0) +. me.y; completion }
+    if trace then
+      record
+        { instr = i; strip; issue = issue_t; start = t0;
+          first_result = enter.(0) +. me.y; completion }
   in
 
   let exec_instr seg ~base_index ~strip ~vl i =
@@ -498,10 +563,10 @@ let run ?(machine = Machine.c240) ?layout ?(contention = Contention.none)
       Ok { stats; events = List.rev !events }
 
 let run_exn ?machine ?layout ?contention ?faults ?guard ?watchdog ?access_log
-    ?trace job =
+    ?trace ?fidelity job =
   Macs_error.of_result
     (run ?machine ?layout ?contention ?faults ?guard ?watchdog ?access_log
-       ?trace job)
+       ?trace ?fidelity job)
 
 let cpl r = r.stats.cycles /. float_of_int r.stats.elements
 

@@ -69,12 +69,17 @@ val run :
   ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?access_log:(int * int) list ref ->
   ?trace:bool ->
+  ?fidelity:Fastpath.fidelity ->
   Job.t ->
   (result, Macs_util.Macs_error.t) Stdlib.result
 (** Simulate a job to completion.  [machine] defaults to {!Machine.c240};
     [layout] defaults to [Layout.build] over the job's arrays;
     [contention] to none; [faults] to {!Convex_fault.Fault.none}; [trace]
-    to [false].  Returns [Error (Livelock _)] when an access makes no
+    to [false]; [fidelity] to {!Fastpath.Cycle}.  [Fastpath.Tiered]
+    advances provably-analytic regions in closed-form leaps
+    ({!Fastpath.try_leap}) and is bit-identical to cycle stepping —
+    results, stall counters, traces and access logs — at a multiple of
+    the speed on healthy streams.  Returns [Error (Livelock _)] when an access makes no
     progress for [guard] consecutive cycles on a healthy machine, and
     [Error (Stall_out _)] when the same guard trips under an active fault
     plan (e.g. a stuck bank); it never raises on any fault plan.
@@ -97,6 +102,7 @@ val run_exn :
   ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?access_log:(int * int) list ref ->
   ?trace:bool ->
+  ?fidelity:Fastpath.fidelity ->
   Job.t ->
   result
 (** Like {!run}; raises {!Macs_util.Macs_error.Error} on failure.  The

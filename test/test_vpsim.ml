@@ -389,6 +389,135 @@ let test_measure_guard () =
     (Invalid_argument "Measure.run: nonpositive flops_per_iteration")
     (fun () -> ignore (Measure.run_exn ~flops_per_iteration:0 j))
 
+(* ---- tiered fidelity: bit-identical to the cycle stepper ---- *)
+
+let plan spec =
+  match Convex_fault.Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+let bits = Int64.bits_of_float
+
+(* Run [job] at both fidelities with full observability (trace + access
+   log) and demand bitwise agreement on every channel: final cycle count,
+   the whole stats record, every trace event, and the raw access stream.
+   Errors must agree too — a plan that stalls one fidelity out must stall
+   the other out identically. *)
+let check_equiv ?machine ?layout ?(faults = Convex_fault.Fault.none) ?guard
+    name job =
+  let go fidelity =
+    let log = ref [] in
+    let r =
+      Sim.run ?machine ?layout ~faults ?guard ~access_log:log ~trace:true
+        ~fidelity job
+    in
+    (r, List.rev !log)
+  in
+  let rc, logc = go Fastpath.Cycle in
+  let rt, logt = go Fastpath.Tiered in
+  match (rc, rt) with
+  | Ok c, Ok t ->
+      Alcotest.(check int64)
+        (name ^ ": cycle-count bits")
+        (bits c.Sim.stats.cycles) (bits t.Sim.stats.cycles);
+      Alcotest.(check bool) (name ^ ": stats") true (c.Sim.stats = t.Sim.stats);
+      Alcotest.(check bool)
+        (name ^ ": trace events")
+        true
+        (c.Sim.events = t.Sim.events);
+      Alcotest.(check bool) (name ^ ": access log") true (logc = logt)
+  | Error ec, Error et ->
+      Alcotest.(check bool) (name ^ ": same error") true (ec = et)
+  | Ok _, Error e ->
+      Alcotest.failf "%s: tiered errored (%s) but cycle succeeded" name
+        (Macs_util.Macs_error.to_string e)
+  | Error e, Ok _ ->
+      Alcotest.failf "%s: cycle errored (%s) but tiered succeeded" name
+        (Macs_util.Macs_error.to_string e)
+
+(* every Livermore kernel, under the plans the fast path must either
+   leap through (healthy) or provably refuse (permanent degradation,
+   transient windows) — all on the refreshing machine so the closed-form
+   refresh slips are exercised *)
+let fidelity_plans =
+  [
+    ("healthy", "none");
+    ("bank-degraded", "bank-degraded");
+    ("ecc-scrub", "ecc-scrub");
+    ("transient-banks", "degrade-bank=0*4;degrade-bank=1*4;window=200-600");
+    ("transient-jitter", "jitter=12;port-spike=16/400;window=100-500");
+  ]
+
+let test_fidelity_lfk () =
+  List.iter
+    (fun (k : Lfk.Kernel.t) ->
+      let c = Fcc.Compiler.compile ~opt:Fcc.Opt_level.v61 k in
+      let layout = Macs.Hierarchy.layout_of c in
+      List.iter
+        (fun (pname, spec) ->
+          check_equiv ~layout ~faults:(plan spec)
+            ~guard:Macs_report.Suite.faulted_guard
+            (Printf.sprintf "%s/%s" k.name pname)
+            c.Fcc.Compiler.job)
+        fidelity_plans)
+    (Macs_report.Suite.kernels ())
+
+let test_fidelity_window_splits_chime () =
+  (* a transient window opening and closing in the middle of a single
+     chime: the fast path must refuse the overlapping stream, cycle-step
+     the seam, and resume leaping once quiescence is provable again *)
+  List.iter
+    (fun (lo, hi) ->
+      check_equiv ~faults:(plan (Printf.sprintf "degrade-bank=0*4;jitter=8;window=%d-%d" lo hi))
+        ~guard:Macs_report.Suite.faulted_guard
+        (Printf.sprintf "fig2/window=%d-%d" lo hi)
+        (Job.make ~name:"t" ~body:fig2_chained
+           ~segments:[ Job.segment 320 ] ()))
+    [ (60, 90); (130, 170); (0, 40); (150, 151) ]
+
+let test_fidelity_strided_and_indexed () =
+  (* bank-conflicting strides and data-dependent gathers: the fast path
+     must fall back (stride 32 folds every access onto one bank) and
+     still agree bit-for-bit *)
+  let bodies =
+    [
+      ("stride32", [ Instr.Vld { dst = v 0; src = mem "A" 0 32 } ]);
+      ("stride16-mix",
+       [
+         Instr.Vld { dst = v 0; src = mem "A" 0 16 };
+         Instr.Vbin { op = Add; dst = v 2; src1 = Vr (v 0); src2 = Vr (v 1) };
+         Instr.Vst { src = v 2; dst = mem "B" 0 1 };
+       ]);
+      ("gather",
+       [
+         Instr.Vld { dst = v 1; src = mem "IX" 0 1 };
+         Instr.Vgather { dst = v 0; base = mem "A" 0 1; index = v 1 };
+       ]);
+    ]
+  in
+  List.iter
+    (fun (name, body) ->
+      check_equiv name
+        (Job.make ~name ~body ~segments:[ Job.segment 300 ] ()))
+    bodies
+
+let test_fidelity_stall_out_agrees () =
+  (* a dead bank stalls the run out: both fidelities must fail with the
+     same typed error *)
+  check_equiv ~faults:(plan "dead-bank") ~guard:2_000 "dead-bank"
+    (Job.make ~name:"t" ~body:fig2_chained ~segments:[ Job.segment 128 ] ())
+
+let test_fastpath_of_string () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Fastpath.to_string f) true
+        (Fastpath.of_string (Fastpath.to_string f) = Ok f))
+    Fastpath.all;
+  Alcotest.(check bool) "TIERED" true (Fastpath.of_string " TIERED " = Ok Fastpath.Tiered);
+  Alcotest.(check bool) "junk rejected" true
+    (Result.is_error (Fastpath.of_string "warp"))
+
 (* ---- qcheck: simulator sanity on random bodies ---- *)
 
 let prop_sim_terminates_and_positive =
@@ -417,11 +546,41 @@ let prop_sim_deterministic =
       in
       Float.equal (run ()) (run ()))
 
+let fidelity_equiv_on ?faults ?guard body =
+  let j = Job.make ~name:"q" ~body ~segments:[ Job.segment 200 ] () in
+  let go fidelity =
+    let log = ref [] in
+    let r = Sim.run ?faults ?guard ~access_log:log ~trace:true ~fidelity j in
+    (r, !log)
+  in
+  match (go Fastpath.Cycle, go Fastpath.Tiered) with
+  | (Ok c, lc), (Ok t, lt) ->
+      c.Sim.stats = t.Sim.stats && c.Sim.events = t.Sim.events && lc = lt
+  | (Error a, _), (Error b, _) -> a = b
+  | _ -> false
+
+let prop_fidelity_equiv =
+  QCheck.Test.make ~count:120
+    ~name:"tiered fidelity is bit-identical on random bodies"
+    Convex_fuzz.Gen.body_arbitrary (fun body -> fidelity_equiv_on body)
+
+let prop_fidelity_equiv_faulted =
+  let faults =
+    match Convex_fault.Fault.parse "degrade-bank=2*3;jitter=6;window=150-400" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  QCheck.Test.make ~count:60
+    ~name:"tiered fidelity is bit-identical under a transient plan"
+    Convex_fuzz.Gen.vector_body_arbitrary (fun body ->
+      fidelity_equiv_on ~faults ~guard:Macs_report.Suite.faulted_guard body)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_sim_terminates_and_positive; prop_sim_monotone_in_elements;
-      prop_sim_deterministic;
+      prop_sim_deterministic; prop_fidelity_equiv;
+      prop_fidelity_equiv_faulted;
     ]
 
 let () =
@@ -455,6 +614,19 @@ let () =
             test_vsum_interlocks_scalar;
           Alcotest.test_case "dual lsu plumbing" `Quick
             test_dual_lsu_speeds_up_loads;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "all LFK kernels, all plans" `Quick
+            test_fidelity_lfk;
+          Alcotest.test_case "window splits a chime" `Quick
+            test_fidelity_window_splits_chime;
+          Alcotest.test_case "strided + indexed fall back" `Quick
+            test_fidelity_strided_and_indexed;
+          Alcotest.test_case "stall-out errors agree" `Quick
+            test_fidelity_stall_out_agrees;
+          Alcotest.test_case "fidelity of_string" `Quick
+            test_fastpath_of_string;
         ] );
       ( "calibrate",
         [
