@@ -4,7 +4,9 @@
 
 open Cmdliner
 
-let machine_of_name = Convex_machine.Machine.of_name
+(* Machine arguments accept the full Machine_dsl grammar, so presets and
+   what-if overrides ("c240;banks=64;pipes.mul=2") share one converter. *)
+let machine_of_name = Convex_dsl.Machine_dsl.of_name_or_spec
 
 let opt_of_name = function
   | "v61" -> Ok Fcc.Opt_level.v61
@@ -31,8 +33,9 @@ let machine_arg =
     & opt machine_conv Convex_machine.Machine.c240
     & info [ "machine" ] ~docv:"MACHINE"
         ~doc:
-          "Machine variant: c240 (default), ideal, no-bubbles, no-refresh, \
-           dual-lsu, broken-hierarchy.")
+          "Machine variant (c240 (default), ideal, no-bubbles, no-refresh, \
+           dual-lsu, broken-hierarchy) or a machine-description spec with \
+           what-if overrides, e.g. 'c240;banks=64;pipes.mul=2'.")
 
 let opt_arg =
   Arg.(
@@ -120,11 +123,21 @@ let no_cache_arg =
 
 let cache_of cache no_cache = if no_cache then None else cache
 
-let report_cache_counters = function
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:
+          "Emit the cache hit/miss/store/quarantine counters as a single \
+           machine-parseable JSON line on stderr instead of prose.")
+
+let report_cache_counters ?(json = false) = function
   | None -> ()
   | Some c ->
-      Printf.eprintf "%s\n"
-        (Format.asprintf "%a" Convex_cache.Cache.pp_counters c);
+      if json then Printf.eprintf "%s\n" (Convex_cache.Cache.counters_json c)
+      else
+        Printf.eprintf "%s\n"
+          (Format.asprintf "%a" Convex_cache.Cache.pp_counters c);
       flush stderr
 
 let kernels_of = function
@@ -253,11 +266,30 @@ let listing_cmd =
     (Cmd.info "listing" ~doc:"Compiled assembly of a kernel's inner loop")
     Term.(const run $ opt_arg $ kernel_arg)
 
+let budget_cycles_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"CYCLES"
+        ~doc:
+          "Watchdog cap on simulated cycles per kernel run; an over-budget \
+           run degrades to its analytic estimate instead of finishing.")
+
+let budget_wall_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-wall" ] ~docv:"SECONDS"
+        ~doc:"Watchdog cap on host wall-clock seconds per kernel run.")
+
 let simulate_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.")
   in
-  let run machine kernel faults trace fidelity =
+  let run machine kernel faults trace fidelity cycles wall =
+    let budget =
+      Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
+    in
     List.iter
       (fun k ->
         let c = Fcc.Compiler.compile k in
@@ -266,9 +298,22 @@ let simulate_cmd =
             Convex_vpsim.Sim.default_guard
           else 50_000
         in
+        (* one watchdog per run: a reused closure would carry the previous
+           kernel's wall-clock start time *)
+        let watchdog =
+          Convex_harness.Budget.watchdog ~site:("simulate:" ^ k.name) budget
+        in
         match
-          Convex_vpsim.Sim.run ~machine ~faults ~guard ~trace ~fidelity c.job
+          Convex_vpsim.Sim.run ~machine ~faults ~guard ?watchdog ~trace
+            ~fidelity c.job
         with
+        | Error (Macs_util.Macs_error.Budget_exceeded _ as e) ->
+            let est = Macs.Estimate.of_compiled ~machine c in
+            Printf.printf
+              "%s: ESTIMATED %.3f CPL, %.3f CPF (%s bound; %s)\n" k.name
+              est.Macs.Estimate.cpl est.Macs.Estimate.cpf
+              est.Macs.Estimate.level
+              (Macs_util.Macs_error.to_string e)
         | Error e ->
             Printf.printf "%s: FAILED %s\n" k.name
               (Macs_util.Macs_error.to_string e)
@@ -294,7 +339,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a kernel on the cycle-level simulator")
     Term.(
       const run $ machine_arg $ kernel_arg $ faults_arg $ trace
-      $ fidelity_arg)
+      $ fidelity_arg $ budget_cycles_arg $ budget_wall_arg)
 
 let calibrate_cmd =
   let run () = print_endline (Macs_report.Tables.table1 ()) in
@@ -528,7 +573,7 @@ let suite_cmd =
             "Watchdog cap on host wall-clock seconds per kernel run.")
   in
   let run machine opt faults journal resume retry_failed cycles wall jobs
-      cache no_cache fidelity =
+      cache no_cache fidelity stats_json =
     let budget =
       Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
     in
@@ -541,7 +586,7 @@ let suite_cmd =
         ?cache:(cache_of cache no_cache) ()
     with
     | Ok { suite; stats; quarantined; cache_counters } ->
-        report_cache_counters cache_counters;
+        report_cache_counters ~json:stats_json cache_counters;
         print_string (Macs_report.Suite.render suite);
         if stats.Convex_harness.Supervisor.resumed > 0 then
           Printf.printf
@@ -572,7 +617,7 @@ let suite_cmd =
     Term.(
       const run $ machine_arg $ opt_arg $ faults_arg $ journal $ resume
       $ retry_failed $ budget_cycles $ budget_wall $ jobs_arg $ cache_arg
-      $ no_cache_arg $ fidelity_arg)
+      $ no_cache_arg $ fidelity_arg $ stats_json_arg)
 
 let resilience_cmd =
   let plans =
@@ -610,11 +655,23 @@ let validate_cmd =
       & info [ "tol" ] ~docv:"FRAC"
           ~doc:"Relative tolerance for every bound comparison (default 0.02).")
   in
-  let run machine opt faults tol fidelity =
+  let run machine opt faults tol fidelity cycles wall =
     let faults =
       if Convex_fault.Fault.is_none faults then None else Some faults
     in
-    let r = Macs.Oracle.validate ~tol ~opt ~machine ?faults ~fidelity () in
+    let budget =
+      Convex_harness.Budget.make ?max_cycles:cycles ?max_wall_s:wall ()
+    in
+    (* per-kernel watchdog factory: each kernel gets a fresh closure (and
+       wall-clock start); a blown budget lands that kernel in the
+       report's skipped section instead of aborting the validation *)
+    let watchdog =
+      if Convex_harness.Budget.is_none budget then None
+      else Some (fun ~site -> Convex_harness.Budget.watchdog ~site budget)
+    in
+    let r =
+      Macs.Oracle.validate ~tol ~opt ~machine ?faults ?watchdog ~fidelity ()
+    in
     print_string (Macs.Oracle.render r);
     if r.Macs.Oracle.violations <> [] then exit 1
   in
@@ -625,7 +682,9 @@ let validate_cmd =
           M <= MA <= MAC <= MACS <= measured, schedule monotonicity and \
           eq. 18 on every vectorized kernel; exits non-zero on any \
           violation")
-    Term.(const run $ machine_arg $ opt_arg $ faults_arg $ tol $ fidelity_arg)
+    Term.(
+      const run $ machine_arg $ opt_arg $ faults_arg $ tol $ fidelity_arg
+      $ budget_cycles_arg $ budget_wall_arg)
 
 let report_cmd =
   let out =
@@ -711,7 +770,7 @@ let fuzz_cmd =
               case samples one plan, rotating."))
   in
   let run seed count machine_name budget sim_budget corpus no_sim plans jobs
-      cache no_cache fidelity =
+      cache no_cache fidelity stats_json =
     let machine = Result.get_ok (machine_of_name machine_name) in
     let cfg =
       {
@@ -738,7 +797,8 @@ let fuzz_cmd =
         flush stderr)
     in
     let summary = Convex_fuzz.Driver.run ~progress cfg in
-    report_cache_counters summary.Convex_fuzz.Driver.cache_counters;
+    report_cache_counters ~json:stats_json
+      summary.Convex_fuzz.Driver.cache_counters;
     print_endline (Convex_fuzz.Driver.render_summary summary);
     if not (Convex_fuzz.Driver.clean summary) then exit 1
   in
@@ -753,7 +813,8 @@ let fuzz_cmd =
           corpus; exits non-zero on any violation")
     Term.(
       const run $ seed $ count $ machine_name $ budget $ sim_budget $ corpus
-      $ no_sim $ plans $ jobs_arg $ cache_arg $ no_cache_arg $ fidelity_arg)
+      $ no_sim $ plans $ jobs_arg $ cache_arg $ no_cache_arg $ fidelity_arg
+      $ stats_json_arg)
 
 let chaos_cmd =
   let seed =
@@ -815,7 +876,7 @@ let chaos_cmd =
              degrades to fewer workers instead of aborting.")
   in
   let run seed cells machine_name journal resume budget jobs kill_cells cache
-      no_cache fidelity =
+      no_cache fidelity stats_json =
     let machine = Result.get_ok (machine_of_name machine_name) in
     if resume && journal = None then (
       prerr_endline "macs_cli chaos: --resume needs --journal";
@@ -849,7 +910,8 @@ let chaos_cmd =
         prerr_endline ("macs_cli chaos: " ^ e);
         exit 2
     | Ok outcome ->
-        report_cache_counters outcome.Convex_chaos.Campaign.cache_counters;
+        report_cache_counters ~json:stats_json
+          outcome.Convex_chaos.Campaign.cache_counters;
         print_string (Convex_chaos.Campaign.render outcome);
         if not (Convex_chaos.Campaign.clean outcome) then exit 1
   in
@@ -865,7 +927,8 @@ let chaos_cmd =
           violation")
     Term.(
       const run $ seed $ cells $ machine_name $ journal $ resume $ budget
-      $ jobs_arg $ kill_cells $ cache_arg $ no_cache_arg $ fidelity_arg)
+      $ jobs_arg $ kill_cells $ cache_arg $ no_cache_arg $ fidelity_arg
+      $ stats_json_arg)
 
 let cache_cmd =
   let module Cache = Convex_cache.Cache in
@@ -955,7 +1018,7 @@ let crash_sweep_cmd =
       & info [] ~docv:"SCENARIO"
           ~doc:
             "Scenarios to sweep: exec-shards, corpus, chaos, fuzz-warm, \
-             suite.  Default: every one but the (expensive) suite.")
+             serve, suite.  Default: every one but the (expensive) suite.")
   in
   let stride =
     Arg.(

@@ -1,0 +1,187 @@
+(* The macs_serve daemon: a crash-safe, deadline-bounded modeling service
+   speaking newline-delimited JSON frames over stdio or a loopback TCP
+   socket.  The serving logic lives in Convex_serve.Server; this file is
+   only flag plumbing and the accept loop. *)
+
+open Cmdliner
+module Server = Convex_serve.Server
+module Serve_fuzz = Convex_serve.Serve_fuzz
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains per batch (1 = deterministic in-order).")
+
+let session_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "session" ] ~docv:"FILE"
+        ~doc:
+          "Session journal: completed items and frames are appended here, \
+           so a killed server restarted on the same file resumes in-flight \
+           batches without re-executing completed work.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Reply cache directory: frames are replayed byte-identically \
+           across server restarts (idempotent retries).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default wall-clock deadline per frame; over-deadline items \
+           degrade to estimate-tier answers.")
+
+let budget_cycles_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-cycles" ] ~docv:"CYCLES"
+        ~doc:
+          "Default simulated-cycle budget per frame (the deterministic \
+           deadline).")
+
+let max_batch_arg =
+  Arg.(
+    value & opt int Server.default_config.Server.max_batch
+    & info [ "max-batch" ] ~docv:"N" ~doc:"Items per frame before rejection.")
+
+let queue_arg =
+  Arg.(
+    value & opt int Server.default_config.Server.queue_capacity
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Pending frames before explicit load-shed replies.")
+
+let max_frame_arg =
+  Arg.(
+    value & opt int Server.default_config.Server.max_frame_bytes
+    & info [ "max-frame-bytes" ] ~docv:"BYTES"
+        ~doc:"Request line length before rejection (never buffered whole).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:
+          "Serve on loopback TCP instead of stdio (one connection at a \
+           time; the loop ends when a client sends a shutdown frame).")
+
+let config_of jobs session cache deadline budget max_batch queue max_frame =
+  {
+    Server.jobs;
+    max_batch;
+    queue_capacity = queue;
+    max_frame_bytes = max_frame;
+    default_deadline_ms = deadline;
+    default_budget_cycles = budget;
+    session;
+    cache_dir = cache;
+  }
+
+let serve_tcp server port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  Printf.eprintf "macs_serve: listening on 127.0.0.1:%d\n%!" port;
+  let rec accept_loop () =
+    if Server.shutdown_requested server then ()
+    else begin
+      let conn, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr conn
+      and oc = Unix.out_channel_of_descr conn in
+      (try Server.serve server ic oc
+       with exn ->
+         Printf.eprintf "macs_serve: connection error: %s\n%!"
+           (Printexc.to_string exn));
+      (try Unix.close conn with Unix.Unix_error _ -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ()) accept_loop
+
+let serve_cmd =
+  let run jobs session cache deadline budget max_batch queue max_frame port =
+    let config =
+      config_of jobs session cache deadline budget max_batch queue max_frame
+    in
+    match Server.create config with
+    | Error why ->
+        Printf.eprintf "macs_serve: %s\n%!" why;
+        exit 2
+    | Ok server -> (
+        match port with
+        | Some port -> serve_tcp server port
+        | None -> Server.serve server stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve simulate/hierarchy/validate/advise batches over \
+          newline-delimited JSON frames (stdio by default)")
+    Term.(
+      const run $ jobs_arg $ session_arg $ cache_arg $ deadline_arg
+      $ budget_cycles_arg $ max_batch_arg $ queue_arg $ max_frame_arg
+      $ port_arg)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzz seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Cases per rung (well-formed and mangled each).")
+  in
+  let run seed count =
+    let config =
+      { Server.default_config with Server.default_budget_cycles = Some 50_000.0 }
+    in
+    let violations = Serve_fuzz.run ~seed ~count ~config () in
+    if violations = [] then
+      Printf.printf
+        "serve-fuzz: %d well-formed + %d mangled frames: no crash, no hang, \
+         every reply typed\n"
+        count count
+    else begin
+      List.iter
+        (fun (v : Serve_fuzz.violation) ->
+          Printf.printf "case %d: %s\n  input: %s\n" v.Serve_fuzz.case
+            v.Serve_fuzz.problem
+            (if String.length v.Serve_fuzz.input > 200 then
+               String.sub v.Serve_fuzz.input 0 200 ^ "..."
+             else v.Serve_fuzz.input))
+        violations;
+      Printf.printf "serve-fuzz: %d violation(s)\n" (List.length violations);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Protocol fuzzing rung: random well-formed and adversarially \
+          mangled frames must never crash or wedge the server, and every \
+          reply must be typed")
+    Term.(const run $ seed_arg $ count_arg)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "macs_serve" ~version:"1.0.0"
+      ~doc:
+        "Crash-safe, deadline-bounded MACS modeling service over a \
+         validated machine-description DSL"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ serve_cmd; fuzz_cmd ]))

@@ -223,6 +223,11 @@ let pp_counters ppf c =
     (if c.misses = 1 then "" else "es")
     c.stores c.quarantined
 
+let counters_json c =
+  Printf.sprintf
+    "{\"cache\":{\"hits\":%d,\"misses\":%d,\"stores\":%d,\"quarantined\":%d}}"
+    c.hits c.misses c.stores c.quarantined
+
 (* ---- maintenance: stat / verify / gc ---- *)
 
 let list_entries t =

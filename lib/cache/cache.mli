@@ -51,6 +51,12 @@ val log_run : t -> label:string -> unit
 
 val pp_counters : Format.formatter -> counters -> unit
 
+val counters_json : counters -> string
+(** The counters as one machine-parseable JSON line,
+    [{"cache":{"hits":H,"misses":M,"stores":S,"quarantined":Q}}] — the
+    [--stats-json] output of the CLI harnesses and the shape embedded in
+    [macs_serve] stats replies. *)
+
 (** {1 Maintenance} *)
 
 type stat = {

@@ -19,6 +19,7 @@ module Driver = Convex_fuzz.Driver
 module Corpus = Convex_fuzz.Corpus
 module Supervisor = Convex_harness.Supervisor
 module Budget = Convex_harness.Budget
+module Serve = Convex_serve.Server
 
 (* ---- scenarios ---- *)
 
@@ -391,12 +392,67 @@ let scenario_suite () =
   in
   { name = "suite"; prepare }
 
+(* ---- canned scenario: macs_serve session ----
+
+   A scripted modeling-service session: a server with a session journal
+   and reply cache answers healthy simulate/hierarchy frames (one on a
+   what-if DSL machine), a malformed frame, an over-budget frame that
+   degrades to an estimate-tier answer, and an unknown preset.  Only
+   cycle budgets appear — no wall-clock deadlines — so every reply byte
+   is deterministic.  Recovery restarts a server on the same session
+   file and re-sends every frame: completed items replay from the
+   journal, missing ones recompute, and both the journal and the reply
+   log must come out byte-identical to an uninterrupted session. *)
+
+let serve_frames =
+  [
+    {|{"id":"f1","batch":[{"op":"simulate","kernel":7},{"op":"simulate","kernel":1,"machine":"c240;pipes.mul=2"}]}|};
+    {|{"id":"f2","op":"hierarchy","kernel":3}|};
+    (* malformed on purpose: typed bad-frame reply, nothing journaled *)
+    {|{"id":"f3","batch":[|};
+    (* over-budget on purpose: degrades to an estimate-tier answer *)
+    {|{"id":"f4","budget_cycles":100,"op":"simulate","kernel":7}|};
+    (* unknown preset on purpose: typed parse-failure reply *)
+    {|{"id":"f5","op":"simulate","kernel":1,"machine":"no-such-preset"}|};
+  ]
+
+let scenario_serve () =
+  let prepare ~dir =
+    let session = Filename.concat dir "session.journal" in
+    let replies = Filename.concat dir "replies.out" in
+    let drive () =
+      let config =
+        {
+          Serve.default_config with
+          Serve.jobs = 1 (* in-order items: byte-identical journals *);
+          session = Some session;
+          cache_dir = Some (Filename.concat dir "cache");
+        }
+      in
+      match Serve.create config with
+      | Error why -> failwith ("serve: " ^ why)
+      | Ok server ->
+          let oc = open_out_bin replies in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              List.iter
+                (fun frame ->
+                  output_string oc (Serve.handle_line server frame);
+                  output_char oc '\n')
+                serve_frames)
+    in
+    { run = drive; recover = drive; artifacts = [ session; replies ] }
+  in
+  { name = "serve"; prepare }
+
 let scenarios ?cells ?count ?entries () =
   [
     scenario_exec_shards ?cells ();
     scenario_corpus ?entries ();
     scenario_chaos ?cells ();
     scenario_fuzz ?count ();
+    scenario_serve ();
   ]
 
 let scenario_of_name ?cells ?count ?entries name =
@@ -405,6 +461,7 @@ let scenario_of_name ?cells ?count ?entries name =
   | "corpus" -> Some (scenario_corpus ?entries ())
   | "chaos" -> Some (scenario_chaos ?cells ())
   | "fuzz-warm" -> Some (scenario_fuzz ?count ())
+  | "serve" -> Some (scenario_serve ())
   | "suite" -> Some (scenario_suite ())
   | _ -> None
 

@@ -81,14 +81,26 @@ val scenario_suite : unit -> scenario
 (** The supervised Livermore suite with journal and cache; recovery is
     [~resume].  Expensive — meant for strided sweeps from the CLI. *)
 
+val scenario_serve : unit -> scenario
+(** A scripted [macs_serve] session against a session journal and reply
+    cache: healthy simulate/hierarchy frames (one on a what-if DSL
+    machine), a malformed frame, an over-budget frame that degrades to
+    an estimate-tier answer, and an unknown preset.  Every session
+    append and cache publish is a {!Sink} boundary; recovery restarts a
+    server on the same session file and re-sends every frame, so
+    completed items must replay from the journal instead of
+    re-executing.  Artifacts: the session journal and the reply log,
+    both byte-identical to an uninterrupted session. *)
+
 val scenarios :
   ?cells:int -> ?count:int -> ?entries:int -> unit -> scenario list
-(** The default sweep set: exec-shards, corpus, chaos, fuzz-warm (the
-    suite scenario is opt-in by name). *)
+(** The default sweep set: exec-shards, corpus, chaos, fuzz-warm, serve
+    (the suite scenario is opt-in by name). *)
 
 val scenario_of_name :
   ?cells:int -> ?count:int -> ?entries:int -> string -> scenario option
-(** ["exec-shards"], ["corpus"], ["chaos"], ["fuzz-warm"], ["suite"]. *)
+(** ["exec-shards"], ["corpus"], ["chaos"], ["fuzz-warm"], ["serve"],
+    ["suite"]. *)
 
 val cleanup : string -> unit
 (** Recursively delete a sweep workspace; missing paths are ignored. *)

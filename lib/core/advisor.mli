@@ -27,10 +27,18 @@ type suggestion = {
 }
 
 val advise :
-  ?machine:Machine.t -> ?threshold:float -> Lfk.Kernel.t -> suggestion list
+  ?machine:Machine.t ->
+  ?threshold:float ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
+  Lfk.Kernel.t ->
+  suggestion list
 (** Suggestions with gain above [threshold] (default 0.01), sorted by
     gain, largest first.  The list is empty when the kernel already runs
-    within [threshold] of every evaluated alternative. *)
+    within [threshold] of every evaluated alternative.  [watchdog] is
+    threaded into every candidate re-measurement (the advisor simulates
+    each applicable change); a firing watchdog raises
+    {!Macs_util.Macs_error.Error}, which deadline-bounded callers catch
+    and degrade. *)
 
 val report : ?machine:Machine.t -> Lfk.Kernel.t -> string
 (** Human-readable ranked advice, one line per suggestion. *)

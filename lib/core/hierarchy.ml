@@ -44,7 +44,7 @@ let layout_of (c : Fcc.Compiler.t) =
     aliases;
   layout
 
-let of_compiled ?(machine = Machine.c240) ?contention ?fidelity
+let of_compiled ?(machine = Machine.c240) ?contention ?watchdog ?fidelity
     (c : Fcc.Compiler.t) =
   let kernel = c.kernel in
   let flops = c.flops_per_iteration in
@@ -56,7 +56,7 @@ let of_compiled ?(machine = Machine.c240) ?contention ?fidelity
   let t_macs_m = Macs_bound.m_only ~machine body in
   let layout = layout_of c in
   let measure job =
-    Measure.run_exn ~machine ~layout ?contention ?fidelity
+    Measure.run_exn ~machine ~layout ?contention ?watchdog ?fidelity
       ~flops_per_iteration:flops job
   in
   let t_p = measure c.job in
@@ -79,8 +79,9 @@ let of_compiled ?(machine = Machine.c240) ?contention ?fidelity
     t_x;
   }
 
-let analyze ?machine ?contention ?fidelity ?opt kernel =
-  of_compiled ?machine ?contention ?fidelity (Fcc.Compiler.compile ?opt kernel)
+let analyze ?machine ?contention ?watchdog ?fidelity ?opt kernel =
+  of_compiled ?machine ?contention ?watchdog ?fidelity
+    (Fcc.Compiler.compile ?opt kernel)
 
 let cpf_of_cpl t cpl = Units.cpf_of_cpl ~cpl ~flops:t.flops
 let t_ma_cpf t = cpf_of_cpl t t.t_ma

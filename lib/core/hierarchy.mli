@@ -40,17 +40,24 @@ val layout_of : Fcc.Compiler.t -> Layout.t
 val analyze :
   ?machine:Machine.t ->
   ?contention:Contention.t ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   ?opt:Fcc.Opt_level.t ->
   Lfk.Kernel.t ->
   t
 (** Compile the kernel, compute every bound, and run the three
     measurements.  [fidelity] selects the simulator tier for the
-    measurements (default cycle); both tiers measure identically. *)
+    measurements (default cycle); both tiers measure identically.
+    [watchdog] is threaded into every measurement exactly as in
+    {!Convex_vpsim.Sim.run}; a firing watchdog raises
+    {!Macs_util.Macs_error.Error} (conventionally [Budget_exceeded]),
+    which deadline-bounded callers catch and degrade to an
+    {!Estimate}-tier answer. *)
 
 val of_compiled :
   ?machine:Machine.t ->
   ?contention:Contention.t ->
+  ?watchdog:(cycle:float -> Macs_util.Macs_error.t option) ->
   ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   Fcc.Compiler.t ->
   t

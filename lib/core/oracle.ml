@@ -209,18 +209,35 @@ type report = {
   tol : float;
   checked : int;
   violations : violation list;
+  skipped : (string * Macs_util.Macs_error.t) list;
 }
 
 let validate ?(tol = default_tol) ?(opt = Fcc.Opt_level.v61)
-    ?(machine = Machine.c240) ?faults ?fidelity () =
+    ?(machine = Machine.c240) ?faults ?watchdog ?fidelity () =
   let kernels =
     List.sort (fun (a : Lfk.Kernel.t) b -> compare a.id b.id) Lfk.Kernels.all
   in
+  let skipped = ref [] in
+  (* A kernel whose measurement blows its deadline is skipped with its
+     typed diagnostic rather than sinking the whole validation — the
+     same graceful degradation the suite supervisor applies. *)
   let per_kernel =
     List.concat_map
-      (fun k ->
-        check_hierarchy ~tol (Hierarchy.analyze ~machine ?fidelity ~opt k)
-        @ check_opt_monotonicity ~tol ~machine k)
+      (fun (k : Lfk.Kernel.t) ->
+        let wd =
+          match watchdog with
+          | None -> None
+          | Some f -> f ~site:("Oracle.validate:" ^ k.name)
+        in
+        match
+          check_hierarchy ~tol
+            (Hierarchy.analyze ~machine ?watchdog:wd ?fidelity ~opt k)
+          @ check_opt_monotonicity ~tol ~machine k
+        with
+        | vs -> vs
+        | exception Macs_util.Macs_error.Error e ->
+            skipped := (k.name, e) :: !skipped;
+            [])
       kernels
   in
   let faulted =
@@ -232,8 +249,9 @@ let validate ?(tol = default_tol) ?(opt = Fcc.Opt_level.v61)
     machine;
     opt;
     tol;
-    checked = List.length kernels;
+    checked = List.length kernels - List.length !skipped;
     violations = per_kernel @ faulted;
+    skipped = List.rev !skipped;
   }
 
 let render r =
@@ -260,6 +278,19 @@ let render r =
             (Printf.sprintf "  %-10s %-22s %s\n" v.subject v.invariant
                v.detail))
         vs);
+  (match r.skipped with
+  | [] -> ()
+  | ss ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d kernel%s skipped over budget:\n"
+           (List.length ss)
+           (if List.length ss = 1 then "" else "s"));
+      List.iter
+        (fun (name, e) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-10s %s\n" name
+               (Macs_util.Macs_error.to_string e)))
+        ss);
   Buffer.contents buf
 
 let pp_violation fmt v =

@@ -76,8 +76,12 @@ type report = {
   machine : Machine.t;
   opt : Fcc.Opt_level.t;
   tol : float;
-  checked : int;  (** kernels examined *)
+  checked : int;  (** kernels examined (skipped ones excluded) *)
   violations : violation list;
+  skipped : (string * Macs_util.Macs_error.t) list;
+      (** kernels whose measurement was cancelled by the [watchdog]
+          (typically [Budget_exceeded]); a skip is graceful degradation,
+          not a violation *)
 }
 
 val validate :
@@ -85,12 +89,20 @@ val validate :
   ?opt:Fcc.Opt_level.t ->
   ?machine:Machine.t ->
   ?faults:Convex_fault.Fault.t ->
+  ?watchdog:
+    (site:string -> (cycle:float -> Macs_util.Macs_error.t option) option) ->
   ?fidelity:Convex_vpsim.Fastpath.fidelity ->
   unit ->
   report
 (** Check every vectorizable kernel's hierarchy and schedule monotonicity
     on [machine]; when [faults] is given, also run the faulted-probe
-    check.  An empty [violations] list is a clean bill of health. *)
+    check.  An empty [violations] list is a clean bill of health.
+
+    [watchdog] is a per-kernel watchdog factory (called with a site
+    naming the kernel, conventionally wrapping
+    [Convex_harness.Budget.watchdog]); a kernel whose measurement is
+    cancelled lands in [skipped] with its typed diagnostic instead of
+    aborting the validation. *)
 
 val render : report -> string
 val pp_violation : Format.formatter -> violation -> unit

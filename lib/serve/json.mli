@@ -1,0 +1,42 @@
+(** Minimal total JSON codec for the [macs_serve] wire protocol.
+
+    Written in-tree because the toolchain ships no JSON library, and kept
+    deliberately hostile-input-proof: the parser is a depth-capped
+    recursive descent that returns a typed error on any malformed byte —
+    it never raises, never loops, and its recursion is bounded by
+    [max_depth], so no frame can crash or hang the server at the codec
+    layer.  The printer emits one line (no raw newlines ever escape into
+    a frame) and renders non-finite numbers as [null], so every reply is
+    valid JSON by construction. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse a complete JSON document ([max_depth] defaults to 64 nesting
+    levels); trailing non-whitespace is an error.  Error messages carry
+    the byte offset. *)
+
+val to_string : t -> string
+(** Canonical one-line rendering.  Integral numbers within 2^53 print
+    without a decimal point; other finite numbers print with enough
+    digits to round-trip; NaN and infinities print as [null]. *)
+
+(** {1 Accessors} — each returns [None] on shape mismatch. *)
+
+val mem : t -> string -> t option
+(** First binding of a key in an object. *)
+
+val str : t -> string option
+val num : t -> float option
+
+val int : t -> int option
+(** Integral [Num] within [int] range. *)
+
+val bool : t -> bool option
+val arr : t -> t list option

@@ -1,0 +1,36 @@
+(** Protocol fuzzing rung for [macs_serve].
+
+    Random well-formed frames (drawing kernels from
+    {!Convex_fuzz.Gen.fuzz_kernel_gen}, machine specs from the
+    {!Machine_dsl} grammar with adversarial overrides, fault specs from
+    the [Fault] clause syntax) and adversarially mangled byte strings
+    (truncations, splices, bit flips, pathological nesting, raw control
+    bytes) are driven through {!Server.handle_line}, asserting the
+    hardening contract on every single line:
+
+    - no exception escapes (no-crash);
+    - the reply parses as a JSON object carrying ["ok"] (typed reply);
+    - a failed reply carries a typed error with nonempty kind and
+      message;
+    - re-sending the identical line yields the identical reply bytes
+      (idempotency — well-formed frames carry deterministic
+      [budget_cycles] deadlines, never wall-clock ones);
+    - the server still answers a [ping] afterwards (no-hang, no wedged
+      state).
+
+    Everything is seeded: case [i] of seed [s] is the same bytes on
+    every run. *)
+
+type violation = { case : int; input : string; problem : string }
+
+val frame_gen : string QCheck.Gen.t
+(** Well-formed frames: work batches, single-op sugar, ping/stats. *)
+
+val mangled_gen : string QCheck.Gen.t
+(** A well-formed frame put through 1-3 byte-level mutations, or a
+    purpose-built pathological input (deep nesting, huge tokens). *)
+
+val run :
+  ?seed:int -> ?count:int -> config:Server.config -> unit -> violation list
+(** Run [count] well-formed and [count] mangled cases (default 100 each)
+    against a fresh server; empty list = contract holds. *)

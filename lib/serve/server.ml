@@ -1,0 +1,416 @@
+type config = {
+  jobs : int;
+  max_batch : int;
+  queue_capacity : int;
+  max_frame_bytes : int;
+  default_deadline_ms : float option;
+  default_budget_cycles : float option;
+  session : string option;
+  cache_dir : string option;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_batch = 64;
+    queue_capacity = 64;
+    max_frame_bytes = 1 lsl 20;
+    default_deadline_ms = None;
+    default_budget_cycles = None;
+    session = None;
+    cache_dir = None;
+  }
+
+type stats = {
+  frames : int;
+  control : int;
+  rejected : int;
+  shed : int;
+  replayed_frames : int;
+  items : int;
+  replayed_items : int;
+  degraded : int;
+}
+
+type t = {
+  config : config;
+  session : Session.t option;
+  cache : Convex_cache.Cache.t option;
+  mutex : Mutex.t;  (** guards the counters *)
+  mutable counters : stats;
+  mutable stop : bool;
+}
+
+let create (config : config) =
+  let session =
+    Option.map (fun path -> Session.open_ path) config.session
+  in
+  match session with
+  | Some (Error why) -> Error why
+  | Some (Ok _) | None ->
+      let session =
+        match session with Some (Ok s) -> Some s | _ -> None
+      in
+      Ok
+        {
+          config;
+          session;
+          cache = Option.map Convex_cache.Cache.open_dir config.cache_dir;
+          mutex = Mutex.create ();
+          counters =
+            {
+              frames = 0;
+              control = 0;
+              rejected = 0;
+              shed = 0;
+              replayed_frames = 0;
+              items = 0;
+              replayed_items = 0;
+              degraded = 0;
+            };
+          stop = false;
+        }
+
+let bump t f =
+  Mutex.lock t.mutex;
+  t.counters <- f t.counters;
+  Mutex.unlock t.mutex
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = t.counters in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown_requested t = t.stop
+
+let stats_json t =
+  let s = stats t in
+  let int i = Json.Num (float_of_int i) in
+  let server =
+    Json.Obj
+      [
+        ("frames", int s.frames);
+        ("control", int s.control);
+        ("rejected", int s.rejected);
+        ("shed", int s.shed);
+        ("replayed_frames", int s.replayed_frames);
+        ("items", int s.items);
+        ("replayed_items", int s.replayed_items);
+        ("degraded", int s.degraded);
+      ]
+  in
+  let cache =
+    match t.cache with
+    | None -> []
+    | Some c ->
+        let k = Convex_cache.Cache.counters c in
+        [
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", int k.Convex_cache.Cache.hits);
+                ("misses", int k.Convex_cache.Cache.misses);
+                ("stores", int k.Convex_cache.Cache.stores);
+                ("quarantined", int k.Convex_cache.Cache.quarantined);
+              ] );
+        ]
+  in
+  Json.Obj (("server", server) :: cache)
+
+(* ------------------------------------------------------------------ *)
+
+let overloaded_error =
+  Protocol.perror ~kind:"overloaded"
+    "request queue is full; the frame was shed, resend it later"
+
+let too_large_error bytes limit =
+  Protocol.perror ~kind:"frame-too-large"
+    (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" bytes limit)
+
+let cache_key frame_key =
+  Convex_cache.Cache.key ~kind:"serve-reply" [ ("frame", frame_key) ]
+
+(* One watchdog per frame, shared by every item in the batch: the
+   deadline bounds the request, not each item. *)
+let watchdog_of t ~deadline_ms ~budget_cycles =
+  let first a b = match a with Some _ -> a | None -> b in
+  let ms = first deadline_ms t.config.default_deadline_ms in
+  let cycles = first budget_cycles t.config.default_budget_cycles in
+  let budget =
+    Convex_harness.Budget.make
+      ?max_cycles:cycles
+      ?max_wall_s:(Option.map (fun m -> m /. 1000.0) ms)
+      ()
+  in
+  Convex_harness.Budget.watchdog ~site:"macs_serve" budget
+
+let reply_of_results ~id item_lines =
+  let results =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok j -> j
+        | Error m ->
+            (* our own journaled output failing to parse means the journal
+               entry was hand-edited; surface it rather than crash *)
+            Json.Obj
+              [
+                ("ok", Json.Bool false);
+                ( "error",
+                  Protocol.error_json
+                    (Protocol.perror ~site:"Server.reply" ~kind:"internal"
+                       ("unreadable journaled item: " ^ m)) );
+              ])
+      item_lines
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Str id);
+         ("ok", Json.Bool true);
+         ("results", Json.Arr results);
+       ])
+
+let is_degraded line =
+  match Json.parse line with
+  | Ok j -> Option.bind (Json.mem j "tier") Json.str = Some "estimate"
+  | Error _ -> false
+
+let serve_batch t ~raw ~id ~deadline_ms ~budget_cycles ~items =
+  let key = Session.frame_key ~id ~payload:raw in
+  let journaled_frame =
+    match t.session with
+    | Some s -> Session.lookup_frame s ~key
+    | None -> None
+  in
+  match journaled_frame with
+  | Some reply ->
+      bump t (fun c ->
+          { c with frames = c.frames + 1; replayed_frames = c.replayed_frames + 1 });
+      reply
+  | None -> (
+      match
+        Option.bind t.cache (fun c ->
+            Convex_cache.Cache.find c ~key:(cache_key key))
+      with
+      | Some reply ->
+          bump t (fun c ->
+              {
+                c with
+                frames = c.frames + 1;
+                replayed_frames = c.replayed_frames + 1;
+              });
+          reply
+      | None ->
+          let items = Array.of_list items in
+          let n = Array.length items in
+          let watchdog = watchdog_of t ~deadline_ms ~budget_cycles in
+          let already i =
+            match t.session with
+            | None -> None
+            | Some s ->
+                Option.map
+                  (fun line -> Convex_exec.Executor.Done line)
+                  (Session.lookup_item s ~key ~index:i)
+          in
+          let replayed_before =
+            match t.session with
+            | Some s -> Session.items_done s ~key
+            | None -> 0
+          in
+          let eval i =
+            let line = Json.to_string (Engine.eval_item ?watchdog items.(i)) in
+            (match t.session with
+            | Some s -> Session.record_item s ~key ~index:i line
+            | None -> ());
+            line
+          in
+          let outcomes, _stats =
+            if n = 0 then ([||], None)
+            else
+              let o, st =
+                Convex_exec.Executor.run
+                  ~jobs:(min t.config.jobs (max 1 n))
+                  ~already ~cells:n eval
+              in
+              (o, Some st)
+          in
+          let item_lines =
+            Array.to_list
+              (Array.map
+                 (function
+                   | Some (Convex_exec.Executor.Done line) -> line
+                   | Some (Convex_exec.Executor.Poisoned p) ->
+                       Json.to_string
+                         (Json.Obj
+                            [
+                              ("ok", Json.Bool false);
+                              ( "error",
+                                Protocol.error_json
+                                  (Protocol.perror ~site:"Executor"
+                                     ~kind:"internal" p.Convex_exec.Executor.error)
+                              );
+                            ])
+                   | None ->
+                       Json.to_string
+                         (Json.Obj
+                            [
+                              ("ok", Json.Bool false);
+                              ( "error",
+                                Protocol.error_json
+                                  (Protocol.perror ~site:"Executor"
+                                     ~kind:"internal" "cell never ran") );
+                            ]))
+                 outcomes)
+          in
+          let reply = reply_of_results ~id item_lines in
+          (match t.session with
+          | Some s -> Session.record_frame s ~key ~id reply
+          | None -> ());
+          (match t.cache with
+          | Some c -> Convex_cache.Cache.store c ~key:(cache_key key) reply
+          | None -> ());
+          let degraded = List.length (List.filter is_degraded item_lines) in
+          bump t (fun c ->
+              {
+                c with
+                frames = c.frames + 1;
+                items = c.items + n;
+                replayed_items = c.replayed_items + replayed_before;
+                degraded = c.degraded + degraded;
+              });
+          reply)
+
+let control_reply t ~id control =
+  bump t (fun c -> { c with control = c.control + 1 });
+  let id_field =
+    match id with None -> [] | Some id -> [ ("id", Json.Str id) ]
+  in
+  match control with
+  | Protocol.Ping ->
+      Json.to_string
+        (Json.Obj (id_field @ [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]))
+  | Protocol.Stats ->
+      Json.to_string
+        (Json.Obj
+           (id_field
+           @ [ ("ok", Json.Bool true); ("stats", stats_json t) ]))
+  | Protocol.Shutdown ->
+      t.stop <- true;
+      Json.to_string
+        (Json.Obj
+           (id_field @ [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ]))
+
+let handle_line t line =
+  if String.length line > t.config.max_frame_bytes then (
+    bump t (fun c -> { c with rejected = c.rejected + 1 });
+    Protocol.error_reply
+      (too_large_error (String.length line) t.config.max_frame_bytes))
+  else
+    match Protocol.decode_frame ~max_batch:t.config.max_batch line with
+    | Error e ->
+        bump t (fun c -> { c with rejected = c.rejected + 1 });
+        Protocol.error_reply e
+    | Ok (Protocol.Control { id; control }) -> control_reply t ~id control
+    | Ok (Protocol.Batch { id; deadline_ms; budget_cycles; items }) -> (
+        match serve_batch t ~raw:line ~id ~deadline_ms ~budget_cycles ~items with
+        | reply -> reply
+        | exception (Macs_util.Sink.Crashed _ as exn) -> raise exn
+        | exception ((Out_of_memory | Stack_overflow) as exn) -> raise exn
+        | exception exn ->
+            bump t (fun c -> { c with rejected = c.rejected + 1 });
+            Protocol.error_reply ~id
+              (Protocol.perror ~site:"Server.handle_line" ~kind:"internal"
+                 (Printexc.to_string exn)))
+
+(* ------------------------------------------------------------------ *)
+(* The channel loop: a reader domain feeding a bounded queue.          *)
+
+type read_event = Line of string | Oversized of int | Eof
+
+(* Read one line without ever holding more than [limit] bytes: past the
+   limit the rest of the line is discarded as it streams in. *)
+let read_line_capped ic ~limit =
+  let buf = Buffer.create 256 in
+  let over = ref 0 in
+  let rec go () =
+    match input_char ic with
+    | '\n' ->
+        if !over > 0 then Oversized (Buffer.length buf + !over)
+        else Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= limit then incr over else Buffer.add_char buf c;
+        go ()
+    | exception End_of_file ->
+        if Buffer.length buf = 0 && !over = 0 then Eof
+        else if !over > 0 then Oversized (Buffer.length buf + !over)
+        else Line (Buffer.contents buf)
+  in
+  go ()
+
+let serve t ic oc =
+  let q = Queue.create () in
+  let m = Mutex.create () in
+  let nonempty = Condition.create () in
+  let eof = ref false in
+  let out_mutex = Mutex.create () in
+  let write_reply line =
+    Mutex.lock out_mutex;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_mutex
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          if t.stop then ()
+          else
+            match read_line_capped ic ~limit:t.config.max_frame_bytes with
+            | Eof | (exception Sys_error _) ->
+                Mutex.lock m;
+                eof := true;
+                Condition.broadcast nonempty;
+                Mutex.unlock m
+            | Oversized bytes ->
+                bump t (fun c -> { c with rejected = c.rejected + 1 });
+                write_reply
+                  (Protocol.error_reply
+                     (too_large_error bytes t.config.max_frame_bytes));
+                loop ()
+            | Line line ->
+                Mutex.lock m;
+                let shed = Queue.length q >= t.config.queue_capacity in
+                if not shed then (
+                  Queue.add line q;
+                  Condition.signal nonempty);
+                Mutex.unlock m;
+                if shed then (
+                  (* explicit load-shed: answer now, buffer nothing *)
+                  bump t (fun c -> { c with shed = c.shed + 1 });
+                  write_reply (Protocol.error_reply overloaded_error));
+                loop ()
+        in
+        loop ())
+  in
+  let rec drain () =
+    Mutex.lock m;
+    while Queue.is_empty q && not !eof do
+      Condition.wait nonempty m
+    done;
+    let next = if Queue.is_empty q then None else Some (Queue.pop q) in
+    Mutex.unlock m;
+    match next with
+    | None -> ()
+    | Some line ->
+        write_reply (handle_line t line);
+        if not t.stop then drain ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* unblock a reader stuck in input_char, then join it *)
+      t.stop <- true;
+      (try close_in ic with Sys_error _ -> ());
+      (try Domain.join reader with _ -> ()))
+    drain

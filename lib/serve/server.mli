@@ -1,0 +1,77 @@
+(** The [macs_serve] request loop: newline-delimited JSON frames over a
+    channel pair, hardened end to end.
+
+    - {b One reply per frame, always.}  {!handle_line} is total: any
+      line — malformed JSON, envelope violations, oversized frames,
+      unknown presets, mid-request faults — produces exactly one
+      structured reply line.  The only exceptions that escape are
+      {!Macs_util.Sink.Crashed} (simulated process death) and
+      asynchronous runtime failures.
+    - {b Deadlines degrade, never drop.}  A frame's [deadline_ms] /
+      [budget_cycles] (or the server defaults) compile into one
+      {!Convex_harness.Budget} watchdog shared by the whole batch; items
+      whose measurement is cancelled come back as [Estimate]-tier
+      answers on the same connection.
+    - {b Backpressure, not OOM.}  {!serve} reads frames on a separate
+      domain into a bounded queue; when the queue is full the frame is
+      answered immediately with an ["overloaded"] error (explicit
+      load-shed) instead of buffering without bound, and a line longer
+      than [max_frame_bytes] is discarded incrementally (never held in
+      memory) and answered with ["frame-too-large"].
+    - {b Idempotent retries.}  A frame's replies are keyed by
+      {!Session.frame_key} (id + payload bytes) in the session journal
+      and fronted by {!Convex_cache.Cache}; resending a frame replays
+      the original reply byte-for-byte.
+    - {b Crash-safe resume.}  Batch items journal as they complete; a
+      server killed mid-batch and restarted on the same session file
+      recomputes only the missing items and never re-executes completed
+      work. *)
+
+type config = {
+  jobs : int;  (** worker domains per batch (via {!Convex_exec.Executor}) *)
+  max_batch : int;  (** items per frame before [batch-too-large] *)
+  queue_capacity : int;  (** pending frames before load-shed *)
+  max_frame_bytes : int;  (** request line length before [frame-too-large] *)
+  default_deadline_ms : float option;
+  default_budget_cycles : float option;
+  session : string option;  (** session journal path *)
+  cache_dir : string option;  (** reply cache directory *)
+}
+
+val default_config : config
+(** jobs 1, max_batch 64, queue 64, 1 MiB frames, no deadline, no
+    session, no cache. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Fails only when the session journal exists and is not a macs-serve
+    session (it is never clobbered). *)
+
+type stats = {
+  frames : int;  (** work frames answered *)
+  control : int;  (** control frames answered *)
+  rejected : int;  (** frames rejected whole with a typed error *)
+  shed : int;  (** frames load-shed by the bounded queue *)
+  replayed_frames : int;  (** served byte-identically from journal/cache *)
+  items : int;  (** batch items evaluated or replayed *)
+  replayed_items : int;  (** items replayed from the session journal *)
+  degraded : int;  (** items answered at estimate tier *)
+}
+
+val stats : t -> stats
+
+val stats_json : t -> Json.t
+(** Server counters plus cache counters (when a cache is attached) as
+    one JSON object — the body of the [stats] control reply. *)
+
+val handle_line : t -> string -> string
+(** Serve one request line to one reply line (no trailing newline). *)
+
+val shutdown_requested : t -> bool
+(** Whether a [shutdown] control frame has been served. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** Run the loop until EOF or a [shutdown] frame: reader domain feeding
+    the bounded queue, load-shed and oversize replies written directly,
+    one reply line per frame in arrival order. *)

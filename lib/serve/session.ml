@@ -1,0 +1,96 @@
+module J = Macs_util.Journal
+
+let format = "macs-serve-session"
+
+type t = {
+  path : string;
+  mutex : Mutex.t;
+  (* frame key -> completed reply line *)
+  frames : (string, string) Hashtbl.t;
+  (* (frame key, item index) -> reply-item JSON *)
+  items : (string * int, string) Hashtbl.t;
+}
+
+let frame_key ~id ~payload =
+  Digest.to_hex (Digest.string (id ^ "\x00" ^ payload))
+
+let config_record = { J.tag = "config"; fields = [ ("protocol", "1") ] }
+
+let load_record t (r : J.record) =
+  match r.J.tag with
+  | "item" -> (
+      match (J.field r "key", Option.bind (J.field r "index") J.get_int) with
+      | Some key, Some index -> (
+          match J.field r "data" with
+          | Some data -> Hashtbl.replace t.items (key, index) data
+          | None -> ())
+      | _ -> ())
+  | "frame" -> (
+      match (J.field r "key", J.field r "data") with
+      | Some key, Some data -> Hashtbl.replace t.frames key data
+      | _ -> ())
+  | _ -> ()
+
+let open_ path =
+  let t =
+    {
+      path;
+      mutex = Mutex.create ();
+      frames = Hashtbl.create 64;
+      items = Hashtbl.create 64;
+    }
+  in
+  match J.inspect ~path ~format with
+  | J.Damaged why ->
+      Error
+        (Printf.sprintf
+           "session journal %s is not a macs-serve session (%s); refusing to \
+            overwrite it"
+           path why)
+  | J.Fresh ->
+      J.create ~path ~format [ config_record ];
+      Ok t
+  | J.Intact -> (
+      (* the previous server may have died holding a torn final line *)
+      match J.repair ~path ~format with
+      | Error why -> Error why
+      | Ok () -> (
+          match J.load ~path ~format with
+          | Error why -> Error why
+          | Ok records ->
+              List.iter (load_record t) records;
+              Ok t))
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let lookup_frame t ~key = locked t (fun () -> Hashtbl.find_opt t.frames key)
+
+let lookup_item t ~key ~index =
+  locked t (fun () -> Hashtbl.find_opt t.items (key, index))
+
+let record_item t ~key ~index data =
+  locked t (fun () ->
+      J.append ~path:t.path
+        {
+          J.tag = "item";
+          fields =
+            [ ("key", key); ("index", J.put_int index); ("data", data) ];
+        };
+      Hashtbl.replace t.items (key, index) data)
+
+let record_frame t ~key ~id data =
+  locked t (fun () ->
+      J.append ~path:t.path
+        {
+          J.tag = "frame";
+          fields = [ ("key", key); ("id", id); ("data", data) ];
+        };
+      Hashtbl.replace t.frames key data)
+
+let items_done t ~key =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun (k, _) _ n -> if k = key then n + 1 else n)
+        t.items 0)

@@ -1,0 +1,41 @@
+(** Crash-safe session journal for [macs_serve].
+
+    Every completed batch item and every completed frame reply is
+    appended to a {!Macs_util.Journal} (one {!Macs_util.Sink} write
+    boundary each), so a server killed mid-batch and restarted against
+    the same session file resumes exactly where it died: items journaled
+    before the crash are replayed into the new reply instead of being
+    recomputed, a frame journaled complete is replayed byte-for-byte,
+    and nothing completed is ever executed twice.  The journal's torn
+    final line (the write the crash interrupted) is repaired away by
+    {!Macs_util.Journal.repair} on open.
+
+    Frames are keyed by {!frame_key} — a digest of the client id {e and}
+    the raw payload bytes — so a retry with the same id but different
+    payload is a fresh request, not a replay. *)
+
+type t
+
+val frame_key : id:string -> payload:string -> string
+
+val open_ : string -> (t, string) result
+(** Open (creating, or repairing and loading) the session journal at the
+    given path.  A [Damaged] file — a complete first line that is not a
+    session header — is refused, never clobbered. *)
+
+val lookup_frame : t -> key:string -> string option
+(** The completed reply line journaled for a frame, byte-for-byte. *)
+
+val lookup_item : t -> key:string -> index:int -> string option
+(** The journaled reply-item JSON for one batch index of an in-flight
+    frame. *)
+
+val record_item : t -> key:string -> index:int -> string -> unit
+(** Journal one completed batch item (append + flush, one write
+    boundary).  Thread-safe: parallel batch workers serialize here. *)
+
+val record_frame : t -> key:string -> id:string -> string -> unit
+(** Journal a completed frame's full reply line. *)
+
+val items_done : t -> key:string -> int
+(** Completed items journaled for a frame (for resume diagnostics). *)

@@ -174,6 +174,166 @@ let test_out_of_order_port () =
   Alcotest.(check bool) "t=10 again" false
     (Memory.try_access m ~cycle:10 ~word:64)
 
+(* ---- admit_stream at strip-mine remainder edges ----
+
+   The tiered fast path admits a whole access stream in closed form; its
+   contract is bit-equivalence with the cycle-by-cycle spin loop —
+   including the short remainder strips LFK2 and LFK6 leave behind
+   (counts of 1..5 and 36/100 elements), and including transient fault
+   windows, where the only legal answers are "identical to the spin
+   loop" or "None with the model untouched". *)
+
+(* the stepper's element recurrence (Sim.run): element 0 spins from
+   [start], element e from the previous element's grant plus the stream
+   rate [z] — exactly the [acquire_mem ~earliest] chain *)
+let spin_reference m ~start ~count ~z ~word0 ~wstride ~max_slip =
+  let out = Array.make count 0.0 in
+  let exception Slipped in
+  try
+    for e = 0 to count - 1 do
+      let c = ref (if e = 0 then start else int_of_float out.(e - 1) + z) in
+      let spins = ref 0 in
+      while
+        not (Memory.try_access m ~cycle:!c ~word:(word0 + (e * wstride)))
+      do
+        incr c;
+        incr spins;
+        if !spins > max_slip then raise Slipped
+      done;
+      out.(e) <- float_of_int !c
+    done;
+    Some out
+  with Slipped -> None
+
+let counters m =
+  [
+    Memory.stats_accesses m;
+    Memory.stats_conflict_stalls m;
+    Memory.stats_refresh_stalls m;
+    Memory.stats_port_stalls m;
+    Memory.stats_fault_stalls m;
+  ]
+
+(* after both models processed the same stream, they must keep agreeing:
+   probe a mixed follow-up pattern access by access *)
+let probe_equivalent ~msg m1 m2 ~from =
+  for i = 0 to 39 do
+    let cycle = from + (i / 2) and word = i * 13 in
+    let a = Memory.try_access m1 ~cycle ~word
+    and b = Memory.try_access m2 ~cycle ~word in
+    if a <> b then
+      Alcotest.failf "%s: probe %d diverges (cycle %d word %d): %b vs %b"
+        msg i cycle word a b
+  done
+
+let transient_plan =
+  match Convex_fault.Fault.parse "seed=7;window=100-600;degrade-bank=0*4" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let admit_differential ~faults ~params ~start ~count ~z ~wstride =
+  let mk () = Memory.create ~faults params in
+  let m1 = mk () and m2 = mk () in
+  let max_slip = 64 in
+  let msg =
+    Printf.sprintf "start=%d count=%d z=%d stride=%d plan=%s" start count z
+      wstride faults.Convex_fault.Fault.name
+  in
+  match
+    Memory.admit_stream m1 ~start ~count ~z ~word0:0 ~wstride ~max_slip
+  with
+  | Some cycles -> (
+      match
+        spin_reference m2 ~start ~count ~z ~word0:0 ~wstride ~max_slip
+      with
+      | None -> Alcotest.failf "%s: fast path admitted, spin loop slipped" msg
+      | Some expect ->
+          Alcotest.(check (array (float 0.0)))
+            (msg ^ ": access cycles") expect cycles;
+          Alcotest.(check (list int))
+            (msg ^ ": counters") (counters m2) (counters m1);
+          probe_equivalent ~msg m1 m2
+            ~from:(int_of_float cycles.(count - 1) + 1);
+          true)
+  | None ->
+      (* a rejection must leave the model bit-untouched *)
+      Alcotest.(check (list int))
+        (msg ^ ": untouched counters") (counters (mk ())) (counters m1);
+      probe_equivalent ~msg:(msg ^ " untouched") m1 (mk ()) ~from:start;
+      false
+
+let test_admit_remainder_edges () =
+  (* the remainder strips LFK2/LFK6 leave behind: 996 = 7*128 + 100,
+     chime tails of 1..5, and the 36-element inner shapes of LFK2 *)
+  let admitted = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun faults ->
+      List.iter
+        (fun start ->
+          List.iter
+            (fun count ->
+              List.iter
+                (fun wstride ->
+                  List.iter
+                    (fun z ->
+                      if
+                        admit_differential ~faults ~params:Mem_params.c240
+                          ~start ~count ~z ~wstride
+                      then incr admitted
+                      else incr rejected)
+                    [ 1; 2 ])
+                [ 1; 2; 16; 32 ])
+            [ 1; 2; 3; 5; 36; 100 ])
+        [ 0; 3; 95; 397; 650 ])
+    [ Convex_fault.Fault.none; transient_plan ];
+  (* the sweep must exercise both verdicts, or the differential is vacuous *)
+  Alcotest.(check bool) "some streams admitted" true (!admitted > 0);
+  Alcotest.(check bool) "some streams rejected" true (!rejected > 0)
+
+let test_admit_transient_window () =
+  (* a stream wholly inside the fault window must be rejected (the plan is
+     not quiescent there); one starting after it closes must leap *)
+  let params = Mem_params.c240 in
+  let inside =
+    admit_differential ~faults:transient_plan ~params ~start:150 ~count:36
+      ~z:1 ~wstride:1
+  in
+  Alcotest.(check bool) "inside the window: fall back" false inside;
+  let after =
+    admit_differential ~faults:transient_plan ~params ~start:650 ~count:36
+      ~z:1 ~wstride:1
+  in
+  Alcotest.(check bool) "after the window: leap" true after
+
+let test_admit_used_model () =
+  (* remainder strip admitted right behind a completed full strip: the
+     port high-water chase must stay bit-equivalent to the spin loop *)
+  let mk () =
+    let m = Memory.create Mem_params.c240 in
+    for c = 0 to 127 do
+      assert (Memory.try_access m ~cycle:c ~word:c)
+    done;
+    m
+  in
+  let m1 = mk () and m2 = mk () in
+  match
+    Memory.admit_stream m1 ~start:100 ~count:5 ~z:1 ~word0:128 ~wstride:1
+      ~max_slip:64
+  with
+  | None ->
+      (* rejecting the chase is legal; it must still be a clean rejection *)
+      probe_equivalent ~msg:"used model untouched" m1 (mk ()) ~from:128
+  | Some cycles -> (
+      match
+        spin_reference m2 ~start:100 ~count:5 ~z:1 ~word0:128 ~wstride:1
+          ~max_slip:64
+      with
+      | None -> Alcotest.fail "spin loop slipped where fast path admitted"
+      | Some expect ->
+          Alcotest.(check (array (float 0.0))) "chased cycles" expect cycles;
+          probe_equivalent ~msg:"used model" m1 m2
+            ~from:(int_of_float cycles.(4) + 1))
+
 (* ---- qcheck ---- *)
 
 let prop_odd_strides_conflict_free =
@@ -238,6 +398,14 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "out-of-order port" `Quick
             test_out_of_order_port;
+        ] );
+      ( "admit_stream",
+        [
+          Alcotest.test_case "strip-mine remainder edges" `Quick
+            test_admit_remainder_edges;
+          Alcotest.test_case "transient fault window" `Quick
+            test_admit_transient_window;
+          Alcotest.test_case "used model chase" `Quick test_admit_used_model;
         ] );
       ("properties", qcheck_tests);
     ]

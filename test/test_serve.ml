@@ -1,0 +1,443 @@
+(* Tests for convex_serve: the handwritten JSON codec, frame decoding,
+   the request loop's error envelope, deadline degradation, idempotent
+   replay through the session journal, crash-tail repair, and the
+   protocol-fuzz rung. *)
+
+module Json = Convex_serve.Json
+module Protocol = Convex_serve.Protocol
+module Session = Convex_serve.Session
+module Server = Convex_serve.Server
+module Serve_fuzz = Convex_serve.Serve_fuzz
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun label ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "macs_serve_test_%d_%s_%d" (Unix.getpid ()) label
+           !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (Json.to_string j)) ( = )
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %s" s e
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (s ^ ": print (parse s) = s")
+        s
+        (Json.to_string (parse_ok s)))
+    [
+      "null";
+      "true";
+      "false";
+      "42";
+      "-7";
+      "3.25";
+      "1e+30";
+      {|""|};
+      {|"hi"|};
+      {|"tab\tquote\"backslash\\"|};
+      {|[1,2,[3,null]]|};
+      {|{"a":1,"b":[true,{"c":"d"}]}|};
+      "9007199254740992";
+    ]
+
+let test_json_unicode () =
+  (* \uXXXX escapes decode to UTF-8, surrogate pairs included *)
+  Alcotest.(check string) "bmp" "\xc3\xa9"
+    (match parse_ok {|"é"|} with Json.Str s -> s | _ -> assert false);
+  Alcotest.(check string) "astral" "\xf0\x9d\x84\x9e"
+    (match parse_ok {|"𝄞"|} with
+    | Json.Str s -> s
+    | _ -> assert false);
+  (match Json.parse {|"\udc00"|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unpaired low surrogate must be rejected");
+  match Json.parse "\"raw\x01control\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "raw control byte must be rejected"
+
+let test_json_hostile () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error msg ->
+          Alcotest.(check bool) (s ^ ": error nonempty") true (msg <> "")
+      | Ok _ -> Alcotest.failf "%S must be rejected" s)
+    [
+      "";
+      "{";
+      "[1,";
+      "{\"a\":}";
+      "nul";
+      "01";
+      "- 1";
+      "\"unterminated";
+      "{\"a\":1} trailing";
+      String.concat "" (List.init 100 (fun _ -> "[")) ^ "1";
+    ]
+
+let test_json_depth_cap () =
+  let deep n = String.concat "" (List.init n (fun _ -> "[")) in
+  let closed n =
+    deep n ^ "1" ^ String.concat "" (List.init n (fun _ -> "]"))
+  in
+  (match Json.parse (closed 63) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 63 must parse: %s" e);
+  match Json.parse (closed 65) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth 65 must be rejected"
+
+let test_json_accessors () =
+  let j = parse_ok {|{"s":"x","n":3,"i":7,"b":true,"a":[1],"z":null}|} in
+  Alcotest.(check (option string)) "str" (Some "x")
+    (Option.bind (Json.mem j "s") Json.str);
+  Alcotest.(check (option (float 0.0))) "num" (Some 3.0)
+    (Option.bind (Json.mem j "n") Json.num);
+  Alcotest.(check (option int)) "int" (Some 7)
+    (Option.bind (Json.mem j "i") Json.int);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (Json.mem j "b") Json.bool);
+  Alcotest.(check bool) "arr" true
+    (Option.bind (Json.mem j "a") Json.arr = Some [ Json.Num 1.0 ]);
+  Alcotest.(check (option string)) "missing" None
+    (Option.bind (Json.mem j "nope") Json.str);
+  Alcotest.(check (option int)) "non-integral int" None
+    (Json.int (Json.Num 1.5))
+
+let test_json_float_rendering () =
+  Alcotest.(check string) "integral" "3" (Json.to_string (Json.Num 3.0));
+  Alcotest.(check string) "negative zero keeps value" "0"
+    (Json.to_string (Json.Num 0.0));
+  Alcotest.(check string) "nan is null" "null"
+    (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Num Float.infinity));
+  (* round-trip through the printer preserves the float bit pattern *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') ->
+          Alcotest.(check int64) "bits" (Int64.bits_of_float f)
+            (Int64.bits_of_float f')
+      | _ -> Alcotest.failf "float %h did not round-trip" f)
+    [ 0.1; 1.0 /. 3.0; 1e-300; 4.2177822177822177; 123456789.125 ]
+
+(* ---- Protocol ---- *)
+
+let test_decode_batch () =
+  match
+    Protocol.decode_frame ~max_batch:64
+      {|{"id":"x","budget_cycles":500,"batch":[{"op":"simulate","kernel":7},{"op":"hierarchy","kernel":3}]}|}
+  with
+  | Ok (Protocol.Batch { id; budget_cycles; items; _ }) ->
+      Alcotest.(check string) "id" "x" id;
+      Alcotest.(check (option (float 0.0))) "budget" (Some 500.0)
+        budget_cycles;
+      Alcotest.(check int) "items" 2 (List.length items);
+      Alcotest.(check bool) "all well-formed" true
+        (List.for_all Result.is_ok items)
+  | Ok _ -> Alcotest.fail "expected a batch"
+  | Error e -> Alcotest.fail e.Protocol.message
+
+let test_decode_inline_sugar () =
+  match
+    Protocol.decode_frame ~max_batch:64
+      {|{"id":"y","op":"simulate","kernel":7}|}
+  with
+  | Ok (Protocol.Batch { items; _ }) ->
+      Alcotest.(check int) "one item" 1 (List.length items)
+  | _ -> Alcotest.fail "inline sugar must decode as a one-item batch"
+
+let test_decode_envelope_errors () =
+  let kind_of line =
+    match Protocol.decode_frame ~max_batch:2 line with
+    | Error e -> e.Protocol.kind
+    | Ok _ -> Alcotest.failf "%s: must be rejected" line
+  in
+  Alcotest.(check string) "no id" "bad-request"
+    (kind_of {|{"op":"simulate","kernel":7}|});
+  Alcotest.(check string) "non-string id" "bad-request"
+    (kind_of {|{"id":7,"op":"simulate","kernel":7}|});
+  Alcotest.(check string) "not json" "bad-frame" (kind_of "{nope");
+  Alcotest.(check string) "not an object" "bad-frame" (kind_of "[1,2]");
+  Alcotest.(check string) "oversized batch" "batch-too-large"
+    (kind_of
+       {|{"id":"x","batch":[{"op":"simulate","kernel":1},{"op":"simulate","kernel":2},{"op":"simulate","kernel":3}]}|})
+
+let test_decode_item_errors () =
+  (* item-level problems stay per-item: the envelope still decodes *)
+  match
+    Protocol.decode_frame ~max_batch:64
+      {|{"id":"x","batch":[{"op":"simulate","kernel":99},{"op":"simulate","kernel":7,"machine":"c240;banks=0"},{"op":"wat","kernel":7},{"op":"simulate","kernel":7}]}|}
+  with
+  | Ok (Protocol.Batch { items; _ }) ->
+      let kinds =
+        List.map
+          (function
+            | Ok _ -> "ok"
+            | Error (e : Protocol.perror) -> e.Protocol.kind)
+          items
+      in
+      Alcotest.(check (list string)) "per-item kinds"
+        [ "bad-request"; "parse-failure"; "bad-request"; "ok" ]
+        kinds
+  | _ -> Alcotest.fail "envelope must decode"
+
+let test_frame_key () =
+  let k = Session.frame_key ~id:"a" ~payload:"p" in
+  Alcotest.(check string) "deterministic" k
+    (Session.frame_key ~id:"a" ~payload:"p");
+  Alcotest.(check bool) "id matters" true
+    (k <> Session.frame_key ~id:"b" ~payload:"p");
+  Alcotest.(check bool) "payload matters" true
+    (k <> Session.frame_key ~id:"a" ~payload:"q");
+  (* the separator is unambiguous: ("ab","c") <> ("a","bc") *)
+  Alcotest.(check bool) "no concat collision" true
+    (Session.frame_key ~id:"ab" ~payload:"c"
+    <> Session.frame_key ~id:"a" ~payload:"bc")
+
+(* ---- Server ---- *)
+
+let create_ok config =
+  match Server.create config with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let reply_json server line = parse_ok (Server.handle_line server line)
+
+let get path j =
+  List.fold_left (fun acc f -> Option.bind acc (fun j -> Json.mem j f))
+    (Some j) path
+
+let get_str path j = Option.bind (get path j) Json.str
+
+let first_result j =
+  match Option.bind (Json.mem j "results") Json.arr with
+  | Some (r :: _) -> r
+  | _ -> Alcotest.fail "reply has no results"
+
+let test_server_simulate () =
+  let s = create_ok Server.default_config in
+  let j = reply_json s {|{"id":"a","op":"simulate","kernel":7}|} in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (Json.mem j "ok") Json.bool);
+  Alcotest.(check (option string)) "tier" (Some "full")
+    (get_str [ "tier" ] (first_result j));
+  Alcotest.(check bool) "cpl present" true
+    (get [ "cpl" ] (first_result j) <> None)
+
+let test_server_budget_degrades () =
+  let s = create_ok Server.default_config in
+  let j =
+    reply_json s {|{"id":"a","budget_cycles":100,"op":"simulate","kernel":7}|}
+  in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (Json.mem j "ok") Json.bool);
+  Alcotest.(check (option string)) "estimate tier" (Some "estimate")
+    (get_str [ "tier" ] (first_result j));
+  Alcotest.(check bool) "degraded diagnostic" true
+    (get_str [ "degraded" ] (first_result j) <> None);
+  Alcotest.(check int) "degraded counter" 1 (Server.stats s).Server.degraded
+
+let test_server_typed_errors () =
+  let s = create_ok { Server.default_config with Server.max_batch = 2 } in
+  let kind_of line =
+    match get_str [ "error"; "kind" ] (reply_json s line) with
+    | Some k -> k
+    | None -> Alcotest.failf "%s: no error kind" line
+  in
+  Alcotest.(check string) "bad frame" "bad-frame" (kind_of "}{");
+  Alcotest.(check string) "batch too large" "batch-too-large"
+    (kind_of
+       {|{"id":"x","batch":[{"op":"simulate","kernel":1},{"op":"simulate","kernel":2},{"op":"simulate","kernel":3}]}|});
+  (* item-level failure: envelope ok, per-item typed error *)
+  let j = reply_json s {|{"id":"y","op":"simulate","kernel":99}|} in
+  Alcotest.(check (option bool)) "envelope ok" (Some true)
+    (Option.bind (Json.mem j "ok") Json.bool);
+  Alcotest.(check (option string)) "item kind" (Some "bad-request")
+    (get_str [ "error"; "kind" ] (first_result j));
+  let j = reply_json s {|{"id":"z","op":"simulate","kernel":7,"machine":"no-such-preset"}|} in
+  Alcotest.(check (option string)) "unknown preset" (Some "parse-failure")
+    (get_str [ "error"; "kind" ] (first_result j))
+
+let test_server_control () =
+  let s = create_ok Server.default_config in
+  let j = reply_json s {|{"op":"ping"}|} in
+  Alcotest.(check (option bool)) "pong" (Some true)
+    (Option.bind (Json.mem j "ok") Json.bool);
+  let j = reply_json s {|{"id":"st","op":"stats"}|} in
+  Alcotest.(check bool) "stats body" true
+    (get [ "stats"; "server"; "frames" ] j <> None);
+  Alcotest.(check bool) "not yet stopping" false (Server.shutdown_requested s);
+  ignore (Server.handle_line s {|{"op":"shutdown"}|});
+  Alcotest.(check bool) "stopping" true (Server.shutdown_requested s)
+
+let frame_a = {|{"id":"a","batch":[{"op":"simulate","kernel":7},{"op":"hierarchy","kernel":3}]}|}
+
+let test_server_idempotent_retry () =
+  let dir = tmp_dir "retry" in
+  let config =
+    {
+      Server.default_config with
+      Server.session = Some (Filename.concat dir "s.journal");
+      cache_dir = Some (Filename.concat dir "cache");
+    }
+  in
+  let s = create_ok config in
+  let r1 = Server.handle_line s frame_a in
+  let r2 = Server.handle_line s frame_a in
+  Alcotest.(check string) "byte-identical retry" r1 r2;
+  Alcotest.(check int) "second was a replay" 1
+    (Server.stats s).Server.replayed_frames
+
+let test_server_session_resume () =
+  let dir = tmp_dir "resume" in
+  let path = Filename.concat dir "s.journal" in
+  let config = { Server.default_config with Server.session = Some path } in
+  let s1 = create_ok config in
+  let r1 = Server.handle_line s1 frame_a in
+  (* a new server on the same journal serves the same bytes, without
+     re-executing the items *)
+  let s2 = create_ok config in
+  let r2 = Server.handle_line s2 frame_a in
+  Alcotest.(check string) "resumed bytes" r1 r2;
+  Alcotest.(check int) "replayed" 1 (Server.stats s2).Server.replayed_frames;
+  Alcotest.(check int) "no items re-run" 0 (Server.stats s2).Server.items
+
+let test_server_session_torn_tail () =
+  let dir = tmp_dir "torn" in
+  let path = Filename.concat dir "s.journal" in
+  let config = { Server.default_config with Server.session = Some path } in
+  let s1 = create_ok config in
+  let r1 = Server.handle_line s1 frame_a in
+  (* the previous server died holding a torn final line *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "item\tkey=deadbeef\tindex=0\tdata=truncat";
+  close_out oc;
+  let s2 = create_ok config in
+  Alcotest.(check string) "repaired and replayed" r1
+    (Server.handle_line s2 frame_a)
+
+let test_server_refuses_foreign_journal () =
+  let dir = tmp_dir "foreign" in
+  let path = Filename.concat dir "s.journal" in
+  let oc = open_out_bin path in
+  output_string oc "important data, definitely not a session journal\n";
+  close_out oc;
+  (match
+     Server.create { Server.default_config with Server.session = Some path }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a foreign file must never be clobbered");
+  let ic = open_in_bin path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "file untouched"
+    "important data, definitely not a session journal" line
+
+let test_serve_loop_oversize () =
+  (* drive the full loop over pipes: a line longer than max_frame_bytes
+     is discarded incrementally and answered with a typed error, and the
+     frames around it still get their replies.  The oversize reply is
+     written out-of-band by the reader domain the moment the junk is
+     drained ("answer now, buffer nothing"), so it may interleave
+     anywhere; only the queued replies are ordered relative to each
+     other. *)
+  let r1, w1 = Unix.pipe () and r2, w2 = Unix.pipe () in
+  let server_ic = Unix.in_channel_of_descr r1
+  and server_oc = Unix.out_channel_of_descr w2
+  and client_oc = Unix.out_channel_of_descr w1
+  and client_ic = Unix.in_channel_of_descr r2 in
+  let server =
+    create_ok { Server.default_config with Server.max_frame_bytes = 256 }
+  in
+  let worker = Domain.spawn (fun () -> Server.serve server server_ic server_oc) in
+  output_string client_oc "{\"op\":\"ping\"}\n";
+  output_string client_oc
+    ("{\"id\":\"big\",\"pad\":\"" ^ String.make 400 'a' ^ "\"}\n");
+  output_string client_oc "{\"op\":\"shutdown\"}\n";
+  (* EOF unblocks the reader domain once it has drained the frames *)
+  close_out client_oc;
+  let lines = [ input_line client_ic; input_line client_ic; input_line client_ic ] in
+  Domain.join worker;
+  close_in client_ic;
+  let is_oversize l =
+    get_str [ "error"; "kind" ] (parse_ok l) = Some "frame-too-large"
+  in
+  let oversize, in_band = List.partition is_oversize lines in
+  Alcotest.(check int) "one oversize reply" 1 (List.length oversize);
+  match in_band with
+  | [ ping; shutdown ] ->
+      Alcotest.(check (option bool)) "ping ok" (Some true)
+        (Option.bind (Json.mem (parse_ok ping) "ok") Json.bool);
+      Alcotest.(check (option bool)) "shutdown ok" (Some true)
+        (Option.bind (Json.mem (parse_ok shutdown) "ok") Json.bool)
+  | _ -> Alcotest.fail "expected exactly two in-band replies"
+
+let test_fuzz_rung () =
+  let config =
+    { Server.default_config with Server.default_budget_cycles = Some 20_000.0 }
+  in
+  match Serve_fuzz.run ~seed:7 ~count:20 ~config () with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "fuzz violation on case %d: %s (input %s)"
+        v.Serve_fuzz.case v.Serve_fuzz.problem v.Serve_fuzz.input
+
+let () =
+  ignore json;
+  Alcotest.run "convex_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode" `Quick test_json_unicode;
+          Alcotest.test_case "hostile inputs" `Quick test_json_hostile;
+          Alcotest.test_case "depth cap" `Quick test_json_depth_cap;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "float rendering" `Quick
+            test_json_float_rendering;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "batch decode" `Quick test_decode_batch;
+          Alcotest.test_case "inline sugar" `Quick test_decode_inline_sugar;
+          Alcotest.test_case "envelope errors" `Quick
+            test_decode_envelope_errors;
+          Alcotest.test_case "item errors" `Quick test_decode_item_errors;
+          Alcotest.test_case "frame key" `Quick test_frame_key;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "simulate" `Quick test_server_simulate;
+          Alcotest.test_case "budget degrades" `Quick
+            test_server_budget_degrades;
+          Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
+          Alcotest.test_case "control frames" `Quick test_server_control;
+          Alcotest.test_case "idempotent retry" `Quick
+            test_server_idempotent_retry;
+          Alcotest.test_case "session resume" `Quick
+            test_server_session_resume;
+          Alcotest.test_case "torn tail repair" `Quick
+            test_server_session_torn_tail;
+          Alcotest.test_case "foreign journal refused" `Quick
+            test_server_refuses_foreign_journal;
+          Alcotest.test_case "serve loop oversize" `Quick
+            test_serve_loop_oversize;
+        ] );
+      ("fuzz", [ Alcotest.test_case "protocol rung" `Quick test_fuzz_rung ]);
+    ]

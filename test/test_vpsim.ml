@@ -462,6 +462,40 @@ let test_fidelity_lfk () =
         fidelity_plans)
     (Macs_report.Suite.kernels ())
 
+let test_fidelity_remainder_strips () =
+  (* LFK2 and LFK6 under short machine vector lengths: strip-mining
+     leaves remainder strips of every awkward count, and the fast path's
+     stream admission must stay bit-identical to the cycle stepper for
+     each of them — healthy and across transient fault windows *)
+  List.iter
+    (fun id ->
+      let k = Lfk.Kernels.find id in
+      let c = Fcc.Compiler.compile ~opt:Fcc.Opt_level.v61 k in
+      let layout = Macs.Hierarchy.layout_of c in
+      List.iter
+        (fun vl ->
+          let machine =
+            match
+              Convex_dsl.Machine_dsl.parse (Printf.sprintf "c240;vl=%d" vl)
+            with
+            | Ok m -> m
+            | Error e -> Alcotest.fail (Macs_util.Macs_error.to_string e)
+          in
+          List.iter
+            (fun (pname, spec) ->
+              check_equiv ~machine ~layout ~faults:(plan spec)
+                ~guard:Macs_report.Suite.faulted_guard
+                (Printf.sprintf "%s/vl=%d/%s" k.name vl pname)
+                c.Fcc.Compiler.job)
+            [
+              ("healthy", "none");
+              ("transient-banks",
+               "degrade-bank=0*4;degrade-bank=1*4;window=200-600");
+              ("transient-jitter", "jitter=12;port-spike=16/400;window=100-500");
+            ])
+        [ 3; 7; 36; 100 ])
+    [ 2; 6 ]
+
 let test_fidelity_window_splits_chime () =
   (* a transient window opening and closing in the middle of a single
      chime: the fast path must refuse the overlapping stream, cycle-step
@@ -619,6 +653,8 @@ let () =
         [
           Alcotest.test_case "all LFK kernels, all plans" `Quick
             test_fidelity_lfk;
+          Alcotest.test_case "LFK2/6 remainder strips" `Quick
+            test_fidelity_remainder_strips;
           Alcotest.test_case "window splits a chime" `Quick
             test_fidelity_window_splits_chime;
           Alcotest.test_case "strided + indexed fall back" `Quick
