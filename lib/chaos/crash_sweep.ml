@@ -20,6 +20,7 @@ module Corpus = Convex_fuzz.Corpus
 module Supervisor = Convex_harness.Supervisor
 module Budget = Convex_harness.Budget
 module Serve = Convex_serve.Server
+module Net_sup = Convex_serve.Supervisor
 
 (* ---- scenarios ---- *)
 
@@ -446,6 +447,70 @@ let scenario_serve () =
   in
   { name = "serve"; prepare }
 
+(* Like [scenario_serve], but the frames travel through the connection
+   supervisor over a real (socketpair) connection: deadline reads, the
+   reply sequencer, and the per-connection close path all sit between
+   the wire and [handle_line], and the drive ends with the graceful-
+   drain journal compaction — so the sweep also arms the crash points
+   inside {!Macs_util.Journal.write_atomic}'s two-phase publish.  A
+   crash mid-compaction must leave either the old append-ordered
+   journal or the new canonical one, never a torn file; recovery
+   replays every frame from whichever survived and re-compacts, and
+   the artifacts must come out byte-identical to an uninterrupted
+   run's. *)
+let scenario_serve_net () =
+  let prepare ~dir =
+    let session = Filename.concat dir "net-session.journal" in
+    let replies = Filename.concat dir "net-replies.out" in
+    let drive () =
+      let config =
+        {
+          Serve.default_config with
+          Serve.jobs = 1 (* in-order items: byte-identical journals *);
+          session = Some session;
+        }
+      in
+      match Serve.create config with
+      | Error why -> failwith ("serve-net: " ^ why)
+      | Ok server ->
+          let sup = Net_sup.create server in
+          let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () ->
+              (* the whole workload fits the socket buffer, so a single
+                 thread can stage it, serve it, then read it back *)
+              List.iter
+                (fun frame ->
+                  let line = frame ^ "\n" in
+                  ignore
+                    (Unix.write_substring client line 0 (String.length line)
+                      : int))
+                serve_frames;
+              Unix.shutdown client Unix.SHUTDOWN_SEND;
+              ignore (Net_sup.handle_connection sup srv : Net_sup.report);
+              let oc = open_out_bin replies in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  let buf = Bytes.create 4096 in
+                  let rec copy () =
+                    match Unix.read client buf 0 4096 with
+                    | 0 -> ()
+                    | n ->
+                        output_bytes oc (Bytes.sub buf 0 n);
+                        copy ()
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> copy ()
+                  in
+                  copy ());
+              (* graceful-drain epilogue: canonical journal compaction *)
+              Serve.finish server)
+    in
+    { run = drive; recover = drive; artifacts = [ session; replies ] }
+  in
+  { name = "serve-net"; prepare }
+
 let scenarios ?cells ?count ?entries () =
   [
     scenario_exec_shards ?cells ();
@@ -453,6 +518,7 @@ let scenarios ?cells ?count ?entries () =
     scenario_chaos ?cells ();
     scenario_fuzz ?count ();
     scenario_serve ();
+    scenario_serve_net ();
   ]
 
 let scenario_of_name ?cells ?count ?entries name =
@@ -462,6 +528,7 @@ let scenario_of_name ?cells ?count ?entries name =
   | "chaos" -> Some (scenario_chaos ?cells ())
   | "fuzz-warm" -> Some (scenario_fuzz ?count ())
   | "serve" -> Some (scenario_serve ())
+  | "serve-net" -> Some (scenario_serve_net ())
   | "suite" -> Some (scenario_suite ())
   | _ -> None
 

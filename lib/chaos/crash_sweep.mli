@@ -92,10 +92,20 @@ val scenario_serve : unit -> scenario
     re-executing.  Artifacts: the session journal and the reply log,
     both byte-identical to an uninterrupted session. *)
 
+val scenario_serve_net : unit -> scenario
+(** [scenario_serve] pushed through the wire: the same frames travel a
+    real (socketpair) connection under the
+    {!Convex_serve.Supervisor}, so deadline reads, the reply
+    sequencer, and the connection close path sit between the crash
+    points and the client — and the drive ends with the graceful-drain
+    journal compaction, arming {!Macs_util.Journal.write_atomic}'s
+    two-phase publish.  A crash mid-compaction must leave the old
+    journal or the new one, never a torn file. *)
+
 val scenarios :
   ?cells:int -> ?count:int -> ?entries:int -> unit -> scenario list
-(** The default sweep set: exec-shards, corpus, chaos, fuzz-warm, serve
-    (the suite scenario is opt-in by name). *)
+(** The default sweep set: exec-shards, corpus, chaos, fuzz-warm, serve,
+    serve-net (the suite scenario is opt-in by name). *)
 
 val scenario_of_name :
   ?cells:int -> ?count:int -> ?entries:int -> string -> scenario option

@@ -1,0 +1,57 @@
+(** The network chaos rung: scripted hostile and healthy clients storm
+    an in-process supervised TCP server, and three SLOs are checked:
+
+    - {b no-crash / no-hang}: the storm, a post-storm liveness probe,
+      and graceful drain all complete within the rung's wall deadline;
+    - {b healthy clients unaffected}: every healthy-client reply (and
+      every duplicate-retry reply) during the storm is byte-identical
+      to a solo run's reply for the same frame;
+    - {b journal identity}: after drain the storm session journal is
+      byte-identical to the solo journal, and a server restarted on it
+      replays every frame byte-for-byte without growing it.
+
+    Hostile cast per storm: two mid-frame disconnectors, a slow-loris
+    trickler (must be frame-deadline-timed-out), a garbage-byte flooder
+    (must strike out), a duplicate-retry client, and a
+    kill-mid-reply client (EPIPE containment).  A fifth phase checks
+    the typed [overloaded] envelope at accept and the typed
+    [throttled] envelope under a frame-rate burst. *)
+
+type violation = { slo : string; detail : string }
+
+type summary = {
+  log : string list;  (** chronological narrative *)
+  violations : violation list;  (** empty = all SLOs held *)
+  counters : Supervisor.counters;  (** storm-phase supervisor counters *)
+}
+
+val run : ?seed:int -> ?frames:int -> dir:string -> unit -> summary
+(** Run the whole rung in-process under [dir] (session journals are
+    created there).  [frames] (default 6) healthy frames form the
+    workload; [seed] is reserved for script shuffling.  Never raises on
+    SLO failure — read [violations]. *)
+
+(** {2 Scripted clients}
+
+    The storm's cast, exposed so [macs_serve blast] can aim them at an
+    {e external} server process (the CI smoke uses this to storm a
+    server it then kill -9s and restarts). *)
+
+val frames_of : int -> string list
+(** The deterministic healthy workload: [n] validate frames with
+    stable ids, so two blasts of the same [n] are byte-identical. *)
+
+val exchange : port:int -> string list -> (string, string) result list
+(** Lock-step healthy client: send each line, await each reply. *)
+
+val midframe_killer : port:int -> unit
+(** Connect, send half a frame, vanish. *)
+
+val slow_loris : port:int -> bytes:int -> tick_s:float -> unit
+(** Trickle one byte per [tick_s] until the server cuts us off. *)
+
+val garbage_flooder : port:int -> lines:int -> unit
+(** Flood non-JSON lines, then read typed rejections until hung up. *)
+
+val kill_mid_reply : port:int -> string -> unit
+(** Send one complete frame and close before reading the reply. *)

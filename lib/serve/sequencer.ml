@@ -1,0 +1,67 @@
+(* Reply reorder buffer: frames carry an arrival sequence number, and
+   replies computed out of order (pipelined batches at [jobs > 1]) are
+   held until every earlier sequence number has been written, so the
+   wire keeps the one-reply-per-frame-in-arrival-order contract no
+   matter how the work was scheduled.  The writer callback runs under
+   the sequencer's lock — submissions serialize through it — and its
+   first failure latches: later replies are dropped silently (the peer
+   is gone; the work they represent is already journaled). *)
+
+type 'e t = {
+  write : string -> (unit, 'e) result;
+  mutex : Mutex.t;
+  pending : (int, string) Hashtbl.t;
+  mutable next : int;  (* lowest sequence number not yet written *)
+  mutable failed : 'e option;  (* first write failure, latched *)
+  mutable written : int;
+}
+
+let create ~write =
+  {
+    write;
+    mutex = Mutex.create ();
+    pending = Hashtbl.create 8;
+    next = 0;
+    failed = None;
+    written = 0;
+  }
+
+let rec flush t =
+  match Hashtbl.find_opt t.pending t.next with
+  | None -> ()
+  | Some line ->
+      Hashtbl.remove t.pending t.next;
+      t.next <- t.next + 1;
+      (match t.failed with
+      | Some _ -> ()  (* peer gone: drop, but keep sequencing *)
+      | None -> (
+          match t.write line with
+          | Ok () -> t.written <- t.written + 1
+          | Error e -> t.failed <- Some e));
+      flush t
+
+let submit t ~seq line =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.replace t.pending seq line;
+      flush t)
+
+let failure t =
+  Mutex.lock t.mutex;
+  let f = t.failed in
+  Mutex.unlock t.mutex;
+  f
+
+let written t =
+  Mutex.lock t.mutex;
+  let n = t.written in
+  Mutex.unlock t.mutex;
+  n
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.pending in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,28 @@
+(** Reply reorder buffer for pipelined frames.
+
+    Frames are numbered by arrival ([0, 1, 2, ...]); replies may be
+    {!submit}ted in any order and are written strictly in sequence —
+    a reply for frame [n] waits until frames [0 .. n-1] have been
+    written.  The first write failure latches: subsequent replies are
+    sequenced but dropped (the peer is gone), so a dead client never
+    blocks the pipeline that is still journaling its frames. *)
+
+type 'e t
+
+val create : write:(string -> (unit, 'e) result) -> 'e t
+(** [write] runs under the sequencer's lock; keep it bounded (it is in
+    practice: {!Conn_io.write_line} with a deadline). *)
+
+val submit : 'e t -> seq:int -> string -> unit
+(** Hand over the reply for frame [seq].  Every sequence number must be
+    submitted exactly once, with no gaps, or later replies wait
+    forever. *)
+
+val failure : 'e t -> 'e option
+(** The latched first write failure, if any. *)
+
+val written : 'e t -> int
+(** Replies actually written to the peer. *)
+
+val pending : 'e t -> int
+(** Replies held waiting for an earlier sequence number. *)

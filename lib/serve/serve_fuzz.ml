@@ -252,6 +252,207 @@ let run_case server ~case input =
   | exception exn -> note ("post-case ping raised " ^ Printexc.to_string exn));
   !problems
 
+(* ---- connection-level rung ----
+
+   The line rung above drives [Server.handle_line] directly; this one
+   pushes scripted byte streams through a real (socketpair) connection
+   under the {!Supervisor}, so framing, deadlines, the strikes counter,
+   and the close path are all in the loop.  Scripts mix whole frames,
+   interleaved duplicate keys, an oversized line followed by a valid
+   frame, garbage lines, and an optional torn tail (partial frame, then
+   disconnect). *)
+
+type conn_action =
+  | Whole of string  (* one complete frame line *)
+  | Dup  (* resend the most recent non-control frame *)
+  | Oversized_then of string  (* a line past the cap, then a valid frame *)
+  | Garbage of string
+
+let conn_script_gen =
+  let open G in
+  let* actions =
+    list_size (int_range 1 6)
+      (frequency
+         [
+           (4, map (fun f -> Whole f) frame_gen);
+           (1, pure Dup);
+           (1, map (fun f -> Oversized_then f) frame_gen);
+           (1, map (fun g -> Garbage g) pathological_gen);
+         ])
+  in
+  let* torn =
+    frequency [ (2, pure None); (1, map (fun f -> Some f) frame_gen) ]
+  in
+  pure (actions, torn)
+
+let is_control_line line =
+  match Protocol.decode_frame ~max_batch:max_int line with
+  | Ok (Protocol.Control _) -> true
+  | _ -> false
+
+(* Flatten a script into the byte stream to send, the list of complete
+   lines in arrival order, and the (original, dup) reply-index pairs
+   whose replies must be byte-identical. *)
+let render_script ~oversize (actions, torn) =
+  let buf = Buffer.create 512 in
+  let lines = ref [] in
+  let dups = ref [] in
+  let push line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n';
+    lines := line :: !lines
+  in
+  let last_dupable () =
+    (* most recent complete frame that replays deterministically *)
+    List.find_opt (fun l -> not (is_control_line l)) !lines
+  in
+  List.iter
+    (fun action ->
+      match action with
+      | Whole f -> push f
+      | Dup -> (
+          match last_dupable () with
+          | None -> ()
+          | Some f ->
+              let original =
+                (* arrival index of the line being duplicated *)
+                let rec find i = function
+                  | [] -> assert false
+                  | l :: _ when l == f -> i
+                  | _ :: rest -> find (i - 1) rest
+                in
+                find (List.length !lines - 1) !lines
+              in
+              push f;
+              dups := (original, List.length !lines - 1) :: !dups)
+      | Oversized_then f ->
+          push (String.make oversize 'x');
+          push f
+      | Garbage g -> push g)
+    actions;
+  let torn_bytes =
+    match torn with
+    | None -> 0
+    | Some f ->
+        let half = String.length f / 2 in
+        Buffer.add_string buf (String.sub f 0 half);
+        half
+  in
+  (Buffer.contents buf, List.rev !lines, List.rev !dups, torn_bytes)
+
+let run_conn_case server ~case script =
+  let input =
+    (* the whole byte stream, for violation reports *)
+    let bytes, _, _, _ = render_script ~oversize:64 script in
+    bytes
+  in
+  let problems = ref [] in
+  let note p = problems := { case; input; problem = p } :: !problems in
+  let oversize = Server.max_frame_bytes_of server + 64 in
+  let bytes, sent_lines, dups, torn_bytes =
+    render_script ~oversize script
+  in
+  let sup = Supervisor.create server in
+  let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let report = ref None in
+  let failure = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        match Supervisor.handle_connection sup srv with
+        | r -> report := Some r
+        | exception exn -> failure := Some exn)
+      ()
+  in
+  (* write while the server consumes, so streams past the socket buffer
+     cannot deadlock the single client thread *)
+  let total = String.length bytes in
+  let rec send off =
+    if off < total then
+      match Unix.write_substring client bytes off (total - off) with
+      | n -> send (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          note "server hung up on a live script"
+  in
+  send 0;
+  (try Unix.shutdown client Unix.SHUTDOWN_SEND
+   with Unix.Unix_error _ -> ());
+  let reply_buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec recv () =
+    match Unix.read client chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes reply_buf chunk 0 n;
+        recv ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  recv ();
+  Thread.join th;
+  (try Unix.close client with Unix.Unix_error _ -> ());
+  (match !failure with
+  | Some exn -> note ("handle_connection raised " ^ Printexc.to_string exn)
+  | None -> ());
+  let replies =
+    Buffer.contents reply_buf |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  List.iteri
+    (fun i reply ->
+      match check_reply ~input:(Printf.sprintf "reply %d" i) reply with
+      | Some p -> note p
+      | None -> ())
+    replies;
+  (* one reply per complete line, in arrival order *)
+  if List.length replies <> List.length sent_lines then
+    note
+      (Printf.sprintf "%d complete lines sent but %d replies"
+         (List.length sent_lines) (List.length replies));
+  (* interleaved duplicate keys: byte-identical replies *)
+  let reply_at i = List.nth_opt replies i in
+  List.iter
+    (fun (original, dup) ->
+      match (reply_at original, reply_at dup) with
+      | Some a, Some b when a <> b ->
+          note
+            (Printf.sprintf
+               "duplicate frame got a different reply: %S then %S" a b)
+      | _ -> ())
+    dups;
+  (match !report with
+  | None -> ()
+  | Some r -> (
+      let open Supervisor in
+      match r.outcome with
+      | Closed when torn_bytes = 0 -> ()
+      | Hung_up _ when torn_bytes > 0 -> ()
+      | outcome ->
+          note
+            (Printf.sprintf "unexpected outcome %s (torn tail: %d bytes)"
+               (outcome_name outcome) torn_bytes)));
+  (* the server itself must still be alive for the next connection *)
+  (match Server.handle_line server "{\"op\":\"ping\"}" with
+  | reply ->
+      if Json.parse reply |> Result.is_error then
+        note ("post-case ping got a non-JSON reply: " ^ reply)
+  | exception exn -> note ("post-case ping raised " ^ Printexc.to_string exn));
+  !problems
+
+let run_conn ?(seed = 0) ?(count = 50) ~config () =
+  match Server.create config with
+  | Error why ->
+      [ { case = -1; input = ""; problem = "server creation failed: " ^ why } ]
+  | Ok server ->
+      let violations = ref [] in
+      for i = 0 to count - 1 do
+        let rand = Random.State.make [| seed; 0x10000 + i |] in
+        let script = G.generate1 ~rand conn_script_gen in
+        violations := run_conn_case server ~case:i script @ !violations
+      done;
+      List.rev !violations
+
 let run ?(seed = 0) ?(count = 100) ~config () =
   match Server.create config with
   | Error why ->

@@ -34,3 +34,18 @@ val run :
   ?seed:int -> ?count:int -> config:Server.config -> unit -> violation list
 (** Run [count] well-formed and [count] mangled cases (default 100 each)
     against a fresh server; empty list = contract holds. *)
+
+val run_conn :
+  ?seed:int -> ?count:int -> config:Server.config -> unit -> violation list
+(** The connection-level rung: [count] (default 50) scripted byte
+    streams pushed through a real socketpair connection under the
+    {!Supervisor}, so framing, deadlines, the strikes counter, and the
+    close path are all in the loop.  Scripts mix whole frames,
+    interleaved duplicate keys (whose replies must be byte-identical),
+    an oversized line followed by a valid frame (the valid frame must
+    still be answered), garbage lines, and an optional torn tail
+    (partial frame, then disconnect).  Per script: [handle_connection]
+    must not raise, every complete line must draw exactly one typed
+    reply in arrival order, the report outcome must match the script's
+    shape ([Closed] for clean EOF, [Hung_up] for a torn tail), and the
+    server must still answer a [ping] afterwards. *)

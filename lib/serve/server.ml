@@ -27,9 +27,18 @@ type stats = {
   rejected : int;
   shed : int;
   replayed_frames : int;
+  coalesced : int;
   items : int;
   replayed_items : int;
   degraded : int;
+}
+
+(* A frame being computed right now: concurrent arrivals of the same
+   frame key park on the condition and share the owner's reply (or its
+   exception) instead of computing — and journaling — twice. *)
+type flight = {
+  cond : Condition.t;
+  mutable result : (string, exn) result option;
 }
 
 type t = {
@@ -39,6 +48,11 @@ type t = {
   mutex : Mutex.t;  (** guards the counters *)
   mutable counters : stats;
   mutable stop : bool;
+  flight_mutex : Mutex.t;  (** guards [flights] *)
+  flights : (string, flight) Hashtbl.t;
+  drain_deadline : (float * float) option Atomic.t;
+      (** (absolute wall deadline, drain_ms) once draining *)
+  mutable stats_extra : (unit -> (string * Json.t) list) option;
 }
 
 let create (config : config) =
@@ -64,11 +78,16 @@ let create (config : config) =
               rejected = 0;
               shed = 0;
               replayed_frames = 0;
+              coalesced = 0;
               items = 0;
               replayed_items = 0;
               degraded = 0;
             };
           stop = false;
+          flight_mutex = Mutex.create ();
+          flights = Hashtbl.create 16;
+          drain_deadline = Atomic.make None;
+          stats_extra = None;
         }
 
 let bump t f =
@@ -83,6 +102,21 @@ let stats t =
   s
 
 let shutdown_requested t = t.stop
+let request_shutdown t = t.stop <- true
+let max_frame_bytes_of t = t.config.max_frame_bytes
+
+let drain t ~within_ms =
+  let within_ms = Float.max 0.0 within_ms in
+  Atomic.set t.drain_deadline
+    (Some (Unix.gettimeofday () +. (within_ms /. 1000.0), within_ms));
+  t.stop <- true
+
+let draining t = Atomic.get t.drain_deadline <> None
+
+let set_stats_extra t f = t.stats_extra <- Some f
+
+let finish t =
+  match t.session with None -> () | Some s -> Session.compact s
 
 let stats_json t =
   let s = stats t in
@@ -95,6 +129,7 @@ let stats_json t =
         ("rejected", int s.rejected);
         ("shed", int s.shed);
         ("replayed_frames", int s.replayed_frames);
+        ("coalesced", int s.coalesced);
         ("items", int s.items);
         ("replayed_items", int s.replayed_items);
         ("degraded", int s.degraded);
@@ -116,7 +151,8 @@ let stats_json t =
               ] );
         ]
   in
-  Json.Obj (("server", server) :: cache)
+  let extra = match t.stats_extra with None -> [] | Some f -> f () in
+  Json.Obj ((("server", server) :: cache) @ extra)
 
 (* ------------------------------------------------------------------ *)
 
@@ -132,7 +168,11 @@ let cache_key frame_key =
   Convex_cache.Cache.key ~kind:"serve-reply" [ ("frame", frame_key) ]
 
 (* One watchdog per frame, shared by every item in the batch: the
-   deadline bounds the request, not each item. *)
+   deadline bounds the request, not each item.  While draining, the
+   drain deadline rides along as a second wall-clock cap polled live —
+   batches in flight when SIGTERM lands degrade to estimate-tier
+   answers the moment the drain window closes, exactly like budget
+   expiry. *)
 let watchdog_of t ~deadline_ms ~budget_cycles =
   let first a b = match a with Some _ -> a | None -> b in
   let ms = first deadline_ms t.config.default_deadline_ms in
@@ -143,7 +183,27 @@ let watchdog_of t ~deadline_ms ~budget_cycles =
       ?max_wall_s:(Option.map (fun m -> m /. 1000.0) ms)
       ()
   in
-  Convex_harness.Budget.watchdog ~site:"macs_serve" budget
+  let base = Convex_harness.Budget.watchdog ~site:"macs_serve" budget in
+  let drain_check ~cycle:_ =
+    match Atomic.get t.drain_deadline with
+    | Some (deadline, drain_ms) ->
+        let now = Unix.gettimeofday () in
+        if now > deadline then
+          Some
+            (Macs_util.Macs_error.budget_exceeded ~site:"macs_serve.drain"
+               ~resource:"drain wall-clock ms" ~budget:drain_ms
+               ~spent:(drain_ms +. ((now -. deadline) *. 1000.0)))
+        else None
+    | None -> None
+  in
+  match base with
+  | None -> Some drain_check
+  | Some base ->
+      Some
+        (fun ~cycle ->
+          match base ~cycle with
+          | Some e -> Some e
+          | None -> drain_check ~cycle)
 
 let reply_of_results ~id item_lines =
   let results =
@@ -177,110 +237,155 @@ let is_degraded line =
   | Ok j -> Option.bind (Json.mem j "tier") Json.str = Some "estimate"
   | Error _ -> false
 
+let compute_batch t ~key ~id ~deadline_ms ~budget_cycles ~items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let watchdog = watchdog_of t ~deadline_ms ~budget_cycles in
+  let already i =
+    match t.session with
+    | None -> None
+    | Some s ->
+        Option.map
+          (fun line -> Convex_exec.Executor.Done line)
+          (Session.lookup_item s ~key ~index:i)
+  in
+  let replayed_before =
+    match t.session with
+    | Some s -> Session.items_done s ~key
+    | None -> 0
+  in
+  let eval i =
+    let line = Json.to_string (Engine.eval_item ?watchdog items.(i)) in
+    (match t.session with
+    | Some s -> Session.record_item s ~key ~index:i line
+    | None -> ());
+    line
+  in
+  let outcomes, _stats =
+    if n = 0 then ([||], None)
+    else
+      let o, st =
+        Convex_exec.Executor.run
+          ~jobs:(min t.config.jobs (max 1 n))
+          ~already ~cells:n eval
+      in
+      (o, Some st)
+  in
+  let item_lines =
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Convex_exec.Executor.Done line) -> line
+           | Some (Convex_exec.Executor.Poisoned p) ->
+               Json.to_string
+                 (Json.Obj
+                    [
+                      ("ok", Json.Bool false);
+                      ( "error",
+                        Protocol.error_json
+                          (Protocol.perror ~site:"Executor"
+                             ~kind:"internal" p.Convex_exec.Executor.error)
+                      );
+                    ])
+           | None ->
+               Json.to_string
+                 (Json.Obj
+                    [
+                      ("ok", Json.Bool false);
+                      ( "error",
+                        Protocol.error_json
+                          (Protocol.perror ~site:"Executor"
+                             ~kind:"internal" "cell never ran") );
+                    ]))
+         outcomes)
+  in
+  let reply = reply_of_results ~id item_lines in
+  (match t.session with
+  | Some s -> Session.record_frame s ~key ~id reply
+  | None -> ());
+  (match t.cache with
+  | Some c -> Convex_cache.Cache.store c ~key:(cache_key key) reply
+  | None -> ());
+  let degraded = List.length (List.filter is_degraded item_lines) in
+  bump t (fun c ->
+      {
+        c with
+        frames = c.frames + 1;
+        items = c.items + n;
+        replayed_items = c.replayed_items + replayed_before;
+        degraded = c.degraded + degraded;
+      });
+  reply
+
 let serve_batch t ~raw ~id ~deadline_ms ~budget_cycles ~items =
   let key = Session.frame_key ~id ~payload:raw in
-  let journaled_frame =
-    match t.session with
-    | Some s -> Session.lookup_frame s ~key
-    | None -> None
-  in
-  match journaled_frame with
-  | Some reply ->
-      bump t (fun c ->
-          { c with frames = c.frames + 1; replayed_frames = c.replayed_frames + 1 });
-      reply
-  | None -> (
-      match
+  let replay () =
+    match
+      Option.bind t.session (fun s -> Session.lookup_frame s ~key)
+    with
+    | Some _ as hit -> hit
+    | None ->
         Option.bind t.cache (fun c ->
             Convex_cache.Cache.find c ~key:(cache_key key))
-      with
-      | Some reply ->
+  in
+  let replayed reply =
+    bump t (fun c ->
+        {
+          c with
+          frames = c.frames + 1;
+          replayed_frames = c.replayed_frames + 1;
+        });
+    reply
+  in
+  match replay () with
+  | Some reply -> replayed reply
+  | None -> (
+      (* single flight: exactly one computation (and one journal append,
+         one cache store) per frame key, however many connections the
+         same retry lands on simultaneously *)
+      Mutex.lock t.flight_mutex;
+      match Hashtbl.find_opt t.flights key with
+      | Some f ->
+          while f.result = None do
+            Condition.wait f.cond t.flight_mutex
+          done;
+          let r = Option.get f.result in
+          Mutex.unlock t.flight_mutex;
           bump t (fun c ->
               {
                 c with
                 frames = c.frames + 1;
                 replayed_frames = c.replayed_frames + 1;
+                coalesced = c.coalesced + 1;
               });
-          reply
+          (match r with Ok reply -> reply | Error exn -> raise exn)
       | None ->
-          let items = Array.of_list items in
-          let n = Array.length items in
-          let watchdog = watchdog_of t ~deadline_ms ~budget_cycles in
-          let already i =
-            match t.session with
-            | None -> None
-            | Some s ->
-                Option.map
-                  (fun line -> Convex_exec.Executor.Done line)
-                  (Session.lookup_item s ~key ~index:i)
+          let f = { cond = Condition.create (); result = None } in
+          Hashtbl.replace t.flights key f;
+          Mutex.unlock t.flight_mutex;
+          let publish r =
+            Mutex.lock t.flight_mutex;
+            f.result <- Some r;
+            Hashtbl.remove t.flights key;
+            Condition.broadcast f.cond;
+            Mutex.unlock t.flight_mutex
           in
-          let replayed_before =
-            match t.session with
-            | Some s -> Session.items_done s ~key
-            | None -> 0
-          in
-          let eval i =
-            let line = Json.to_string (Engine.eval_item ?watchdog items.(i)) in
-            (match t.session with
-            | Some s -> Session.record_item s ~key ~index:i line
-            | None -> ());
-            line
-          in
-          let outcomes, _stats =
-            if n = 0 then ([||], None)
-            else
-              let o, st =
-                Convex_exec.Executor.run
-                  ~jobs:(min t.config.jobs (max 1 n))
-                  ~already ~cells:n eval
-              in
-              (o, Some st)
-          in
-          let item_lines =
-            Array.to_list
-              (Array.map
-                 (function
-                   | Some (Convex_exec.Executor.Done line) -> line
-                   | Some (Convex_exec.Executor.Poisoned p) ->
-                       Json.to_string
-                         (Json.Obj
-                            [
-                              ("ok", Json.Bool false);
-                              ( "error",
-                                Protocol.error_json
-                                  (Protocol.perror ~site:"Executor"
-                                     ~kind:"internal" p.Convex_exec.Executor.error)
-                              );
-                            ])
-                   | None ->
-                       Json.to_string
-                         (Json.Obj
-                            [
-                              ("ok", Json.Bool false);
-                              ( "error",
-                                Protocol.error_json
-                                  (Protocol.perror ~site:"Executor"
-                                     ~kind:"internal" "cell never ran") );
-                            ]))
-                 outcomes)
-          in
-          let reply = reply_of_results ~id item_lines in
-          (match t.session with
-          | Some s -> Session.record_frame s ~key ~id reply
-          | None -> ());
-          (match t.cache with
-          | Some c -> Convex_cache.Cache.store c ~key:(cache_key key) reply
-          | None -> ());
-          let degraded = List.length (List.filter is_degraded item_lines) in
-          bump t (fun c ->
-              {
-                c with
-                frames = c.frames + 1;
-                items = c.items + n;
-                replayed_items = c.replayed_items + replayed_before;
-                degraded = c.degraded + degraded;
-              });
-          reply)
+          (* double-check now that we own the flight: a twin may have
+             journaled the frame between our miss and our claim *)
+          (match replay () with
+          | Some reply ->
+              publish (Ok reply);
+              replayed reply
+          | None -> (
+              match
+                compute_batch t ~key ~id ~deadline_ms ~budget_cycles ~items
+              with
+              | reply ->
+                  publish (Ok reply);
+                  reply
+              | exception exn ->
+                  publish (Error exn);
+                  raise exn)))
 
 let control_reply t ~id control =
   bump t (fun c -> { c with control = c.control + 1 });
@@ -355,11 +460,24 @@ let serve t ic oc =
   let nonempty = Condition.create () in
   let eof = ref false in
   let out_mutex = Mutex.create () in
+  (* EPIPE posture: a peer that closes its read end mid-reply (SIGPIPE
+     is ignored process-wide, so the write raises Sys_error) gets a
+     stderr diagnostic, the output latches dead, and the loop winds
+     down — it never terminates the process. *)
+  let out_dead = ref false in
   let write_reply line =
     Mutex.lock out_mutex;
-    output_string oc line;
-    output_char oc '\n';
-    flush oc;
+    (if not !out_dead then
+       try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error why ->
+         out_dead := true;
+         Printf.eprintf
+           "macs_serve: peer closed mid-reply (%s); dropping remaining \
+            replies\n%!"
+           why);
     Mutex.unlock out_mutex
   in
   let reader =
@@ -394,7 +512,7 @@ let serve t ic oc =
         in
         loop ())
   in
-  let rec drain () =
+  let rec drain_loop () =
     Mutex.lock m;
     while Queue.is_empty q && not !eof do
       Condition.wait nonempty m
@@ -405,7 +523,7 @@ let serve t ic oc =
     | None -> ()
     | Some line ->
         write_reply (handle_line t line);
-        if not t.stop then drain ()
+        if not t.stop && not !out_dead then drain_loop ()
   in
   Fun.protect
     ~finally:(fun () ->
@@ -413,4 +531,4 @@ let serve t ic oc =
       t.stop <- true;
       (try close_in ic with Sys_error _ -> ());
       (try Domain.join reader with _ -> ()))
-    drain
+    drain_loop

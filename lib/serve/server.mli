@@ -54,6 +54,8 @@ type stats = {
   rejected : int;  (** frames rejected whole with a typed error *)
   shed : int;  (** frames load-shed by the bounded queue *)
   replayed_frames : int;  (** served byte-identically from journal/cache *)
+  coalesced : int;  (** of those, concurrent duplicates that parked on an
+                        in-flight twin (single-flight dedup) *)
   items : int;  (** batch items evaluated or replayed *)
   replayed_items : int;  (** items replayed from the session journal *)
   degraded : int;  (** items answered at estimate tier *)
@@ -62,14 +64,43 @@ type stats = {
 val stats : t -> stats
 
 val stats_json : t -> Json.t
-(** Server counters plus cache counters (when a cache is attached) as
-    one JSON object — the body of the [stats] control reply. *)
+(** Server counters plus cache counters (when a cache is attached) plus
+    any {!set_stats_extra} sections, as one JSON object — the body of
+    the [stats] control reply. *)
+
+val set_stats_extra : t -> (unit -> (string * Json.t) list) -> unit
+(** Register extra top-level sections for {!stats_json} (the connection
+    supervisor reports its counters through this). *)
+
+val max_frame_bytes_of : t -> int
+(** The configured request-line cap (the supervisor reads it to bound
+    raw socket reads before the line ever reaches {!handle_line}). *)
 
 val handle_line : t -> string -> string
-(** Serve one request line to one reply line (no trailing newline). *)
+(** Serve one request line to one reply line (no trailing newline).
+    Thread-safe: concurrent callers carrying the same frame key
+    coalesce onto a single computation ({e single flight}) — one
+    journal append, one cache store, byte-identical replies. *)
 
 val shutdown_requested : t -> bool
-(** Whether a [shutdown] control frame has been served. *)
+(** Whether a [shutdown] control frame has been served (or {!drain} /
+    {!request_shutdown} called). *)
+
+val request_shutdown : t -> unit
+(** Ask the serve loops to stop, as if a [shutdown] frame arrived. *)
+
+val drain : t -> within_ms:float -> unit
+(** Begin graceful drain: marks the server stopping and arms a global
+    wall-clock deadline [within_ms] from now that every in-flight (and
+    subsequent) batch watchdog polls — batches still running when the
+    window closes degrade to analytic estimate-tier answers, exactly
+    like budget expiry.  The accept loop is the supervisor's to stop. *)
+
+val draining : t -> bool
+
+val finish : t -> unit
+(** Flush the session to its canonical durable form
+    ({!Session.compact}); call after the last connection closes. *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Run the loop until EOF or a [shutdown] frame: reader domain feeding

@@ -39,3 +39,13 @@ val record_frame : t -> key:string -> id:string -> string -> unit
 
 val items_done : t -> key:string -> int
 (** Completed items journaled for a frame (for resume diagnostics). *)
+
+val compact : t -> unit
+(** Atomically rewrite the journal in canonical order: frame keys
+    ascending, item records by index before their frame record.  Called
+    on graceful drain, it erases append-order noise from connection
+    interleaving — two sessions that served the same set of frames
+    compact to byte-identical journals, however their clients raced.
+    The rewrite goes through {!Macs_util.Journal.write_atomic} (Sink
+    boundaries: a crash mid-compaction leaves the old journal intact or
+    the new one published, never a torn file). *)

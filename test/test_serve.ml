@@ -388,6 +388,322 @@ let test_serve_loop_oversize () =
         (Option.bind (Json.mem (parse_ok shutdown) "ok") Json.bool)
   | _ -> Alcotest.fail "expected exactly two in-band replies"
 
+(* ---- Supervisor layer: limiter, sequencer, conn_io, connections ---- *)
+
+module Limiter = Convex_serve.Limiter
+module Sequencer = Convex_serve.Sequencer
+module Conn_io = Convex_serve.Conn_io
+module Supervisor = Convex_serve.Supervisor
+
+let fake_clock start =
+  let t = ref start in
+  ((fun () -> !t), fun dt -> t := !t +. dt)
+
+let astr_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_limiter_frame_rate () =
+  let now, advance = fake_clock 0.0 in
+  let lim =
+    Limiter.make
+      ~config:
+        {
+          Limiter.max_frames_per_s = Some 2.0;
+          max_bytes_per_s = None;
+          burst_s = 1.0;
+        }
+      ~now ()
+  in
+  (* burst capacity 2 frames, then dry until the clock refills *)
+  Alcotest.(check bool) "1st admitted" true
+    (Limiter.admit lim ~bytes:10 = Limiter.Admitted);
+  Alcotest.(check bool) "2nd admitted" true
+    (Limiter.admit lim ~bytes:10 = Limiter.Admitted);
+  (match Limiter.admit lim ~bytes:10 with
+  | Limiter.Throttled why ->
+      Alcotest.(check bool) "reason quotes the rate" true
+        (astr_contains why "frame")
+  | Limiter.Admitted -> Alcotest.fail "3rd frame must throttle");
+  advance 0.5;
+  Alcotest.(check bool) "refill admits" true
+    (Limiter.admit lim ~bytes:10 = Limiter.Admitted)
+
+let test_limiter_byte_rate_consumes_nothing_on_reject () =
+  let now, advance = fake_clock 0.0 in
+  let lim =
+    Limiter.make
+      ~config:
+        {
+          Limiter.max_frames_per_s = None;
+          max_bytes_per_s = Some 100.0;
+          burst_s = 1.0;
+        }
+      ~now ()
+  in
+  Alcotest.(check bool) "60 bytes fit" true
+    (Limiter.admit lim ~bytes:60 = Limiter.Admitted);
+  (* 41 more would overdraw: rejected, and rejection must not consume *)
+  Alcotest.(check bool) "41 rejected" true
+    (Limiter.admit lim ~bytes:41 = Limiter.Admitted = false);
+  Alcotest.(check bool) "40 still fit (nothing was consumed)" true
+    (Limiter.admit lim ~bytes:40 = Limiter.Admitted);
+  advance 10.0;
+  Alcotest.(check bool) "bucket caps at burst" true
+    (Limiter.admit lim ~bytes:100 = Limiter.Admitted)
+
+let test_sequencer_reorders () =
+  let out = Buffer.create 64 in
+  let seqr =
+    Sequencer.create ~write:(fun line ->
+        Buffer.add_string out (line ^ "\n");
+        Ok ())
+  in
+  Sequencer.submit seqr ~seq:2 "two";
+  Sequencer.submit seqr ~seq:1 "one";
+  Alcotest.(check int) "nothing written before seq 0" 0 (Sequencer.written seqr);
+  Alcotest.(check int) "two pending" 2 (Sequencer.pending seqr);
+  Sequencer.submit seqr ~seq:0 "zero";
+  Alcotest.(check string) "arrival order restored" "zero\none\ntwo\n"
+    (Buffer.contents out);
+  Alcotest.(check int) "all written" 3 (Sequencer.written seqr)
+
+let test_sequencer_latches_first_failure () =
+  let wrote = ref 0 in
+  let seqr =
+    Sequencer.create ~write:(fun _ ->
+        if !wrote = 0 then begin
+          incr wrote;
+          Ok ()
+        end
+        else Error "peer gone")
+  in
+  Sequencer.submit seqr ~seq:0 "a";
+  Sequencer.submit seqr ~seq:1 "b";
+  Sequencer.submit seqr ~seq:2 "c";
+  Alcotest.(check (option string)) "failure latched" (Some "peer gone")
+    (Sequencer.failure seqr);
+  Alcotest.(check int) "later replies dropped, not retried" 1 !wrote;
+  Alcotest.(check int) "one reply reached the peer" 1 (Sequencer.written seqr)
+
+let test_conn_io_events () =
+  let now = Unix.gettimeofday in
+  (* torn frame: bytes but no newline, then hangup *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring a "half a frame" 0 12 : int);
+  Unix.close a;
+  (match Conn_io.read_line ~now ~limit:1024 (Conn_io.reader b) with
+  | Conn_io.Torn 12 -> ()
+  | ev ->
+      Alcotest.failf "expected Torn 12, got %s"
+        (match ev with
+        | Conn_io.Line _ -> "Line"
+        | Conn_io.Eof -> "Eof"
+        | Conn_io.Torn n -> Printf.sprintf "Torn %d" n
+        | _ -> "other"));
+  Unix.close b;
+  (* idle timeout: nothing ever arrives *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match
+     Conn_io.read_line ~idle_timeout_s:0.05 ~now ~limit:1024 (Conn_io.reader b)
+   with
+  | Conn_io.Idle_timeout -> ()
+  | _ -> Alcotest.fail "expected Idle_timeout");
+  (* frame timeout: a started frame that never completes (slow loris) *)
+  ignore (Unix.write_substring a "{" 0 1 : int);
+  (match
+     Conn_io.read_line ~idle_timeout_s:5.0 ~frame_timeout_s:0.05 ~now
+       ~limit:1024 (Conn_io.reader b)
+   with
+  | Conn_io.Frame_timeout 1 -> ()
+  | _ -> Alcotest.fail "expected Frame_timeout 1");
+  Unix.close a;
+  Unix.close b;
+  (* oversized line is discarded incrementally and reported whole *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = String.make 100 'x' ^ "\n" in
+  ignore (Unix.write_substring a big 0 (String.length big) : int);
+  ignore (Unix.write_substring a "short\n" 0 6 : int);
+  let r = Conn_io.reader b in
+  (match Conn_io.read_line ~now ~limit:10 r with
+  | Conn_io.Oversized 100 -> ()
+  | _ -> Alcotest.fail "expected Oversized 100");
+  (match Conn_io.read_line ~now ~limit:10 r with
+  | Conn_io.Line "short" -> ()
+  | _ -> Alcotest.fail "expected the next frame intact");
+  Unix.close a;
+  Unix.close b
+
+(* The crash-sweep serve-net drive in miniature: stage frames in the
+   socket buffer, serve the connection on this thread, read replies. *)
+let drive_connection ?net server frames =
+  let sup =
+    match net with
+    | Some net -> Supervisor.create ~net server
+    | None -> Supervisor.create server
+  in
+  let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun f ->
+          let line = f ^ "\n" in
+          ignore (Unix.write_substring client line 0 (String.length line) : int))
+        frames;
+      Unix.shutdown client Unix.SHUTDOWN_SEND;
+      let report = Supervisor.handle_connection sup srv in
+      let buf = Buffer.create 256 in
+      let bytes = Bytes.create 4096 in
+      let rec copy () =
+        match Unix.read client bytes 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf bytes 0 n;
+            copy ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> copy ()
+      in
+      copy ();
+      (report, String.split_on_char '\n' (String.trim (Buffer.contents buf))))
+
+let test_supervised_connection_basic () =
+  let s = create_ok Server.default_config in
+  let report, replies =
+    drive_connection s
+      [
+        {|{"id":"a","op":"validate"}|};
+        {|{"op":"ping","id":"p"}|};
+        "not json at all";
+      ]
+  in
+  Alcotest.(check int) "three frames read" 3 report.Supervisor.frames;
+  Alcotest.(check int) "three replies written" 3 report.Supervisor.replies;
+  Alcotest.(check bool) "clean close" true
+    (report.Supervisor.outcome = Supervisor.Closed);
+  Alcotest.(check int) "three reply lines on the wire" 3 (List.length replies);
+  Alcotest.(check (option string)) "garbage got a typed reply"
+    (Some "bad-frame")
+    (get_str [ "error"; "kind" ] (parse_ok (List.nth replies 2)))
+
+let test_supervised_strikes_close () =
+  let s = create_ok Server.default_config in
+  let net =
+    { Supervisor.default_net_config with Supervisor.max_strikes = 3 }
+  in
+  let report, replies =
+    drive_connection ~net s (List.init 10 (fun _ -> "garbage"))
+  in
+  (match report.Supervisor.outcome with
+  | Supervisor.Struck_out 3 -> ()
+  | o -> Alcotest.failf "expected Struck_out 3, got %s" (Supervisor.outcome_name o));
+  (* 3 typed rejections + the strike notice; frames 4..10 never read *)
+  Alcotest.(check int) "replies stop at the strike close" 4
+    (List.length replies)
+
+let test_supervised_pipeline_order () =
+  let s = create_ok Server.default_config in
+  let net = { Supervisor.default_net_config with Supervisor.pipeline = 4 } in
+  let frames =
+    List.init 8 (fun i ->
+        Printf.sprintf "{\"id\":\"p%d\",\"op\":\"validate\"}" i)
+  in
+  let _, replies = drive_connection ~net s frames in
+  Alcotest.(check int) "one reply per frame" 8 (List.length replies);
+  List.iteri
+    (fun i reply ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "reply %d in arrival order" i)
+        (Some (Printf.sprintf "p%d" i))
+        (get_str [ "id" ] (parse_ok reply)))
+    replies
+
+let test_supervised_concurrent_dup_single_flight () =
+  (* the same frame key on two live connections at once: one journal
+     store, byte-identical replies *)
+  let dir = tmp_dir "dup" in
+  let session = Filename.concat dir "s.journal" in
+  let s =
+    create_ok { Server.default_config with Server.session = Some session }
+  in
+  let sup = Supervisor.create s in
+  let frame = {|{"id":"dup","op":"simulate","kernel":7}|} in
+  let serve_one () =
+    let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let line = frame ^ "\n" in
+    ignore (Unix.write_substring client line 0 (String.length line) : int);
+    Unix.shutdown client Unix.SHUTDOWN_SEND;
+    let th =
+      Thread.create (fun () -> ignore (Supervisor.handle_connection sup srv)) ()
+    in
+    (client, th)
+  in
+  let c1, t1 = serve_one () in
+  let c2, t2 = serve_one () in
+  Thread.join t1;
+  Thread.join t2;
+  let read_all fd =
+    let buf = Buffer.create 256 in
+    let bytes = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd bytes 0 4096 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf bytes 0 n;
+          go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ();
+    String.trim (Buffer.contents buf)
+  in
+  let r1 = read_all c1 and r2 = read_all c2 in
+  Unix.close c1;
+  Unix.close c2;
+  Alcotest.(check string) "byte-identical replies" r1 r2;
+  Alcotest.(check bool) "replies nonempty" true (String.length r1 > 0);
+  let stats = Server.stats s in
+  Alcotest.(check int) "exactly one computation" 1 stats.Server.items;
+  Alcotest.(check int) "the twin replayed" 1 stats.Server.replayed_frames;
+  (* exactly one frame record journaled *)
+  let ic = open_in_bin session in
+  let lines = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       (* journal lines are tab-separated: tag, then k=v fields *)
+       match String.split_on_char '\t' l with
+       | "frame" :: _ -> incr lines
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Alcotest.(check int) "one journal store" 1 !lines
+
+let test_drain_degrades_in_flight () =
+  (* an armed drain deadline degrades batches exactly like budget
+     expiry: estimate tier, typed diagnostic, ok reply *)
+  let s = create_ok Server.default_config in
+  Server.drain s ~within_ms:0.0;
+  let j = reply_json s {|{"id":"d","op":"simulate","kernel":7}|} in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (Json.mem j "ok") Json.bool);
+  Alcotest.(check (option string)) "estimate tier" (Some "estimate")
+    (get_str [ "tier" ] (first_result j))
+
+let test_accept_failure_policy () =
+  Alcotest.(check bool) "EINTR retries" true
+    (Supervisor.classify_accept_error Unix.EINTR = Supervisor.Retry);
+  Alcotest.(check bool) "ECONNABORTED retries" true
+    (Supervisor.classify_accept_error Unix.ECONNABORTED = Supervisor.Retry);
+  Alcotest.(check bool) "EMFILE backs off" true
+    (Supervisor.classify_accept_error Unix.EMFILE = Supervisor.Backoff);
+  Alcotest.(check bool) "EBADF is fatal" true
+    (Supervisor.classify_accept_error Unix.EBADF = Supervisor.Fatal);
+  Alcotest.(check bool) "backoff grows" true
+    (Supervisor.backoff_s ~consecutive:3 > Supervisor.backoff_s ~consecutive:1);
+  Alcotest.(check bool) "backoff capped at 1s" true
+    (Supervisor.backoff_s ~consecutive:50 <= 1.0)
+
 let test_fuzz_rung () =
   let config =
     { Server.default_config with Server.default_budget_cycles = Some 20_000.0 }
@@ -397,6 +713,19 @@ let test_fuzz_rung () =
   | v :: _ ->
       Alcotest.failf "fuzz violation on case %d: %s (input %s)"
         v.Serve_fuzz.case v.Serve_fuzz.problem v.Serve_fuzz.input
+
+let test_conn_fuzz_rung () =
+  let config =
+    { Server.default_config with Server.default_budget_cycles = Some 20_000.0 }
+  in
+  match Serve_fuzz.run_conn ~seed:11 ~count:12 ~config () with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "connection fuzz violation on case %d: %s (input %s)"
+        v.Serve_fuzz.case v.Serve_fuzz.problem
+        (if String.length v.Serve_fuzz.input > 200 then
+           String.sub v.Serve_fuzz.input 0 200 ^ "..."
+         else v.Serve_fuzz.input)
 
 let () =
   ignore json;
@@ -439,5 +768,33 @@ let () =
           Alcotest.test_case "serve loop oversize" `Quick
             test_serve_loop_oversize;
         ] );
-      ("fuzz", [ Alcotest.test_case "protocol rung" `Quick test_fuzz_rung ]);
+      ( "supervisor",
+        [
+          Alcotest.test_case "limiter frame rate" `Quick
+            test_limiter_frame_rate;
+          Alcotest.test_case "limiter rejects consume nothing" `Quick
+            test_limiter_byte_rate_consumes_nothing_on_reject;
+          Alcotest.test_case "sequencer reorders" `Quick
+            test_sequencer_reorders;
+          Alcotest.test_case "sequencer latches failure" `Quick
+            test_sequencer_latches_first_failure;
+          Alcotest.test_case "conn_io events" `Quick test_conn_io_events;
+          Alcotest.test_case "supervised connection" `Quick
+            test_supervised_connection_basic;
+          Alcotest.test_case "strikes close" `Quick
+            test_supervised_strikes_close;
+          Alcotest.test_case "pipeline keeps order" `Quick
+            test_supervised_pipeline_order;
+          Alcotest.test_case "concurrent dup single-flight" `Quick
+            test_supervised_concurrent_dup_single_flight;
+          Alcotest.test_case "drain degrades in-flight" `Quick
+            test_drain_degrades_in_flight;
+          Alcotest.test_case "accept failure policy" `Quick
+            test_accept_failure_policy;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "protocol rung" `Quick test_fuzz_rung;
+          Alcotest.test_case "connection rung" `Quick test_conn_fuzz_rung;
+        ] );
     ]
